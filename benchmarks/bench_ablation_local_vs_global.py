@@ -1,0 +1,96 @@
+"""Ablation — local incremental maintenance vs global recomputation.
+
+The paper's central systems claim: SCP clusters are maintainable with local
+processing only, so per-update cost stays flat as the graph grows, while any
+snapshot method pays the whole graph on every step.  This bench replays the
+same random edit script through (a) the incremental ClusterMaintainer and
+(b) a from-scratch `decompose_graph` after every step, across growing graph
+sizes, and reports the widening gap.
+"""
+
+import random
+import time
+
+from repro.core.maintenance import ClusterMaintainer, decompose_graph
+from repro.eval.reporting import render_table
+from repro.graph.dynamic_graph import DynamicGraph
+
+from conftest import emit
+
+
+def edit_script(n_nodes, n_steps, seed):
+    """A reproducible mixed add/remove edge script on n_nodes nodes."""
+    rng = random.Random(seed)
+    present = set()
+    script = []
+    for _ in range(n_steps):
+        u, v = rng.sample(range(n_nodes), 2)
+        key = (min(u, v), max(u, v))
+        if key in present and rng.random() < 0.35:
+            script.append(("remove", *key))
+            present.discard(key)
+        elif key not in present:
+            script.append(("add", *key))
+            present.add(key)
+    return script
+
+
+def replay_incremental(n_nodes, script):
+    maintainer = ClusterMaintainer()
+    for node in range(n_nodes):
+        maintainer.graph.ensure_node(node)
+    start = time.perf_counter()
+    for op, u, v in script:
+        if op == "add":
+            maintainer.add_edge(u, v)
+        else:
+            maintainer.remove_edge(u, v)
+    return time.perf_counter() - start, maintainer.registry.decomposition()
+
+
+def replay_global(n_nodes, script):
+    graph = DynamicGraph()
+    for node in range(n_nodes):
+        graph.ensure_node(node)
+    start = time.perf_counter()
+    decomposition = None
+    for op, u, v in script:
+        if op == "add":
+            graph.add_edge(u, v)
+        else:
+            graph.remove_edge(u, v)
+        decomposition = decompose_graph(graph)
+    elapsed = time.perf_counter() - start
+    return elapsed, {frozenset(edges) for _, edges in decomposition}
+
+
+def bench_ablation_local_vs_global(benchmark):
+    sizes = [40, 80, 160, 320]
+    steps = 400
+
+    def run():
+        rows = []
+        for n in sizes:
+            script = edit_script(n, steps, seed=n)
+            t_inc, clusters_inc = replay_incremental(n, script)
+            t_glob, clusters_glob = replay_global(n, script)
+            assert clusters_inc == clusters_glob  # Theorem 3, again
+            rows.append(
+                [n, len(script), round(1000 * t_inc, 1),
+                 round(1000 * t_glob, 1), round(t_glob / t_inc, 1)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_local_vs_global",
+        render_table(
+            ["nodes", "edits", "incremental ms", "global ms", "speedup x"],
+            rows,
+            title="Ablation — local SCP maintenance vs per-step global recompute",
+        ),
+    )
+    # the gap must widen with graph size (the point of local processing)
+    speedups = [row[4] for row in rows]
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 5.0

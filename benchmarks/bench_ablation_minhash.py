@@ -1,0 +1,58 @@
+"""Ablation — MinHash candidate filtering vs exact all-pairs EC.
+
+DESIGN.md calls out the Section 3.2.2 sketch filter as a design choice worth
+quantifying: it must cut the number of EC computations substantially while
+losing almost no events (the paper accepts "a very small probability of
+false negatives").
+"""
+
+from repro.config import DetectorConfig
+from repro.eval.reporting import render_table
+from repro.eval.runner import evaluate_run, run_detector
+
+from conftest import emit
+
+_results = {}
+
+
+def _run(trace, use_filter):
+    config = DetectorConfig(use_minhash_filter=use_filter)
+    result = run_detector(trace, config)
+    summary = evaluate_run(result, trace)
+    return result, summary
+
+
+def bench_ablation_minhash(benchmark, tw_trace):
+    def both():
+        return _run(tw_trace, True), _run(tw_trace, False)
+
+    (mh_result, mh_summary), (ex_result, ex_summary) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            "minhash filter",
+            mh_summary.pr.recall,
+            mh_summary.pr.precision,
+            round(mh_result.throughput),
+        ],
+        [
+            "exact all-pairs",
+            ex_summary.pr.recall,
+            ex_summary.pr.precision,
+            round(ex_result.throughput),
+        ],
+    ]
+    emit(
+        "ablation_minhash",
+        render_table(
+            ["EC candidate strategy", "recall", "precision", "msg/s"],
+            rows,
+            title="Ablation — MinHash candidate filter (Section 3.2.2)",
+        ),
+    )
+
+    # the filter may cost a little recall (false negatives) but not much
+    assert mh_summary.pr.recall >= ex_summary.pr.recall - 0.15
+    assert mh_summary.pr.precision >= ex_summary.pr.precision - 0.1

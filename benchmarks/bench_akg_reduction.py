@@ -1,0 +1,62 @@
+"""Section 7.4 — impact of using the AKG instead of the full CKG.
+
+Paper: AKG edges < 2% of CKG edges; < 5% of CKG nodes show burstiness;
+average AKG degree < 6; average cluster < 7 nodes.  This bench runs the
+detector with full-CKG tracking enabled and regenerates those ratios.
+"""
+
+from statistics import mean
+
+from repro.config import DetectorConfig
+from repro.core.engine import EventDetector
+from repro.datasets.traces import build_tw_trace
+from repro.eval.reporting import render_table
+from repro.text.pos import NounTagger
+
+from conftest import emit
+
+
+def bench_akg_reduction(benchmark):
+    # dedicated smaller trace: CKG pair tracking is exactly the cost the
+    # AKG avoids, so the measurement run is scaled down
+    trace = build_tw_trace(total_messages=12_000, n_events=8, seed=7)
+    config = DetectorConfig(track_ckg_stats=True)
+
+    def run():
+        detector = EventDetector(config, noun_tagger=NounTagger(trace.lexicon))
+        node_ratios, edge_ratios, degrees, sizes = [], [], [], []
+        for report in detector.process_stream(trace.messages):
+            stats = report.akg_stats
+            if report.ckg_nodes:
+                node_ratios.append(stats.akg_nodes / report.ckg_nodes)
+            if report.ckg_edges:
+                edge_ratios.append(stats.akg_edges / max(1, report.ckg_edges))
+            if stats.akg_nodes:
+                degrees.append(2 * stats.akg_edges / stats.akg_nodes)
+            for event in report.reported:
+                sizes.append(event.size)
+        return node_ratios, edge_ratios, degrees, sizes
+
+    node_ratios, edge_ratios, degrees, sizes = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = [
+        ["AKG nodes / CKG nodes %", round(100 * mean(node_ratios), 2), "< 5"],
+        ["AKG edges / CKG edges %", round(100 * mean(edge_ratios), 2), "< 2"],
+        ["average AKG degree", round(mean(degrees), 2), "< 6"],
+        ["average reported cluster size", round(mean(sizes), 2), "< 7"],
+    ]
+    emit(
+        "akg_reduction_7_4",
+        render_table(
+            ["quantity", "measured", "paper"],
+            rows,
+            title="Section 7.4 — Impact of using AKG",
+        ),
+    )
+
+    assert mean(node_ratios) < 0.10
+    assert mean(edge_ratios) < 0.05
+    assert mean(degrees) < 8.0
+    assert mean(sizes) < 9.0

@@ -1,0 +1,20 @@
+"""Figure 7 — recall vs quantum size for each EC threshold, TW trace.
+
+Paper shape: recall increases with the quantum size (more keywords clear the
+burstiness threshold) and decreases with gamma (fewer edges survive); TW
+recall spans roughly 0.5–0.85 across the grid.
+"""
+
+from _sweeps import assert_recall_shape, render_metric, run_sweep
+from conftest import emit
+
+
+def bench_fig7_recall_tw(benchmark, tw_trace):
+    sweep = benchmark.pedantic(run_sweep, args=(tw_trace,), rounds=1, iterations=1)
+    emit(
+        "fig7_recall_tw",
+        render_metric(
+            sweep, "recall", "Figure 7 — Recall for Time Window Based Trace"
+        ),
+    )
+    assert_recall_shape(sweep)

@@ -1,0 +1,22 @@
+"""Figure 8 — recall vs quantum size for each EC threshold, ES trace.
+
+Paper shape: same monotonic trends as Figure 7 on the event-dense trace;
+with relaxed parameters recall reaches ~0.95.
+"""
+
+from _sweeps import GAMMAS, QUANTA, assert_recall_shape, grid_of, render_metric, run_sweep
+from conftest import emit
+
+
+def bench_fig8_recall_es(benchmark, es_trace):
+    sweep = benchmark.pedantic(run_sweep, args=(es_trace,), rounds=1, iterations=1)
+    emit(
+        "fig8_recall_es",
+        render_metric(
+            sweep, "recall", "Figure 8 — Recall for Event Specific Trace"
+        ),
+    )
+    assert_recall_shape(sweep)
+    # relaxed corner (small gamma, large quantum) reaches high recall
+    grid = grid_of(sweep, "recall")
+    assert grid[0][-1] >= 0.8

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the hot maintenance operations.
+
+These use pytest-benchmark's statistical timing (many rounds) since each
+operation is microseconds — the numbers behind the Section 4.1 claim that
+per-update work is O(k^2 * N * C) with small constants.
+"""
+
+import random
+
+from repro.core.maintenance import ClusterMaintainer
+from repro.graph.generators import gnp_random_graph
+
+
+def build_maintainer(n=120, p=0.05, seed=3):
+    graph = gnp_random_graph(n, p, seed=seed)
+    maintainer = ClusterMaintainer()
+    for node in graph.nodes():
+        maintainer.graph.ensure_node(node)
+    for u, v, _ in graph.edges():
+        maintainer.add_edge(u, v)
+    return maintainer
+
+
+def bench_edge_addition_removal_cycle(benchmark):
+    """Add + remove one edge in a mid-size AKG (steady-state churn)."""
+    maintainer = build_maintainer()
+    rng = random.Random(7)
+    nodes = list(maintainer.graph.nodes())
+
+    def churn():
+        u, v = rng.sample(nodes, 2)
+        if maintainer.graph.has_edge(u, v):
+            maintainer.remove_edge(u, v)
+            maintainer.add_edge(u, v)
+        else:
+            maintainer.add_edge(u, v)
+            maintainer.remove_edge(u, v)
+
+    benchmark(churn)
+
+
+def bench_node_addition_with_edges(benchmark):
+    """NodeAddition with k=4 correlated neighbours, then removal."""
+    maintainer = build_maintainer()
+    rng = random.Random(11)
+    nodes = list(maintainer.graph.nodes())
+    counter = [0]
+
+    def add_remove():
+        counter[0] += 1
+        name = f"fresh{counter[0]}"
+        neighbours = {n: 0.5 for n in rng.sample(nodes, 4)}
+        maintainer.add_node_with_edges(name, neighbours)
+        maintainer.remove_node(name)
+
+    benchmark(add_remove)
+
+
+def bench_oracle_decomposition(benchmark):
+    """From-scratch global decomposition of the same graph (the cost the
+    incremental maintenance avoids paying per quantum)."""
+    from repro.core.maintenance import decompose_graph
+
+    maintainer = build_maintainer()
+    benchmark(decompose_graph, maintainer.graph)

@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures: traces are generated once per session.
+
+Scale note: the paper's traces hold 1.3M–10M tweets; these benches replay
+scaled-down equivalents (tens of thousands of messages) so the whole harness
+runs in minutes.  The *shapes* the paper reports — who wins, directions of
+parameter sensitivities, reduction ratios — are what the benches check and
+emit; absolute throughput numbers are hardware-bound either way.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.datasets.traces import (  # noqa: E402
+    build_es_trace,
+    build_ground_truth_trace,
+    build_tw_trace,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_emitted: list = []
+
+
+def emit(name: str, text: str) -> None:
+    """Record a result table: saved under results/ immediately and printed
+    by ``pytest_terminal_summary`` once output capture has ended."""
+    _emitted.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every emitted paper table after the pytest summary."""
+    for name, text in _emitted:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=" * 72)
+        terminalreporter.write_line(name)
+        terminalreporter.write_line("=" * 72)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def tw_trace():
+    """Time-Window trace: general stream, low event density."""
+    return build_tw_trace(total_messages=24_000, n_events=12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def es_trace():
+    """Event-Specific trace: ~3x the TW event density."""
+    return build_es_trace(total_messages=24_000, n_events=36, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ground_truth_trace():
+    """The Section 7.1 workload: headlined + sub-threshold + local events."""
+    return build_ground_truth_trace(
+        total_messages=40_000,
+        n_headline_discoverable=20,
+        n_headline_subthreshold=14,
+        n_local_events=30,
+        n_spurious=5,
+        seed=3,
+    )

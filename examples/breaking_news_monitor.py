@@ -1,0 +1,81 @@
+"""Breaking-news monitor: a live event dashboard over a synthetic stream.
+
+Replays the ground-truth workload (headlined events, local events, spurious
+bursts) and prints, every 25 quanta, the current top-5 ranked events — the
+consumption pattern the paper's ranking function is designed for.  At the
+end it compares detection times against the synthetic headline feed,
+reproducing the Section 7.1 observation that many events are detected well
+before the news headline appears.
+
+Run:  python examples/breaking_news_monitor.py
+"""
+
+from repro import DetectorConfig, EventDetector
+from repro.datasets.headlines import PAPER_STREAM_RATE, headlines_for_trace
+from repro.datasets.traces import build_ground_truth_trace
+from repro.eval.matching import match_events
+from repro.eval.filtering import reported_records
+from repro.text.pos import NounTagger
+
+
+def main() -> None:
+    print("generating ground-truth workload ...")
+    trace = build_ground_truth_trace(
+        total_messages=30_000,
+        n_headline_discoverable=12,
+        n_headline_subthreshold=8,
+        n_local_events=20,
+        n_spurious=3,
+        seed=3,
+    )
+    config = DetectorConfig()
+    detector = EventDetector(config, noun_tagger=NounTagger(trace.lexicon))
+
+    print(f"streaming {trace.total_messages} messages ...\n")
+    for report in detector.process_stream(trace.messages):
+        if report.quantum % 25 != 24:
+            continue
+        print(f"--- quantum {report.quantum} | AKG "
+              f"{report.akg_stats.akg_nodes} nodes / "
+              f"{report.akg_stats.akg_edges} edges ---")
+        for event in report.top(5):
+            print(
+                f"  #{event.event_id:<4} rank={event.rank:7.1f} "
+                f"{', '.join(sorted(event.keywords)[:6])}"
+            )
+
+    print("\n=== detection vs headline feed ===")
+    reported = reported_records(
+        detector.tracker.all_events(), config, NounTagger(trace.lexicon)
+    )
+    match = match_events(
+        reported, trace.ground_truth, config.quantum_size, config.window_quanta
+    )
+    headlines = headlines_for_trace(trace)
+    beat, total = 0, 0
+    for headline in headlines:
+        detected = match.first_detection_message(
+            headline.event_id, config.quantum_size
+        )
+        lead = headline.lead_time_seconds(detected, PAPER_STREAM_RATE)
+        if lead is None:
+            status = "not detected (likely sub-threshold)"
+        else:
+            total += 1
+            if lead > 0:
+                beat += 1
+                status = f"detected {lead / 60:.1f} min BEFORE the headline"
+            else:
+                status = f"detected {-lead / 60:.1f} min after the headline"
+        print(f"  {headline.text[:40]:<42} {status}")
+    if total:
+        print(f"\ndetector beat the headline for {beat}/{total} detected events")
+
+    local_found = sum(
+        1 for t in match.matched_truth_ids() if t.startswith("gt-local")
+    )
+    print(f"local events discovered with no headline at all: {local_found}")
+
+
+if __name__ == "__main__":
+    main()

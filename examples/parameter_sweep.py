@@ -1,0 +1,61 @@
+"""Parameter sensitivity in miniature: quantum size and EC threshold.
+
+A reduced-scale rendition of Figures 7–10: sweeps the quantum size and the
+edge-correlation threshold over a fixed TW-style trace and prints the
+resulting precision/recall grids, plus the Section 7.2.4 quality statistics
+(average cluster size and rank).
+
+Run:  python examples/parameter_sweep.py
+"""
+
+from repro import DetectorConfig
+from repro.datasets.traces import build_tw_trace
+from repro.eval.reporting import render_grid, render_table
+from repro.eval.runner import evaluate_run, run_detector
+
+QUANTA = [80, 120, 160, 200, 240]
+GAMMAS = [0.10, 0.15, 0.20, 0.25]
+
+
+def main() -> None:
+    print("generating TW trace ...")
+    trace = build_tw_trace(total_messages=20_000, n_events=10, seed=7)
+
+    recall_grid, precision_grid, quality_rows = [], [], []
+    for gamma in GAMMAS:
+        recall_row, precision_row = [], []
+        for quantum in QUANTA:
+            config = DetectorConfig(quantum_size=quantum, ec_threshold=gamma)
+            summary = evaluate_run(run_detector(trace, config), trace)
+            recall_row.append(summary.pr.recall)
+            precision_row.append(summary.pr.precision)
+            if quantum == 160:
+                quality_rows.append(
+                    [
+                        gamma,
+                        summary.quality.avg_cluster_size,
+                        summary.quality.avg_rank,
+                        summary.pr.n_reported,
+                    ]
+                )
+        recall_grid.append(recall_row)
+        precision_grid.append(precision_row)
+
+    print()
+    print(render_grid("gamma", GAMMAS, "quantum", QUANTA, recall_grid,
+                      title="Recall (cf. Figure 7)"))
+    print()
+    print(render_grid("gamma", GAMMAS, "quantum", QUANTA, precision_grid,
+                      title="Precision (cf. Figure 9)"))
+    print()
+    print(render_table(
+        ["gamma", "avg cluster size", "avg rank", "events"],
+        quality_rows,
+        title="Event quality at quantum=160 (cf. Section 7.2.4)",
+    ))
+    print("\nExpected shapes: recall rises with the quantum size and falls "
+          "with gamma; cluster size inflates at gamma=0.1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — Real-time discovery of dense clusters in highly dynamic graphs.
+
+A complete reproduction of Agarwal, Ramamritham & Bhide, *Real Time Discovery
+of Dense Clusters in Highly Dynamic Graphs* (PVLDB 5(10), 2012): incremental
+maintenance of short-cycle-property (SCP) clusters — approximate majority
+quasi-cliques — over the active keyword graph of a microblog stream, with
+local event ranking, an offline biconnected-cluster baseline, synthetic
+workload generators, and the paper's full evaluation harness.
+
+Public entry points
+-------------------
+:class:`EventDetector`     streaming detector (Sections 3–6 end to end)
+:class:`DetectorConfig`    Table 2 parameters
+:class:`Message`           stream record
+:class:`ClusterMaintainer` incremental SCP clustering over any dynamic graph
+:class:`DynamicGraph`      the graph substrate
+``repro.datasets``         synthetic ES/TW traces and ground truth
+``repro.baselines``        offline biconnected clustering ([2]) and trending
+``repro.eval``             precision/recall/quality harness
+"""
+
+from repro.config import DetectorConfig, NOMINAL_CONFIG
+from repro.core.engine import EventDetector, QuantumReport, ReportedEvent
+from repro.core.maintenance import ClusterMaintainer, decompose_graph
+from repro.core.clusters import Cluster, ClusterRegistry
+from repro.core.events import EventRecord, EventTracker
+from repro.core.ranking import cluster_rank, minimum_rank
+from repro.graph.dynamic_graph import DynamicGraph, edge_key
+from repro.stream.messages import Message
+from repro.errors import (
+    ClusterError,
+    ConfigError,
+    GraphError,
+    ReproError,
+    StreamError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DetectorConfig",
+    "NOMINAL_CONFIG",
+    "EventDetector",
+    "QuantumReport",
+    "ReportedEvent",
+    "ClusterMaintainer",
+    "decompose_graph",
+    "Cluster",
+    "ClusterRegistry",
+    "EventRecord",
+    "EventTracker",
+    "cluster_rank",
+    "minimum_rank",
+    "DynamicGraph",
+    "edge_key",
+    "Message",
+    "ReproError",
+    "ConfigError",
+    "GraphError",
+    "ClusterError",
+    "StreamError",
+    "__version__",
+]

@@ -1,0 +1,228 @@
+"""Per-quantum AKG maintenance (Section 3) driving cluster maintenance.
+
+For every quantum the builder:
+
+1. advances the sliding id-set index (Section 3.2);
+2. runs the burstiness automaton; newly bursty keywords enter the AKG
+   (Section 3.1);
+3. computes new-edge candidates **only among keywords bursty in this
+   quantum** (the paper's set (1), Section 3.2.1), optionally pre-filtered by
+   MinHash sketch collisions (Section 3.2.2), and inserts edges whose exact
+   EC clears gamma;
+4. lazily refreshes the EC of edges incident to keywords that appeared in
+   this quantum (the paper's set (2)); edges falling below gamma are deleted;
+5. removes stale nodes (absent from the whole window) and lazily drops
+   non-clustered nodes whose burst has aged past the grace period.
+
+Every insertion/deletion flows through the
+:class:`~repro.core.maintenance.ClusterMaintainer`, which keeps the SCP
+cluster decomposition exact at all times — this is what makes discovery
+*real-time* rather than snapshot-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+
+from repro.akg.burstiness import BurstinessTracker
+from repro.akg.idsets import IdSetIndex
+from repro.akg.minhash import MinHasher, Sketch, WindowedSketchIndex
+from repro.config import DetectorConfig
+from repro.core.maintenance import ClusterMaintainer
+
+Keyword = str
+UserId = Hashable
+
+
+@dataclass
+class AkgQuantumStats:
+    """Work and size counters for one quantum (feeds Section 7.4)."""
+
+    quantum: int = 0
+    bursty_keywords: int = 0
+    nodes_added: int = 0
+    nodes_removed_stale: int = 0
+    nodes_removed_lazy: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
+    edges_refreshed: int = 0
+    candidate_pairs: int = 0
+    ec_computations: int = 0
+    akg_nodes: int = 0
+    akg_edges: int = 0
+
+
+class AkgBuilder:
+    """Maintains the active keyword graph over a sliding window."""
+
+    def __init__(self, config: DetectorConfig, maintainer: ClusterMaintainer) -> None:
+        self.config = config
+        self.maintainer = maintainer
+        self.idsets = IdSetIndex(config.window_quanta)
+        self.burstiness = BurstinessTracker(config.high_state_threshold)
+        self.minhasher = MinHasher(config.effective_minhash_size, seed=config.seed)
+        self.sketches = WindowedSketchIndex(self.minhasher, config.window_quanta)
+
+    # ----------------------------------------------------------- main loop
+
+    def process_quantum(
+        self, quantum: int, keyword_users: Mapping[Keyword, Set[UserId]]
+    ) -> AkgQuantumStats:
+        """Apply one quantum of stream content to the AKG.
+
+        ``keyword_users`` maps every (stop-word-free) keyword appearing in
+        the quantum to the distinct users who used it.
+        """
+        stats = AkgQuantumStats(quantum=quantum)
+        graph = self.maintainer.graph
+        self.maintainer.current_quantum = quantum
+
+        self.idsets.add_quantum(quantum, keyword_users)
+        if self.config.use_minhash_filter:
+            self.sketches.add_quantum(quantum, keyword_users)
+        quantum_support = {kw: len(users) for kw, users in keyword_users.items()}
+        bursty = self.burstiness.observe_quantum(quantum, quantum_support)
+        stats.bursty_keywords = len(bursty)
+
+        # -- nodes: newly bursty keywords enter the AKG -------------------
+        for kw in bursty:
+            if not graph.has_node(kw):
+                self.maintainer.add_node(kw)
+                stats.nodes_added += 1
+
+        # -- edges: new candidates among this quantum's bursty set --------
+        new_edges = self._new_edges_among(sorted(bursty), stats)
+        for kw1, kw2, ec in new_edges:
+            self.maintainer.add_edge(kw1, kw2, ec)
+            stats.edges_added += 1
+
+        # -- edges: lazy refresh around keywords seen this quantum --------
+        self._refresh_incident_edges(keyword_users.keys(), stats)
+
+        # -- nodes: stale and lazy removal --------------------------------
+        self._remove_dead_nodes(quantum, stats)
+
+        stats.akg_nodes = graph.num_nodes
+        stats.akg_edges = graph.num_edges
+        return stats
+
+    # ------------------------------------------------------------ helpers
+
+    def _new_edges_among(
+        self, bursty: List[Keyword], stats: AkgQuantumStats
+    ) -> List[Tuple[Keyword, Keyword, float]]:
+        """EC-qualified new edges among the quantum's bursty keywords."""
+        graph = self.maintainer.graph
+        gamma = self.config.ec_threshold
+        pairs: Iterable[Tuple[Keyword, Keyword]]
+        if self.config.use_minhash_filter:
+            pairs = self._minhash_candidates(bursty)
+        else:
+            pairs = (
+                (bursty[i], bursty[j])
+                for i in range(len(bursty))
+                for j in range(i + 1, len(bursty))
+            )
+        out: List[Tuple[Keyword, Keyword, float]] = []
+        for kw1, kw2 in pairs:
+            stats.candidate_pairs += 1
+            if graph.has_edge(kw1, kw2):
+                continue
+            stats.ec_computations += 1
+            ec = self.idsets.jaccard(kw1, kw2)
+            if ec >= gamma:
+                out.append((kw1, kw2, ec))
+        return out
+
+    def _minhash_candidates(
+        self, bursty: List[Keyword]
+    ) -> List[Tuple[Keyword, Keyword]]:
+        """Pairs of bursty keywords whose sketches share a hash value.
+
+        Bucketing by sketch value finds exactly the colliding pairs without
+        comparing all O(B^2) combinations.
+        """
+        sketches: Dict[Keyword, Sketch] = {
+            kw: self.sketches.sketch(kw) for kw in bursty
+        }
+        buckets: Dict[int, List[Keyword]] = {}
+        for kw, sketch in sketches.items():
+            for value in sketch:
+                buckets.setdefault(value, []).append(kw)
+        seen: Set[Tuple[Keyword, Keyword]] = set()
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            members.sort()
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    seen.add((members[i], members[j]))
+        return sorted(seen)
+
+    def _refresh_incident_edges(
+        self, active_keywords: Iterable[Keyword], stats: AkgQuantumStats
+    ) -> None:
+        """Recompute EC of edges touching keywords seen this quantum.
+
+        This is the paper's set (2): only nodes occurring in the current
+        quantum (and, through these edges, their neighbours) can change
+        correlation, so no other edge needs to be revisited.
+        """
+        graph = self.maintainer.graph
+        gamma = self.config.ec_threshold
+        to_check: Set[Tuple[Keyword, Keyword]] = set()
+        for kw in active_keywords:
+            if not graph.has_node(kw):
+                continue
+            for nbr in graph.neighbors(kw):
+                to_check.add((kw, nbr) if kw <= nbr else (nbr, kw))
+        to_remove: List[Tuple[Keyword, Keyword]] = []
+        for kw1, kw2 in sorted(to_check):
+            stats.ec_computations += 1
+            ec = self.idsets.jaccard(kw1, kw2)
+            if ec < gamma:
+                to_remove.append((kw1, kw2))
+                stats.edges_removed += 1
+            else:
+                self.maintainer.set_edge_weight(kw1, kw2, ec)
+                stats.edges_refreshed += 1
+        if to_remove:
+            self.maintainer.remove_edges(to_remove)
+
+    def _remove_dead_nodes(self, quantum: int, stats: AkgQuantumStats) -> None:
+        """Stale removal plus the lazy-update drop of Section 3.1.
+
+        Stale: the keyword did not occur in any of the last w quanta (its
+        window id set is empty).  Lazy: the keyword is in no cluster and its
+        last burst is older than the grace period — it can only re-enter the
+        AKG by bursting again, exactly the hysteresis the paper describes.
+        """
+        graph = self.maintainer.graph
+        registry = self.maintainer.registry
+        grace = self.config.node_grace_quanta
+        stale: List[Keyword] = []
+        lazy: List[Keyword] = []
+        for kw in graph.nodes():
+            if self.idsets.support(kw) == 0:
+                stale.append(kw)
+                continue
+            if registry.clusters_of_node(kw):
+                continue
+            last = self.burstiness.last_bursty_quantum(kw)
+            if last is None or quantum - last > grace:
+                lazy.append(kw)
+        stats.nodes_removed_stale = len(stale)
+        stats.nodes_removed_lazy = len(lazy)
+        if stale or lazy:
+            self.maintainer.remove_nodes(stale + lazy)
+            self.burstiness.forget(stale + lazy)
+
+    # ------------------------------------------------------------- access
+
+    def node_weights(self, nodes: Iterable[Keyword]) -> Dict[Keyword, int]:
+        """Window support of each node — the W vector of the rank function."""
+        return {kw: self.idsets.support(kw) for kw in nodes}
+
+
+__all__ = ["AkgBuilder", "AkgQuantumStats"]

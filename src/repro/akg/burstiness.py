@@ -1,0 +1,75 @@
+"""Two-state keyword automaton (Section 3.1).
+
+A keyword is either **low** or **high**.  It moves low -> high when it shows
+burstiness — at least ``theta`` (the high-state threshold, HST) distinct
+users mention it within a single quantum.  A high keyword stays high while it
+is part of an event cluster; otherwise it is lazily dropped after a grace
+period, and any keyword absent from the whole window is stale.
+
+The tracker only owns the automaton state; graph/cluster consequences are
+handled by :class:`repro.akg.builder.AkgBuilder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set
+
+from repro.errors import ConfigError
+
+Keyword = str
+
+
+class BurstinessTracker:
+    """Per-keyword burst detection with O(1) per-keyword quantum updates."""
+
+    def __init__(self, theta: int) -> None:
+        if theta < 1:
+            raise ConfigError(f"theta must be >= 1, got {theta}")
+        self.theta = theta
+        self._last_bursty: Dict[Keyword, int] = {}
+        self._bursty_now: Set[Keyword] = set()
+        self._current_quantum: int | None = None
+
+    def observe_quantum(
+        self, quantum: int, quantum_support: Mapping[Keyword, int]
+    ) -> Set[Keyword]:
+        """Record one quantum's per-keyword distinct-user counts.
+
+        Returns the set of keywords bursty *in this quantum* (>= theta
+        distinct users).  The paper's "set (1)" of Section 3.2.1 — keywords
+        eligible for new-edge EC computation — is exactly this set.
+        """
+        bursty = {
+            kw for kw, count in quantum_support.items() if count >= self.theta
+        }
+        for kw in bursty:
+            self._last_bursty[kw] = quantum
+        self._bursty_now = bursty
+        self._current_quantum = quantum
+        return set(bursty)
+
+    def is_bursty_now(self, keyword: Keyword) -> bool:
+        return keyword in self._bursty_now
+
+    def bursty_now(self) -> Set[Keyword]:
+        return set(self._bursty_now)
+
+    def last_bursty_quantum(self, keyword: Keyword) -> int | None:
+        """The most recent quantum in which the keyword was bursty."""
+        return self._last_bursty.get(keyword)
+
+    def quanta_since_bursty(self, keyword: Keyword) -> int | None:
+        """Quanta elapsed since the keyword last burst; None if it never did."""
+        if self._current_quantum is None:
+            return None
+        last = self._last_bursty.get(keyword)
+        return None if last is None else self._current_quantum - last
+
+    def forget(self, keywords: Iterable[Keyword]) -> None:
+        """Drop automaton state for keywords leaving the AKG."""
+        for kw in keywords:
+            self._last_bursty.pop(kw, None)
+            self._bursty_now.discard(kw)
+
+
+__all__ = ["BurstinessTracker"]

@@ -1,0 +1,26 @@
+"""Edge correlation measures (Section 3.2).
+
+The edge correlation (EC) of two keywords is the Jaccard coefficient of
+their window user-id sets.  User ids — not message ids — are used so that a
+single user flooding identical messages cannot inflate correlation.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Hashable
+
+UserId = Hashable
+
+
+def exact_jaccard(set_a: AbstractSet[UserId], set_b: AbstractSet[UserId]) -> float:
+    """|A n B| / |A u B|; 0.0 when both sets are empty."""
+    if not set_a or not set_b:
+        return 0.0
+    if len(set_a) > len(set_b):
+        set_a, set_b = set_b, set_a
+    intersection = sum(1 for item in set_a if item in set_b)
+    union = len(set_a) + len(set_b) - intersection
+    return intersection / union if union else 0.0
+
+
+__all__ = ["exact_jaccard"]

@@ -1,0 +1,107 @@
+"""Sliding-window id sets: which users used which keyword, per window.
+
+Section 3.2 associates with every keyword the set of user ids that used it in
+the current window; the Jaccard coefficient of two keywords' id sets is the
+edge correlation.  This index maintains those sets incrementally as the
+window slides: each quantum contributes a per-keyword user set, and sets older
+than ``window_quanta`` are subtracted again.
+
+Multiplicities are tracked per (keyword, user) so that a user who used a
+keyword in several quanta stays in the id set until the *last* of those
+quanta expires.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, Hashable, Iterable, Mapping, Set, Tuple
+
+from repro.errors import StreamError
+
+Keyword = str
+UserId = Hashable
+
+
+class IdSetIndex:
+    """Per-keyword sliding-window user-id sets with O(changes) updates."""
+
+    def __init__(self, window_quanta: int) -> None:
+        if window_quanta < 1:
+            raise StreamError(f"window_quanta must be >= 1, got {window_quanta}")
+        self.window_quanta = window_quanta
+        self._window: Deque[Tuple[int, Dict[Keyword, frozenset]]] = deque()
+        self._counts: Dict[Keyword, Counter] = {}
+
+    # ------------------------------------------------------------- updates
+
+    def add_quantum(
+        self, quantum: int, keyword_users: Mapping[Keyword, Set[UserId]]
+    ) -> None:
+        """Ingest one quantum's keyword -> users mapping and expire old ones.
+
+        Quanta must be added in increasing order.
+        """
+        if self._window and quantum <= self._window[-1][0]:
+            raise StreamError(
+                f"quanta must be added in increasing order: got {quantum} "
+                f"after {self._window[-1][0]}"
+            )
+        # Empty user sets are skipped: they carry no id-set information and
+        # would otherwise leave dangling empty counters behind.
+        frozen = {
+            kw: frozenset(users) for kw, users in keyword_users.items() if users
+        }
+        self._window.append((quantum, frozen))
+        for kw, users in frozen.items():
+            counter = self._counts.get(kw)
+            if counter is None:
+                counter = self._counts[kw] = Counter()
+            counter.update(users)
+        while self._window and self._window[0][0] <= quantum - self.window_quanta:
+            _, old = self._window.popleft()
+            for kw, users in old.items():
+                counter = self._counts.get(kw)
+                if counter is None:
+                    continue
+                counter.subtract(users)
+                for user in users:
+                    if counter[user] <= 0:
+                        del counter[user]
+                if not counter:
+                    del self._counts[kw]
+
+    # ------------------------------------------------------------- queries
+
+    def __contains__(self, keyword: Keyword) -> bool:
+        return keyword in self._counts
+
+    def keywords(self) -> Iterable[Keyword]:
+        """Every keyword with at least one occurrence in the window."""
+        return self._counts.keys()
+
+    @property
+    def num_keywords(self) -> int:
+        return len(self._counts)
+
+    def users(self, keyword: Keyword) -> Set[UserId]:
+        """The id set: distinct users of ``keyword`` in the window."""
+        counter = self._counts.get(keyword)
+        return set(counter) if counter else set()
+
+    def support(self, keyword: Keyword) -> int:
+        """|id set| — the node weight ``w_i`` of the ranking function."""
+        counter = self._counts.get(keyword)
+        return len(counter) if counter else 0
+
+    def jaccard(self, kw1: Keyword, kw2: Keyword) -> float:
+        """Exact edge correlation |U1 n U2| / |U1 u U2| (Section 3.2)."""
+        c1 = self._counts.get(kw1)
+        c2 = self._counts.get(kw2)
+        if not c1 or not c2:
+            return 0.0
+        intersection = len(c1.keys() & c2.keys())
+        union = len(c1) + len(c2) - intersection
+        return intersection / union if union else 0.0
+
+
+__all__ = ["IdSetIndex"]

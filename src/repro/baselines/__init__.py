@@ -1,0 +1,22 @@
+"""Comparison baselines from the paper's evaluation.
+
+* :mod:`repro.baselines.offline_bc` — the offline biconnected-cluster method
+  of Bansal et al. [2], recomputed globally on the full AKG after every
+  quantum (Section 7.3's comparator), with and without size-2 edge clusters;
+* :mod:`repro.baselines.tracking` — snapshot-to-snapshot event identity for
+  baselines that lack incremental cluster identity;
+* :mod:`repro.baselines.trending` — a trending-topics strawman (windowed
+  keyword popularity), the motivation-section foil: it needs far more
+  volume before it reports anything.
+"""
+
+from repro.baselines.offline_bc import OfflineBcObserver, BcQuantumSnapshot
+from repro.baselines.tracking import SnapshotEventTracker
+from repro.baselines.trending import TrendingTopicsBaseline
+
+__all__ = [
+    "OfflineBcObserver",
+    "BcQuantumSnapshot",
+    "SnapshotEventTracker",
+    "TrendingTopicsBaseline",
+]

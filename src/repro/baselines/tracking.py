@@ -1,0 +1,84 @@
+"""Snapshot-based event identity for non-incremental baselines.
+
+The offline baseline recomputes its clustering from scratch every quantum,
+so cluster identity across quanta has to be reconstructed by content
+overlap.  Each snapshot cluster is matched to the previous quantum's event
+with the largest keyword overlap (greedy, requiring at least two shared
+keywords); unmatched clusters open new events, unmatched previous events
+die.  This mirrors how the paper's comparison attributes offline clusters
+to events over time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.events import EventRecord, EventSnapshot
+
+SnapshotCluster = Tuple[FrozenSet[str], float, float, int]
+"""(keywords, rank, support, num_edges) of one cluster in one quantum."""
+
+
+class SnapshotEventTracker:
+    """Tracks event identity across independent per-quantum clusterings."""
+
+    def __init__(self, min_overlap: int = 2) -> None:
+        self.min_overlap = min_overlap
+        self._records: Dict[int, EventRecord] = {}
+        self._alive: Dict[int, FrozenSet[str]] = {}
+        self._ids = itertools.count(1)
+
+    def observe_quantum(
+        self, quantum: int, clusters: Sequence[SnapshotCluster]
+    ) -> None:
+        """Match this quantum's clusters to live events and update records."""
+        # Greedy best-overlap assignment, largest overlap first.
+        candidates: List[Tuple[int, int, int]] = []  # (-overlap, ci, event)
+        cluster_list = list(clusters)
+        for ci, (keywords, _, _, _) in enumerate(cluster_list):
+            for event_id, prev_keywords in self._alive.items():
+                overlap = len(keywords & prev_keywords)
+                if overlap >= self.min_overlap:
+                    candidates.append((overlap, ci, event_id))
+        candidates.sort(key=lambda t: -t[0])
+        cluster_event: Dict[int, int] = {}
+        used_events: set = set()
+        for overlap, ci, event_id in candidates:
+            if ci in cluster_event or event_id in used_events:
+                continue
+            cluster_event[ci] = event_id
+            used_events.add(event_id)
+
+        next_alive: Dict[int, FrozenSet[str]] = {}
+        for ci, (keywords, rank, support, num_edges) in enumerate(cluster_list):
+            event_id = cluster_event.get(ci)
+            if event_id is None:
+                event_id = next(self._ids)
+                self._records[event_id] = EventRecord(event_id, quantum)
+            record = self._records[event_id]
+            record.snapshots.append(
+                EventSnapshot(
+                    quantum=quantum,
+                    keywords=keywords,
+                    rank=rank,
+                    support=support,
+                    num_edges=num_edges,
+                )
+            )
+            next_alive[event_id] = keywords
+        for event_id, record in self._records.items():
+            if record.alive and event_id not in next_alive:
+                record.died_quantum = quantum
+        self._alive = next_alive
+
+    # ------------------------------------------------------------- access
+
+    def all_events(self) -> List[EventRecord]:
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+__all__ = ["SnapshotEventTracker", "SnapshotCluster"]

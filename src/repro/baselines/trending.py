@@ -1,0 +1,112 @@
+"""Trending-topics strawman: the motivation-section foil.
+
+Twitter's trending topics report a keyword (or consecutive pair) once it is
+popular *over a period of time* — the paper's introduction argues this needs
+several thousand mentions and therefore cannot surface emerging events in
+real time, and that single keywords are less informative than correlated
+keyword clusters.  This baseline implements that policy so benchmarks can
+measure the detection-lag gap directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.stream.messages import Message
+
+
+@dataclass(frozen=True)
+class TrendingTopic:
+    """A keyword that crossed the trending threshold."""
+
+    keyword: str
+    quantum: int
+    window_count: int
+
+
+class TrendingTopicsBaseline:
+    """Windowed keyword-popularity trending detection.
+
+    A keyword trends once its mention count over the sliding window reaches
+    ``trend_threshold`` *and* it has stayed above ``sustain_fraction`` of
+    that threshold for ``sustain_quanta`` consecutive quanta — popularity
+    over a period of time, not a single burst.
+    """
+
+    def __init__(
+        self,
+        quantum_size: int = 160,
+        window_quanta: int = 30,
+        trend_threshold: int = 1000,
+        sustain_quanta: int = 3,
+        sustain_fraction: float = 0.5,
+    ) -> None:
+        if trend_threshold < 1:
+            raise ConfigError("trend_threshold must be >= 1")
+        if sustain_quanta < 1:
+            raise ConfigError("sustain_quanta must be >= 1")
+        self.quantum_size = quantum_size
+        self.window_quanta = window_quanta
+        self.trend_threshold = trend_threshold
+        self.sustain_quanta = sustain_quanta
+        self.sustain_fraction = sustain_fraction
+        self._window: Deque[Counter] = deque()
+        self._counts: Counter = Counter()
+        self._hot_streak: Dict[str, int] = {}
+        self._trending: Set[str] = set()
+        self._quantum = -1
+
+    def process_quantum(self, messages: Sequence[Message]) -> List[TrendingTopic]:
+        """Advance one quantum; returns keywords that newly started trending."""
+        self._quantum += 1
+        counts: Counter = Counter()
+        for message in messages:
+            if message.tokens:
+                counts.update(message.tokens)
+        self._window.append(counts)
+        self._counts.update(counts)
+        if len(self._window) > self.window_quanta:
+            old = self._window.popleft()
+            self._counts.subtract(old)
+            self._counts += Counter()
+        new_topics: List[TrendingTopic] = []
+        sustain_floor = self.trend_threshold * self.sustain_fraction
+        for keyword, count in counts.items():
+            window_count = self._counts[keyword]
+            if window_count >= sustain_floor:
+                self._hot_streak[keyword] = self._hot_streak.get(keyword, 0) + 1
+            else:
+                self._hot_streak.pop(keyword, None)
+                self._trending.discard(keyword)
+                continue
+            if (
+                window_count >= self.trend_threshold
+                and self._hot_streak[keyword] >= self.sustain_quanta
+                and keyword not in self._trending
+            ):
+                self._trending.add(keyword)
+                new_topics.append(
+                    TrendingTopic(keyword, self._quantum, window_count)
+                )
+        return new_topics
+
+    def run(self, messages: Sequence[Message]) -> List[TrendingTopic]:
+        """Process a whole stream; returns all trending onsets in order."""
+        topics: List[TrendingTopic] = []
+        for start in range(0, len(messages), self.quantum_size):
+            batch = messages[start : start + self.quantum_size]
+            topics.extend(self.process_quantum(batch))
+        return topics
+
+    def first_trending_message(self, keyword: str, topics: Sequence[TrendingTopic]) -> Optional[int]:
+        """Stream position at which a keyword first trended (None = never)."""
+        for topic in topics:
+            if topic.keyword == keyword:
+                return (topic.quantum + 1) * self.quantum_size
+        return None
+
+
+__all__ = ["TrendingTopicsBaseline", "TrendingTopic"]

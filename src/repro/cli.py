@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``       run the Figure 1 quickstart scenario
+``generate``   build a synthetic trace (tw / es / ground-truth) as JSONL
+``detect``     run the detector over a JSONL trace and print events
+``sweep``      print a small precision/recall parameter grid for a preset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.config import DetectorConfig
+from repro.core.engine import EventDetector
+from repro.datasets.figure1 import figure1_messages
+from repro.datasets.traces import (
+    build_es_trace,
+    build_ground_truth_trace,
+    build_tw_trace,
+)
+from repro.eval.reporting import render_grid, render_table
+from repro.eval.runner import evaluate_run, run_detector
+from repro.stream.sources import read_jsonl_trace, write_jsonl_trace
+
+_TRACE_BUILDERS = {
+    "tw": build_tw_trace,
+    "es": build_es_trace,
+    "ground-truth": build_ground_truth_trace,
+}
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quantum-size", type=int, default=160,
+                        help="messages per quantum (Table 2 nominal: 160)")
+    parser.add_argument("--window-quanta", type=int, default=30,
+                        help="quanta per sliding window (nominal: 30)")
+    parser.add_argument("--theta", type=int, default=4,
+                        help="high-state threshold, users/quantum (nominal: 4)")
+    parser.add_argument("--gamma", type=float, default=0.20,
+                        help="edge-correlation threshold (nominal: 0.20)")
+    parser.add_argument("--exact-ec", action="store_true",
+                        help="disable the MinHash candidate filter")
+
+
+def _config_from(args: argparse.Namespace) -> DetectorConfig:
+    return DetectorConfig(
+        quantum_size=args.quantum_size,
+        window_quanta=args.window_quanta,
+        high_state_threshold=args.theta,
+        ec_threshold=args.gamma,
+        use_minhash_filter=not args.exact_ec,
+    )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    detector = EventDetector(
+        DetectorConfig(
+            quantum_size=6,
+            window_quanta=5,
+            high_state_threshold=2,
+            ec_threshold=0.1,
+            use_minhash_filter=False,
+        )
+    )
+    for label, batch in zip(("initial tweets", "window slides"), figure1_messages()):
+        report = detector.process_quantum(batch)
+        print(f"[{label}]")
+        for event in report.reported:
+            print(f"  event #{event.event_id}: {sorted(event.keywords)} "
+                  f"rank={event.rank:.1f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    builder = _TRACE_BUILDERS[args.preset]
+    trace = builder(total_messages=args.messages, seed=args.seed)
+    count = write_jsonl_trace(args.output, trace.messages)
+    truth_path = args.output + ".truth.json"
+    with open(truth_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            [
+                {
+                    "event_id": e.event_id,
+                    "keywords": list(e.keywords),
+                    "start": e.start_message,
+                    "end": e.end_message,
+                    "spurious": e.spurious,
+                    "headlined": e.headlined,
+                }
+                for e in trace.ground_truth
+            ],
+            fh,
+            indent=1,
+        )
+    print(f"wrote {count} messages to {args.output}")
+    print(f"wrote ground truth to {truth_path}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    detector = EventDetector(_config_from(args))
+    printed = 0
+    for report in detector.process_stream(read_jsonl_trace(args.trace)):
+        for event in report.reported:
+            if event.event_id in report.new_event_ids:
+                printed += 1
+                print(
+                    f"q{report.quantum:<5} NEW event #{event.event_id}: "
+                    f"{', '.join(sorted(event.keywords))} "
+                    f"(rank {event.rank:.1f})"
+                )
+    print(
+        f"-- {printed} events, {detector.total_messages} messages, "
+        f"{detector.throughput():.0f} msg/s"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    builder = _TRACE_BUILDERS[args.preset]
+    trace = builder(total_messages=args.messages, seed=args.seed)
+    quanta = [80, 160, 240]
+    gammas = [0.10, 0.20, 0.25]
+    recall, precision = [], []
+    for gamma in gammas:
+        r_row, p_row = [], []
+        for quantum in quanta:
+            config = DetectorConfig(quantum_size=quantum, ec_threshold=gamma)
+            summary = evaluate_run(
+                run_detector(trace, config), trace,
+                reference_quantum_size=max(quanta),
+            )
+            r_row.append(summary.pr.recall)
+            p_row.append(summary.pr.precision)
+        recall.append(r_row)
+        precision.append(p_row)
+    print(render_grid("gamma", gammas, "quantum", quanta, recall,
+                      title=f"Recall, {trace.name} trace"))
+    print()
+    print(render_grid("gamma", gammas, "quantum", quanta, precision,
+                      title=f"Precision, {trace.name} trace"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Real-time dense-cluster event detection (VLDB 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the Figure 1 quickstart scenario")
+    demo.set_defaults(func=_cmd_demo)
+
+    generate = sub.add_parser("generate", help="generate a synthetic JSONL trace")
+    generate.add_argument("preset", choices=sorted(_TRACE_BUILDERS))
+    generate.add_argument("output", help="output JSONL path")
+    generate.add_argument("--messages", type=int, default=20_000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.set_defaults(func=_cmd_generate)
+
+    detect = sub.add_parser("detect", help="run the detector over a JSONL trace")
+    detect.add_argument("trace", help="input JSONL path")
+    _add_config_arguments(detect)
+    detect.set_defaults(func=_cmd_detect)
+
+    sweep = sub.add_parser("sweep", help="print a small parameter-sweep grid")
+    sweep.add_argument("preset", choices=sorted(_TRACE_BUILDERS))
+    sweep.add_argument("--messages", type=int, default=12_000)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Configuration for the event-detection pipeline.
+
+The tunable parameters mirror Table 2 of the paper:
+
+============================  =======================  =================
+Parameter                     Paper symbol             Nominal value
+============================  =======================  =================
+``quantum_size``              |Delta| (quantum)        160 messages
+``high_state_threshold``      |theta| (HST)            4 user ids/quantum
+``ec_threshold``              |gamma| (EC threshold)   0.20
+``window_quanta``             ``w``                    30 quanta
+============================  =======================  =================
+
+The number of MinHash values kept per keyword follows Section 3.2.2:
+``p = min(theta / 2, 1 / gamma)`` (at least 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Immutable parameter bundle for :class:`repro.core.engine.EventDetector`.
+
+    Parameters
+    ----------
+    quantum_size:
+        Number of messages per quantum (the unit at which the sliding window
+        advances).  The paper's experiments define quanta in message counts.
+    window_quanta:
+        Number of quanta retained in the sliding window (``w``).
+    high_state_threshold:
+        Minimum number of *distinct users* that must use a keyword within one
+        quantum for the keyword to enter the high state (``theta``).
+    ec_threshold:
+        Minimum edge correlation (Jaccard coefficient of the window user-id
+        sets) for an AKG edge (``gamma``).
+    minhash_size:
+        Number of minimum hash values kept per keyword.  ``None`` (default)
+        derives ``p = max(1, min(theta // 2, round(1 / gamma)))`` per the
+        paper; an explicit positive integer overrides the derivation.
+    use_minhash_filter:
+        When True (default), new-edge candidate pairs must share at least one
+        of their ``p`` MinHash values before the exact EC is computed.  When
+        False, EC is computed for every pair of newly bursty keywords (the
+        exact, slower variant used as an ablation baseline).
+    min_cluster_size:
+        Minimum number of nodes for a reported cluster.  Short-cycle atoms
+        have at least 3 nodes, so values below 3 have no effect.
+    node_grace_quanta:
+        A non-clustered AKG node is lazily dropped once it has not been bursty
+        for this many consecutive quanta.  ``1`` reproduces the paper's lazy
+        update; larger values add hysteresis.
+    rank_threshold_scale:
+        Scale factor applied to the minimum achievable rank of a cluster of
+        size N when filtering spurious events (Section 7.2.2, filter 1).
+    require_noun:
+        Drop clusters containing no noun keyword (Section 7.2.2, filter 2).
+    max_tokens_per_message:
+        Keywords beyond this per message are ignored.  Microblog posts are
+        length-capped (a 140-character tweet holds ~25 words), and the cap
+        also bounds the per-message pair fan-out a hostile flooder could
+        inject into the graph.
+    track_ckg_stats:
+        Maintain full CKG node/edge counts for the Section 7.4 reduction
+        study.  Costs memory proportional to distinct co-occurring pairs in
+        the window; off by default.
+    seed:
+        Seed for the MinHash hash-function salt; fixed for reproducibility.
+    """
+
+    quantum_size: int = 160
+    window_quanta: int = 30
+    high_state_threshold: int = 4
+    ec_threshold: float = 0.20
+    minhash_size: int | None = None
+    use_minhash_filter: bool = True
+    min_cluster_size: int = 3
+    node_grace_quanta: int = 1
+    rank_threshold_scale: float = 1.0
+    require_noun: bool = True
+    max_tokens_per_message: int = 32
+    track_ckg_stats: bool = False
+    seed: int = 0x5C9C1E
+
+    def __post_init__(self) -> None:
+        if self.quantum_size < 1:
+            raise ConfigError(f"quantum_size must be >= 1, got {self.quantum_size}")
+        if self.window_quanta < 1:
+            raise ConfigError(f"window_quanta must be >= 1, got {self.window_quanta}")
+        if self.high_state_threshold < 1:
+            raise ConfigError(
+                "high_state_threshold must be >= 1, got "
+                f"{self.high_state_threshold}"
+            )
+        if not 0.0 < self.ec_threshold <= 1.0:
+            raise ConfigError(
+                f"ec_threshold must be in (0, 1], got {self.ec_threshold}"
+            )
+        if self.minhash_size is not None and self.minhash_size < 1:
+            raise ConfigError(f"minhash_size must be >= 1, got {self.minhash_size}")
+        if self.min_cluster_size < 2:
+            raise ConfigError(
+                f"min_cluster_size must be >= 2, got {self.min_cluster_size}"
+            )
+        if self.node_grace_quanta < 0:
+            raise ConfigError(
+                f"node_grace_quanta must be >= 0, got {self.node_grace_quanta}"
+            )
+        if self.rank_threshold_scale < 0:
+            raise ConfigError(
+                "rank_threshold_scale must be >= 0, got "
+                f"{self.rank_threshold_scale}"
+            )
+        if self.max_tokens_per_message < 1:
+            raise ConfigError(
+                "max_tokens_per_message must be >= 1, got "
+                f"{self.max_tokens_per_message}"
+            )
+
+    @property
+    def effective_minhash_size(self) -> int:
+        """Number of MinHash values per keyword (``p`` of Section 3.2.2)."""
+        if self.minhash_size is not None:
+            return self.minhash_size
+        derived = min(
+            self.high_state_threshold // 2,
+            int(math.ceil(1.0 / self.ec_threshold)),
+        )
+        return max(1, derived)
+
+    @property
+    def window_messages(self) -> int:
+        """Total messages covered by the sliding window."""
+        return self.quantum_size * self.window_quanta
+
+    def with_overrides(self, **overrides: Any) -> "DetectorConfig":
+        """Return a copy with the given fields replaced (validated again)."""
+        return replace(self, **overrides)
+
+
+NOMINAL_CONFIG = DetectorConfig()
+"""The Table 2 nominal parameter setting."""
+
+
+__all__ = ["DetectorConfig", "NOMINAL_CONFIG"]

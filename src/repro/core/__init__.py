@@ -1,0 +1,54 @@
+"""The paper's primary contribution: SCP cluster discovery and maintenance.
+
+Layers (bottom up):
+
+* :mod:`repro.core.atoms` — short-cycle (length 3/4) atom enumeration and the
+  short-cycle property predicate (Section 4.1);
+* :mod:`repro.core.clusters` — the cluster registry with edge-ownership and
+  node-membership indexes (Lemma 6 bookkeeping);
+* :mod:`repro.core.maintenance` — the incremental node/edge add/delete
+  algorithms of Section 5, plus the from-scratch global oracle used to verify
+  Theorem 3;
+* :mod:`repro.core.ranking` — the Section 6 ranking function;
+* :mod:`repro.core.events` — event lifecycle tracking over quanta;
+* :mod:`repro.core.engine` — the streaming :class:`EventDetector`.
+"""
+
+from repro.core.atoms import (
+    Atom,
+    atoms_containing_edge,
+    atoms_in_subgraph,
+    edge_on_short_cycle,
+    satisfies_scp,
+)
+from repro.core.clusters import Cluster, ClusterRegistry
+from repro.core.maintenance import ClusterMaintainer, decompose_graph
+from repro.core.ranking import cluster_rank, minimum_rank
+from repro.core.events import EventRecord, EventTracker
+from repro.core.engine import EventDetector, QuantumReport
+from repro.core.postprocess import (
+    CorrelatedEventGroup,
+    CorrelationPolicy,
+    correlate_events,
+)
+
+__all__ = [
+    "Atom",
+    "atoms_containing_edge",
+    "atoms_in_subgraph",
+    "edge_on_short_cycle",
+    "satisfies_scp",
+    "Cluster",
+    "ClusterRegistry",
+    "ClusterMaintainer",
+    "decompose_graph",
+    "cluster_rank",
+    "minimum_rank",
+    "EventRecord",
+    "EventTracker",
+    "EventDetector",
+    "QuantumReport",
+    "CorrelatedEventGroup",
+    "CorrelationPolicy",
+    "correlate_events",
+]

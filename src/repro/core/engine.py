@@ -1,0 +1,251 @@
+"""The streaming event detector: the paper's end-to-end pipeline.
+
+:class:`EventDetector` consumes a microblog message stream, advances the
+sliding window one quantum at a time, maintains the AKG and its SCP cluster
+decomposition incrementally, ranks live clusters from local state, and
+reports emerging events.  Everything is incremental: per quantum the work is
+O(k^2 * N * C) for N status-changing keywords of average degree k in clusters
+of average size C (Section 4.1), never proportional to the full graph.
+
+Typical use::
+
+    from repro import DetectorConfig, EventDetector, Message
+
+    detector = EventDetector(DetectorConfig(quantum_size=160))
+    for message in stream:
+        report = detector.process_message(message)
+        if report is not None:                    # a quantum completed
+            for event in report.reported:
+                print(report.quantum, event.keywords, event.rank)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.akg.builder import AkgBuilder, AkgQuantumStats
+from repro.akg.ckg_stats import CkgStatsTracker
+from repro.config import DetectorConfig
+from repro.core.clusters import Cluster
+from repro.core.events import EventRecord, EventTracker
+from repro.core.maintenance import ClusterMaintainer
+from repro.core.ranking import cluster_rank, minimum_rank
+from repro.stream.messages import Message
+from repro.stream.window import (
+    QuantumBatcher,
+    invert_user_keywords,
+    user_keywords_of_quantum,
+)
+from repro.text.pos import NounTagger
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class ReportedEvent:
+    """One cluster as reported to the consumer at the end of a quantum."""
+
+    event_id: int
+    keywords: frozenset
+    rank: float
+    support: float
+    size: int
+    num_edges: int
+    born_quantum: int
+
+
+@dataclass
+class QuantumReport:
+    """Everything the detector learned in one quantum."""
+
+    quantum: int
+    reported: List[ReportedEvent] = field(default_factory=list)
+    suppressed: List[ReportedEvent] = field(default_factory=list)
+    new_event_ids: Set[int] = field(default_factory=set)
+    dead_event_ids: Set[int] = field(default_factory=set)
+    akg_stats: Optional[AkgQuantumStats] = None
+    ckg_nodes: Optional[int] = None
+    ckg_edges: Optional[int] = None
+    messages_processed: int = 0
+    elapsed_seconds: float = 0.0
+
+    def top(self, k: int) -> List[ReportedEvent]:
+        return sorted(self.reported, key=lambda e: e.rank, reverse=True)[:k]
+
+
+class EventDetector:
+    """Real-time emerging-event detection over a microblog stream."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        noun_tagger: NounTagger | None = None,
+        tokenizer=None,
+    ) -> None:
+        """``tokenizer`` overrides text tokenisation (e.g. a
+        :meth:`repro.text.synonyms.SynonymNormalizer.wrap_tokenizer` wrapped
+        one for the paper's synonym pre-processing); pre-tokenised messages
+        bypass it."""
+        self.config = config if config is not None else DetectorConfig()
+        self.tokenizer = tokenizer if tokenizer is not None else tokenize
+        self.maintainer = ClusterMaintainer()
+        self.builder = AkgBuilder(self.config, self.maintainer)
+        self.tracker = EventTracker()
+        self.noun_tagger = noun_tagger if noun_tagger is not None else NounTagger()
+        self.batcher = QuantumBatcher(self.config.quantum_size)
+        self.ckg_stats = (
+            CkgStatsTracker(self.config.window_quanta)
+            if self.config.track_ckg_stats
+            else None
+        )
+        self._quantum = -1
+        self._rank_floor = self.config.rank_threshold_scale * minimum_rank(
+            self.config.high_state_threshold, self.config.ec_threshold
+        )
+        self.total_messages = 0
+        self.total_seconds = 0.0
+        self._previously_alive: Set[int] = set()
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def graph(self):
+        """The live AKG (read-only by convention)."""
+        return self.maintainer.graph
+
+    @property
+    def registry(self):
+        """The live SCP cluster registry (read-only by convention)."""
+        return self.maintainer.registry
+
+    @property
+    def current_quantum(self) -> int:
+        return self._quantum
+
+    # ---------------------------------------------------------- ingestion
+
+    def process_message(self, message: Message) -> Optional[QuantumReport]:
+        """Feed one message; returns a report when a quantum completes."""
+        quantum = self.batcher.push(message)
+        if quantum is None:
+            return None
+        return self.process_quantum(quantum)
+
+    def process_stream(self, messages: Iterable[Message]) -> Iterator[QuantumReport]:
+        """Consume a whole stream, yielding one report per quantum.
+
+        A trailing partial quantum (fewer than ``quantum_size`` messages) is
+        processed as a final short quantum.
+        """
+        for batch in self.batcher.batches(messages):
+            yield self.process_quantum(batch)
+
+    def process_quantum(self, messages: Sequence[Message]) -> QuantumReport:
+        """Advance the window by one quantum of messages."""
+        start = time.perf_counter()
+        self._quantum += 1
+        quantum = self._quantum
+
+        user_keywords = user_keywords_of_quantum(
+            messages,
+            self.tokenizer,
+            max_tokens_per_message=self.config.max_tokens_per_message,
+        )
+        keyword_users = invert_user_keywords(user_keywords)
+        if self.ckg_stats is not None:
+            self.ckg_stats.add_quantum(quantum, user_keywords)
+
+        akg_stats = self.builder.process_quantum(quantum, keyword_users)
+        changes = self.maintainer.pop_changes()
+
+        ranked = self._rank_clusters()
+        self.tracker.observe_quantum(
+            quantum,
+            [(cluster, rank, support) for cluster, rank, support in ranked],
+            changes,
+        )
+
+        report = self._build_report(quantum, ranked, akg_stats)
+        report.messages_processed = len(messages)
+        report.elapsed_seconds = time.perf_counter() - start
+        self.total_messages += len(messages)
+        self.total_seconds += report.elapsed_seconds
+        if self.ckg_stats is not None:
+            report.ckg_nodes = self.ckg_stats.ckg_nodes
+            report.ckg_edges = self.ckg_stats.ckg_edges
+        return report
+
+    # ------------------------------------------------------------ ranking
+
+    def _rank_clusters(self) -> List[Tuple[Cluster, float, float]]:
+        """Rank every live cluster of reportable size from local state."""
+        out: List[Tuple[Cluster, float, float]] = []
+        graph = self.maintainer.graph
+        for cluster in self.registry:
+            if cluster.size < self.config.min_cluster_size:
+                continue
+            weights = self.builder.node_weights(cluster.nodes)
+            correlations = {
+                e: graph.edge_weight(e[0], e[1]) for e in cluster.edges
+            }
+            rank = cluster_rank(cluster.nodes, cluster.edges, weights, correlations)
+            support = float(sum(weights.values()))
+            out.append((cluster, rank, support))
+        return out
+
+    def _build_report(
+        self,
+        quantum: int,
+        ranked: List[Tuple[Cluster, float, float]],
+        akg_stats: AkgQuantumStats,
+    ) -> QuantumReport:
+        report = QuantumReport(quantum=quantum, akg_stats=akg_stats)
+        alive_now: Set[int] = set()
+        for cluster, rank, support in ranked:
+            alive_now.add(cluster.cluster_id)
+            event = ReportedEvent(
+                event_id=cluster.cluster_id,
+                keywords=frozenset(str(n) for n in cluster.nodes),
+                rank=rank,
+                support=support,
+                size=cluster.size,
+                num_edges=cluster.num_edges,
+                born_quantum=cluster.born_quantum,
+            )
+            if self._passes_filters(event):
+                report.reported.append(event)
+            else:
+                report.suppressed.append(event)
+        report.reported.sort(key=lambda e: e.rank, reverse=True)
+        report.new_event_ids = alive_now - self._previously_alive
+        report.dead_event_ids = self._previously_alive - alive_now
+        self._previously_alive = alive_now
+        return report
+
+    def _passes_filters(self, event: ReportedEvent) -> bool:
+        """Section 7.2.2 report-time filters: rank floor and noun check."""
+        if event.rank < self._rank_floor:
+            return False
+        if self.config.require_noun and not self.noun_tagger.has_noun(
+            event.keywords
+        ):
+            return False
+        return True
+
+    # ------------------------------------------------------------ summary
+
+    def throughput(self) -> float:
+        """Messages processed per second of detector CPU time so far."""
+        if self.total_seconds == 0.0:
+            return 0.0
+        return self.total_messages / self.total_seconds
+
+    def events(self, include_spurious: bool = True) -> List[EventRecord]:
+        """All events observed so far (optionally post-hoc filtered)."""
+        if include_spurious:
+            return self.tracker.all_events()
+        return self.tracker.real_events()
+
+
+__all__ = ["EventDetector", "QuantumReport", "ReportedEvent"]

@@ -1,0 +1,186 @@
+"""Event lifecycle tracking across quanta.
+
+An *event* is the temporal identity of an SCP cluster: it is born when the
+cluster first appears, evolves as keywords join and leave (Section 4.2's
+motivating examples), survives merges (the surviving cluster id carries on)
+and dies when its cluster dissolves or is absorbed.
+
+The tracker also implements the paper's post-hoc spurious-event analysis
+(Section 7.2.2): real events have a build-up and wind-down phase, so their
+clusters evolve and their rank varies non-monotonically; spurious events
+burst once and then decay monotonically without evolving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.clusters import Cluster
+from repro.core.maintenance import Change
+
+
+@dataclass
+class EventSnapshot:
+    """State of one event at the end of one quantum."""
+
+    quantum: int
+    keywords: FrozenSet[str]
+    rank: float
+    support: float
+    num_edges: int
+
+
+@dataclass
+class EventRecord:
+    """Full history of one event (one cluster identity)."""
+
+    event_id: int
+    born_quantum: int
+    snapshots: List[EventSnapshot] = field(default_factory=list)
+    died_quantum: Optional[int] = None
+    absorbed_into: Optional[int] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.died_quantum is None
+
+    @property
+    def last_snapshot(self) -> EventSnapshot:
+        return self.snapshots[-1]
+
+    @property
+    def current_keywords(self) -> FrozenSet[str]:
+        return self.snapshots[-1].keywords if self.snapshots else frozenset()
+
+    @property
+    def all_keywords(self) -> FrozenSet[str]:
+        """Union of every keyword the event ever contained."""
+        out: set = set()
+        for snap in self.snapshots:
+            out |= snap.keywords
+        return frozenset(out)
+
+    @property
+    def peak_rank(self) -> float:
+        return max((s.rank for s in self.snapshots), default=0.0)
+
+    @property
+    def lifetime_quanta(self) -> int:
+        if not self.snapshots:
+            return 0
+        return self.snapshots[-1].quantum - self.snapshots[0].quantum + 1
+
+    def evolved(self) -> bool:
+        """True iff the keyword set changed at least once during the event."""
+        keyword_sets = {s.keywords for s in self.snapshots}
+        return len(keyword_sets) > 1
+
+    def rank_monotonically_decreasing(self) -> bool:
+        """True iff every rank is <= the previous one (strictly a decay)."""
+        ranks = [s.rank for s in self.snapshots]
+        return all(b <= a for a, b in zip(ranks, ranks[1:]))
+
+    def is_spurious(self, min_lifetime: int = 2) -> bool:
+        """Post-hoc spurious classification (Section 7.2.2).
+
+        An event is spurious when it never evolved *and* its rank decayed
+        monotonically after its initial burst.  Events observed for fewer
+        than ``min_lifetime`` quanta keep the benefit of the doubt only if
+        they evolved; single-burst one-shot clusters are spurious.
+        """
+        if len(self.snapshots) < min_lifetime:
+            return not self.evolved()
+        return (not self.evolved()) and self.rank_monotonically_decreasing()
+
+
+class EventTracker:
+    """Maintains :class:`EventRecord` objects from per-quantum cluster state."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, EventRecord] = {}
+
+    # ------------------------------------------------------------- updates
+
+    def observe_quantum(
+        self,
+        quantum: int,
+        ranked_clusters: Iterable[Tuple[Cluster, float, float]],
+        changes: Iterable[Change] = (),
+    ) -> None:
+        """Record the end-of-quantum state.
+
+        Parameters
+        ----------
+        ranked_clusters:
+            ``(cluster, rank, support)`` triples for every live cluster.
+        changes:
+            The maintainer's change log for this quantum; used to attribute
+            deaths to merges (``absorbed_into``).
+        """
+        absorbed: Dict[int, int] = {}
+        for change in changes:
+            if change[0] == "merged":
+                survivor = int(change[1])
+                for cid in change[2:]:
+                    absorbed[int(cid)] = survivor
+        seen: set = set()
+        for cluster, rank, support in ranked_clusters:
+            seen.add(cluster.cluster_id)
+            record = self._records.get(cluster.cluster_id)
+            if record is None:
+                record = EventRecord(cluster.cluster_id, quantum)
+                self._records[cluster.cluster_id] = record
+            elif record.died_quantum is not None:
+                # A retired id re-appeared (id reuse after a dissolve is
+                # impossible; after a split the id survives) — reopen it.
+                record.died_quantum = None
+                record.absorbed_into = None
+            record.snapshots.append(
+                EventSnapshot(
+                    quantum=quantum,
+                    keywords=frozenset(str(n) for n in cluster.nodes),
+                    rank=rank,
+                    support=support,
+                    num_edges=cluster.num_edges,
+                )
+            )
+        for event_id, record in self._records.items():
+            if record.alive and event_id not in seen:
+                record.died_quantum = quantum
+                record.absorbed_into = absorbed.get(event_id)
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, event_id: int) -> EventRecord:
+        return self._records[event_id]
+
+    def alive_events(self) -> List[EventRecord]:
+        return [r for r in self._records.values() if r.alive]
+
+    def all_events(self) -> List[EventRecord]:
+        return list(self._records.values())
+
+    def real_events(self, min_lifetime: int = 2) -> List[EventRecord]:
+        """Events that survive the post-hoc spurious filter."""
+        return [
+            r
+            for r in self._records.values()
+            if not r.is_spurious(min_lifetime=min_lifetime)
+        ]
+
+    def top_events(self, k: int, quantum: Optional[int] = None) -> List[EventRecord]:
+        """The k currently-alive events with the highest latest rank."""
+        candidates = [r for r in self.alive_events() if r.snapshots]
+        if quantum is not None:
+            candidates = [
+                r for r in candidates if r.snapshots[-1].quantum == quantum
+            ]
+        candidates.sort(key=lambda r: r.snapshots[-1].rank, reverse=True)
+        return candidates[:k]
+
+
+__all__ = ["EventSnapshot", "EventRecord", "EventTracker"]

@@ -1,0 +1,324 @@
+"""Incremental SCP cluster maintenance (Section 5) and the global oracle.
+
+:class:`ClusterMaintainer` owns a :class:`~repro.graph.dynamic_graph.DynamicGraph`
+and a :class:`~repro.core.clusters.ClusterRegistry` and keeps the registry
+equal, after every mutation, to the unique atom-glued decomposition of the
+graph (DESIGN.md Section 1).  The paper's four operations map to:
+
+=====================  ====================================================
+Paper algorithm        Implementation
+=====================  ====================================================
+EdgeAddition (5.2)     :meth:`ClusterMaintainer.add_edge` — enumerate atoms
+                       through the new edge, merge every touched cluster
+                       (Lemma 6) and absorb the atoms.
+NodeAddition (5.1)     :meth:`ClusterMaintainer.add_node_with_edges` —
+                       sequential edge additions; every short cycle through
+                       the new node uses two of its edges, so rules R1/R2
+                       are recovered pairwise (Lemma 5 guarantees order
+                       independence, which the tests verify).
+NodeDeletion (5.3)     :meth:`ClusterMaintainer.remove_node` — local re-glue
+                       of each affected cluster; subsumes the cycle check
+                       and the Lemma 7 articulation check.
+EdgeDeletion (5.4)     :meth:`ClusterMaintainer.remove_edge` — same re-glue
+                       restricted to the single owning cluster.
+=====================  ====================================================
+
+All deletion work is local: only the affected clusters' own (small) subgraphs
+are touched, never the full graph.  :func:`decompose_graph` is the
+from-scratch global computation used as the correctness oracle for Theorem 3.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.atoms import Atom, atoms_containing_edge, atoms_in_subgraph
+from repro.core.clusters import Cluster, ClusterRegistry
+from repro.errors import GraphError
+from repro.graph.dynamic_graph import DynamicGraph, EdgeKey, edge_key
+
+Node = Hashable
+
+Change = Tuple[str, ...]
+"""Change-log entry: ("created", cid) | ("merged", survivor, *absorbed) |
+("split", original, *fragments) | ("dissolved", cid) | ("updated", cid)."""
+
+
+class _DisjointSet:
+    """Union-find over integer indexes with path compression."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[rj] = ri
+
+
+def _glue_atoms(atoms: List[Atom]) -> List[Tuple[Set[Node], Set[EdgeKey]]]:
+    """Group atoms transitively by shared edges; return (nodes, edges) per
+    group.  This is the definition of an SCP cluster."""
+    if not atoms:
+        return []
+    dsu = _DisjointSet(len(atoms))
+    owner: Dict[EdgeKey, int] = {}
+    for i, atom in enumerate(atoms):
+        for e in atom.edges:
+            j = owner.setdefault(e, i)
+            if j != i:
+                dsu.union(i, j)
+    groups: Dict[int, Tuple[Set[Node], Set[EdgeKey]]] = {}
+    for i, atom in enumerate(atoms):
+        nodes, edges = groups.setdefault(dsu.find(i), (set(), set()))
+        nodes |= atom.nodes
+        edges |= atom.edges
+    return list(groups.values())
+
+
+def decompose_graph(
+    graph: "DynamicGraph | Mapping[Node, Iterable[Node]]",
+) -> List[Tuple[Set[Node], Set[EdgeKey]]]:
+    """From-scratch global SCP decomposition of a graph.
+
+    Enumerates every short-cycle atom and glues them on shared edges.  This
+    is the *global processing* the paper's incremental algorithms avoid; it
+    exists as a test oracle (Theorem 3: the incremental result must equal
+    this decomposition) and for the locality ablation benchmark.
+    """
+    adjacency = graph.adjacency() if isinstance(graph, DynamicGraph) else graph
+    return _glue_atoms(atoms_in_subgraph(adjacency))
+
+
+class ClusterMaintainer:
+    """Maintains the SCP cluster decomposition under dynamic updates."""
+
+    def __init__(
+        self,
+        graph: DynamicGraph | None = None,
+        registry: ClusterRegistry | None = None,
+    ) -> None:
+        self.graph = graph if graph is not None else DynamicGraph()
+        self.registry = registry if registry is not None else ClusterRegistry()
+        self.current_quantum = 0
+        self._changes: List[Change] = []
+        self.clustering_seconds = 0.0
+        """Cumulative wall time spent in cluster-structure updates — the
+        incremental counterpart of the offline baseline's per-quantum global
+        recomputation (used by the Section 7.3 speed comparison)."""
+
+    # ------------------------------------------------------------- changes
+
+    def pop_changes(self) -> List[Change]:
+        """Return and clear the change log accumulated since the last call."""
+        changes, self._changes = self._changes, []
+        return changes
+
+    # ------------------------------------------------------------ addition
+
+    def add_node(self, node: Node) -> None:
+        """Insert an isolated node (keyword entering the high state)."""
+        self.graph.add_node(node)
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> Optional[Cluster]:
+        """EdgeAddition (Section 5.2).
+
+        Inserts the edge, enumerates every atom (short cycle) containing it,
+        and merges those atoms together with every existing cluster that owns
+        one of the atoms' edges (Lemma 6).  Returns the cluster the edge ends
+        up in, or None when the edge closes no short cycle.
+        """
+        self.graph.add_edge(u, v, weight)
+        start = time.perf_counter()
+        try:
+            return self._cluster_new_edge(u, v)
+        finally:
+            self.clustering_seconds += time.perf_counter() - start
+
+    def _cluster_new_edge(self, u: Node, v: Node) -> Optional[Cluster]:
+        atoms = atoms_containing_edge(self.graph, u, v)
+        if not atoms:
+            return None
+        atom_nodes: Set[Node] = set()
+        atom_edges: Set[EdgeKey] = set()
+        for atom in atoms:
+            atom_nodes |= atom.nodes
+            atom_edges |= atom.edges
+        touched = {
+            cid
+            for cid in (
+                self.registry.cluster_of_edge(*e) for e in atom_edges
+            )
+            if cid is not None
+        }
+        if touched:
+            survivor = self.registry.merge(touched)
+            self.registry.absorb(survivor.cluster_id, atom_nodes, atom_edges)
+            if len(touched) > 1:
+                absorbed = tuple(sorted(touched - {survivor.cluster_id}))
+                self._changes.append(("merged", survivor.cluster_id, *absorbed))
+            else:
+                self._changes.append(("updated", survivor.cluster_id))
+            return survivor
+        cluster = self.registry.new_cluster(
+            atom_nodes, atom_edges, born_quantum=self.current_quantum
+        )
+        self._changes.append(("created", cluster.cluster_id))
+        return cluster
+
+    def add_node_with_edges(
+        self, node: Node, weighted_edges: Mapping[Node, float]
+    ) -> List[Cluster]:
+        """NodeAddition (Section 5.1).
+
+        Adds ``node`` and its correlated edges.  Equivalent to applying
+        EdgeAddition per edge: a short cycle through the new node uses
+        exactly two of its incident edges, so considering edge pairs (the
+        paper's R1/R2 over pairs ni, nj) and sequential insertion discover
+        the same atoms.  Returns the distinct clusters the node joined.
+        """
+        self.graph.ensure_node(node)
+        joined: Dict[int, Cluster] = {}
+        for other, weight in weighted_edges.items():
+            if other == node:
+                raise GraphError(f"self-edge in node addition: {node!r}")
+            cluster = self.add_edge(node, other, weight)
+            if cluster is not None:
+                joined[cluster.cluster_id] = cluster
+        # Merges may have retired some ids recorded earlier in the loop.
+        return [
+            c for cid, c in joined.items() if cid in self.registry
+        ]
+
+    def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Refresh an edge's correlation; no structural change."""
+        self.graph.set_edge_weight(u, v, weight)
+
+    # ------------------------------------------------------------ deletion
+
+    def remove_edge(self, u: Node, v: Node) -> List[Cluster]:
+        """EdgeDeletion (Section 5.4).
+
+        Removes the edge; if it was owned by a cluster, re-glues that
+        cluster's surviving edges locally (cycle check within the cluster).
+        Returns the surviving fragments (possibly empty).
+        """
+        return self.remove_edges([(u, v)])
+
+    def remove_edges(self, edges: Iterable[Tuple[Node, Node]]) -> List[Cluster]:
+        """Batched EdgeDeletion: one local re-glue per affected cluster.
+
+        Deleting k edges of the same cluster triggers a single cycle check
+        instead of k — the per-quantum batching the paper's O(k^2 N C)
+        analysis assumes.  Equivalent to sequential deletion (the final
+        decomposition depends only on the final graph, Theorem 3).
+        """
+        affected: Set[int] = set()
+        for u, v in edges:
+            owner = self.registry.cluster_of_edge(u, v)
+            self.graph.remove_edge(u, v)
+            if owner is not None:
+                self.registry.release_edges(owner, (edge_key(u, v),))
+                affected.add(owner)
+        return self._reglue_all(affected)
+
+    def remove_node(self, node: Node) -> List[Cluster]:
+        """NodeDeletion (Section 5.3).
+
+        Removes the node and its incident edges, then re-glues every cluster
+        that contained it.  The re-glue enumerates short cycles only inside
+        the affected cluster's own edge set, which performs the paper's
+        cycle check and articulation check in one local pass (Lemma 7 is the
+        special case of a degree-2 deletion).
+        """
+        return self.remove_nodes([node])
+
+    def remove_nodes(self, nodes: Iterable[Node]) -> List[Cluster]:
+        """Batched NodeDeletion: one local re-glue per affected cluster."""
+        affected: Set[int] = set()
+        for node in nodes:
+            cids = self.registry.clusters_of_node(node)
+            removed = self.graph.remove_node(node)
+            for cid in cids:
+                self.registry.release_node(cid, node)
+                self.registry.release_edges(cid, removed)
+            affected |= cids
+        return self._reglue_all(affected)
+
+    def _reglue_all(self, affected: Set[int]) -> List[Cluster]:
+        if not affected:
+            return []
+        start = time.perf_counter()
+        try:
+            fragments: List[Cluster] = []
+            for cid in affected:
+                fragments.extend(self._reglue(cid))
+            return fragments
+        finally:
+            self.clustering_seconds += time.perf_counter() - start
+
+    def _reglue(self, cluster_id: int) -> List[Cluster]:
+        """Recompute the atom gluing of one cluster's surviving edges.
+
+        Local processing: only the cluster's nodes/edges are visited.  Edges
+        left on no short cycle drop out of the clustering; remaining atoms
+        re-glue into fragments.  The largest fragment keeps the cluster id.
+        """
+        cluster = self.registry.get(cluster_id)
+        surviving = {
+            e for e in cluster.edges if self.graph.has_edge(e[0], e[1])
+        }
+        adjacency: Dict[Node, Set[Node]] = {}
+        for a, b in surviving:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        groups = _glue_atoms(atoms_in_subgraph(adjacency, allowed_edges=surviving))
+        if not groups:
+            self.registry.dissolve(cluster_id)
+            self._changes.append(("dissolved", cluster_id))
+            return []
+        if len(groups) == 1:
+            nodes, edges = groups[0]
+            if edges == cluster.edges and nodes == cluster.nodes:
+                return [cluster]  # re-glue confirmed the cluster intact
+        fragments = self.registry.replace(
+            cluster_id, groups, quantum=self.current_quantum
+        )
+        if len(fragments) > 1:
+            extra = tuple(
+                f.cluster_id for f in fragments if f.cluster_id != cluster_id
+            )
+            self._changes.append(("split", cluster_id, *extra))
+        else:
+            self._changes.append(("updated", cluster_id))
+        return fragments
+
+    # ----------------------------------------------------------- integrity
+
+    def check_against_oracle(self) -> None:
+        """Assert the registry equals the global decomposition (Theorem 3).
+
+        Test helper: raises AssertionError on mismatch.
+        """
+        expected = {
+            frozenset(edges) for _, edges in decompose_graph(self.graph)
+        }
+        actual = self.registry.decomposition()
+        assert actual == expected, (
+            f"incremental clustering diverged from oracle:\n"
+            f"  incremental: {sorted(map(sorted, actual))}\n"
+            f"  oracle:      {sorted(map(sorted, expected))}"
+        )
+
+
+__all__ = ["ClusterMaintainer", "decompose_graph", "Change"]

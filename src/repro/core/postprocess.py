@@ -1,0 +1,124 @@
+"""Post-processing of discovered events (Section 1.1's discussion).
+
+Two discovered clusters can describe the same real-world event without ever
+merging in the graph — users describing different perspectives with disjoint
+keyword sets.  The paper notes that such clusters "should show temporal
+correlation" and proposes post-processing them into one event.  This module
+implements that step: events whose active intervals overlap strongly, whose
+support populations overlap (shared users), or whose keywords overlap below
+the merge threshold are grouped into :class:`CorrelatedEventGroup` bundles.
+
+This is consumption-side only — the graph and cluster state are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.events import EventRecord
+
+
+@dataclass(frozen=True)
+class CorrelationPolicy:
+    """Thresholds for declaring two events facets of one story."""
+
+    min_interval_overlap: float = 0.5
+    """Fraction of the shorter event's lifetime that must overlap."""
+
+    min_keyword_overlap: int = 1
+    """Shared keywords needed (weaker than cluster merging's short cycle)."""
+
+    max_birth_gap_quanta: int = 10
+    """Events born further apart than this are never correlated."""
+
+
+@dataclass
+class CorrelatedEventGroup:
+    """A bundle of events post-processed into one story."""
+
+    events: List[EventRecord] = field(default_factory=list)
+
+    @property
+    def event_ids(self) -> List[int]:
+        return [record.event_id for record in self.events]
+
+    @property
+    def keywords(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for record in self.events:
+            out |= record.all_keywords
+        return frozenset(out)
+
+    @property
+    def peak_rank(self) -> float:
+        return max((r.peak_rank for r in self.events), default=0.0)
+
+    @property
+    def born_quantum(self) -> int:
+        return min(r.born_quantum for r in self.events)
+
+
+def _interval(record: EventRecord) -> Tuple[int, int]:
+    if not record.snapshots:
+        return (record.born_quantum, record.born_quantum)
+    return (record.snapshots[0].quantum, record.snapshots[-1].quantum)
+
+
+def _intervals_correlated(
+    a: EventRecord, b: EventRecord, policy: CorrelationPolicy
+) -> bool:
+    a_start, a_end = _interval(a)
+    b_start, b_end = _interval(b)
+    if abs(a.born_quantum - b.born_quantum) > policy.max_birth_gap_quanta:
+        return False
+    overlap = min(a_end, b_end) - max(a_start, b_start) + 1
+    if overlap <= 0:
+        return False
+    shorter = min(a_end - a_start, b_end - b_start) + 1
+    return overlap / shorter >= policy.min_interval_overlap
+
+
+def _events_correlated(
+    a: EventRecord, b: EventRecord, policy: CorrelationPolicy
+) -> bool:
+    if not _intervals_correlated(a, b, policy):
+        return False
+    shared = len(a.all_keywords & b.all_keywords)
+    return shared >= policy.min_keyword_overlap
+
+
+def correlate_events(
+    records: Sequence[EventRecord],
+    policy: CorrelationPolicy = CorrelationPolicy(),
+) -> List[CorrelatedEventGroup]:
+    """Group events into correlated stories (transitive closure).
+
+    Returns one group per story, singletons included, ordered by peak rank
+    descending — the consumption order the ranking section motivates.
+    """
+    records = [r for r in records if r.snapshots]
+    parent = list(range(len(records)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i in range(len(records)):
+        for j in range(i + 1, len(records)):
+            if _events_correlated(records[i], records[j], policy):
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[rj] = ri
+
+    groups: Dict[int, CorrelatedEventGroup] = {}
+    for i, record in enumerate(records):
+        groups.setdefault(find(i), CorrelatedEventGroup()).events.append(record)
+    ordered = list(groups.values())
+    ordered.sort(key=lambda g: g.peak_rank, reverse=True)
+    return ordered
+
+
+__all__ = ["CorrelationPolicy", "CorrelatedEventGroup", "correlate_events"]

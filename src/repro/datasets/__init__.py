@@ -1,0 +1,57 @@
+"""Synthetic microblog workloads substituting for the paper's Twitter traces.
+
+The paper evaluates on live Twitter data (1.3M geo-filtered tweets for the
+ground-truth study, 8M event-specific "ES" tweets, 10M time-window "TW"
+tweets).  Those traces are not redistributable, so this subpackage generates
+streams with the same *statistical structure* the algorithm consumes:
+
+* Zipf-distributed background chatter over a generated vocabulary with
+  ground-truth part-of-speech tags (:mod:`repro.datasets.vocab`);
+* planted events with build-up / peak / wind-down intensity profiles, event
+  keyword pools, dedicated user pools, and varying tightness (how many event
+  keywords a single user mentions — this drives edge correlation)
+  (:mod:`repro.datasets.events`);
+* spurious bursts (advertisements / rumours) that spike once and decay
+  monotonically (:mod:`repro.datasets.events`);
+* trace presets matching the paper's setups (:mod:`repro.datasets.traces`):
+  TW (low event density), ES (≈3x event density), and the ground-truth trace
+  with a synthetic headline feed (:mod:`repro.datasets.headlines`);
+* the Figure 1 micro-example (:mod:`repro.datasets.figure1`).
+
+All generation is deterministic given a seed.
+"""
+
+from repro.datasets.vocab import Vocabulary
+from repro.datasets.events import (
+    BridgeScript,
+    EventScript,
+    GroundTruthEvent,
+    SpuriousScript,
+    chatter_pair_script,
+)
+from repro.datasets.synthetic import StreamSpec, generate_stream, Trace
+from repro.datasets.traces import (
+    build_tw_trace,
+    build_es_trace,
+    build_ground_truth_trace,
+)
+from repro.datasets.headlines import Headline, headlines_for_trace
+from repro.datasets.figure1 import figure1_messages
+
+__all__ = [
+    "Vocabulary",
+    "EventScript",
+    "SpuriousScript",
+    "GroundTruthEvent",
+    "BridgeScript",
+    "chatter_pair_script",
+    "StreamSpec",
+    "generate_stream",
+    "Trace",
+    "build_tw_trace",
+    "build_es_trace",
+    "build_ground_truth_trace",
+    "Headline",
+    "headlines_for_trace",
+    "figure1_messages",
+]

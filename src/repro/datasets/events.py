@@ -1,0 +1,301 @@
+"""Event scripts: the planted ground truth of the synthetic traces.
+
+A real-world event in a microblog stream, as the paper characterises it,
+is a set of keywords that (a) burst together in time, (b) co-occur across
+messages of the same users, (c) build up, peak and wind down, and (d) evolve
+— keywords join and leave while the event unfolds.  :class:`EventScript`
+encodes exactly these degrees of freedom; :class:`SpuriousScript` encodes
+the opposite profile (one sudden burst, monotone decay, no evolution) the
+paper attributes to advertisements and rumours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GroundTruthEvent:
+    """What the evaluator knows about one planted event."""
+
+    event_id: str
+    keywords: Tuple[str, ...]
+    start_message: int
+    end_message: int
+    total_messages: int
+    n_users: int
+    headlined: bool
+    headline_message: Optional[int]
+    spurious: bool = False
+    late_keywords: Tuple[str, ...] = ()
+    peak_keyword_rate: float = 0.0
+    """Expected occurrences of a single event keyword per message of stream
+    at the event's intensity peak.  ``peak_keyword_rate * quantum_size`` is
+    the expected per-quantum user support of a keyword at peak."""
+
+    @property
+    def all_keywords(self) -> Tuple[str, ...]:
+        return self.keywords + self.late_keywords
+
+    def discoverable(self, quantum_size: int, theta: int) -> bool:
+        """Would the event's keywords ever clear the burstiness threshold?
+
+        Mirrors the paper's Table 1 methodology: 27 of 60 headline events had
+        too few tweets to be considered emerging events and are excluded from
+        recall.  An event is discoverable when its expected peak per-quantum
+        keyword support reaches theta.
+        """
+        return self.peak_keyword_rate * quantum_size >= theta
+
+
+@dataclass
+class EventScript:
+    """Generator-side description of one planted event.
+
+    Parameters
+    ----------
+    event_id:
+        Stable identifier used in ground truth and headlines.
+    keywords:
+        The event's keyword pool (nouns, minted by the vocabulary).
+    start_message / duration_messages:
+        Active interval in message-index space — the trace is therefore
+        independent of the quantum size a detector later chooses.
+    total_messages:
+        How many messages the event contributes overall; with ``profile``
+        this determines per-quantum intensity and hence burstiness.
+    n_users:
+        Size of the event's dedicated user pool.  Users are drawn from the
+        global pool by the stream assembler.
+    keywords_per_message:
+        (lo, hi) inclusive range of event keywords per message.  High values
+        make a *tight* event (high pairwise EC); low values a *loose* one
+        that a strict gamma threshold prunes — the knob behind the
+        Figures 7–10 gamma sensitivity.
+    profile:
+        "triangular" (build-up, peak, wind-down — real events) or "burst"
+        (all mass at the start, then nothing — spurious shape).
+    late_keywords:
+        Keywords that only appear in the second half of the event, modelling
+        evolution (the "5.9" of Figure 1).
+    headlined / headline_lag_messages:
+        Whether a news headline exists for this event and how many messages
+        after the event's start it is published (Google News lag).
+    """
+
+    event_id: str
+    keywords: List[str]
+    start_message: int
+    duration_messages: int
+    total_messages: int
+    n_users: int
+    keywords_per_message: Tuple[int, int] = (2, 4)
+    profile: str = "triangular"
+    late_keywords: List[str] = field(default_factory=list)
+    headlined: bool = False
+    headline_lag_messages: int = 0
+    spurious: bool = False
+    """True for injected non-events (advertisement bursts, ongoing chatter)
+    that should count against precision when reported."""
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise ConfigError(f"event {self.event_id}: needs keywords")
+        if self.duration_messages < 1:
+            raise ConfigError(f"event {self.event_id}: empty duration")
+        if self.total_messages < 0:
+            raise ConfigError(f"event {self.event_id}: negative volume")
+        if self.n_users < 1:
+            raise ConfigError(f"event {self.event_id}: needs users")
+        lo, hi = self.keywords_per_message
+        if not 1 <= lo <= hi:
+            raise ConfigError(
+                f"event {self.event_id}: bad keywords_per_message {lo, hi}"
+            )
+        if self.profile not in ("triangular", "burst", "uniform"):
+            raise ConfigError(
+                f"event {self.event_id}: unknown profile {self.profile!r}"
+            )
+
+    @property
+    def end_message(self) -> int:
+        return self.start_message + self.duration_messages
+
+    def message_positions(self, rng: np.random.Generator) -> np.ndarray:
+        """Message-index positions of this event's messages.
+
+        Triangular: density ramps to a peak at 40% of the duration then
+        decays — the build-up/wind-down shape of Section 7.2.2.  Burst: all
+        positions packed into the first 10% (then silence), the spurious
+        signature.  Uniform: flat.
+        """
+        n = self.total_messages
+        if n == 0:
+            return np.empty(0)
+        if self.profile == "triangular":
+            offsets = rng.triangular(0.0, 0.4, 1.0, size=n)
+        elif self.profile == "burst":
+            offsets = rng.random(size=n) * 0.1
+        else:
+            offsets = rng.random(size=n)
+        return self.start_message + offsets * self.duration_messages
+
+    def peak_keyword_rate(self) -> float:
+        """Expected single-keyword occurrences per stream message at peak."""
+        peak_factor = {"triangular": 2.0, "burst": 10.0, "uniform": 1.0}[
+            self.profile
+        ]
+        lo, hi = self.keywords_per_message
+        mean_keywords = (lo + hi) / 2.0
+        per_message_rate = self.total_messages / self.duration_messages
+        return per_message_rate * (mean_keywords / len(self.keywords)) * peak_factor
+
+    def ground_truth(self) -> GroundTruthEvent:
+        headline_message = (
+            self.start_message + self.headline_lag_messages
+            if self.headlined
+            else None
+        )
+        return GroundTruthEvent(
+            event_id=self.event_id,
+            keywords=tuple(self.keywords),
+            start_message=self.start_message,
+            end_message=self.end_message,
+            total_messages=self.total_messages,
+            n_users=self.n_users,
+            headlined=self.headlined,
+            headline_message=headline_message,
+            spurious=self.spurious,
+            late_keywords=tuple(self.late_keywords),
+            peak_keyword_rate=self.peak_keyword_rate(),
+        )
+
+
+@dataclass
+class SpuriousScript:
+    """A spurious burst: advertisement, meme or rumour.
+
+    Structurally it is an event with a "burst" profile, no keyword
+    evolution, and (optionally) an all-non-noun keyword set — the three
+    signatures the paper's precision filters key on.
+    """
+
+    event_id: str
+    keywords: List[str]
+    start_message: int
+    duration_messages: int
+    total_messages: int
+    n_users: int
+    keywords_per_message: Tuple[int, int] = (2, 4)
+
+    def to_event_script(self) -> EventScript:
+        return EventScript(
+            event_id=self.event_id,
+            keywords=self.keywords,
+            start_message=self.start_message,
+            duration_messages=self.duration_messages,
+            total_messages=self.total_messages,
+            n_users=self.n_users,
+            keywords_per_message=self.keywords_per_message,
+            profile="burst",
+            spurious=True,
+        )
+
+    def ground_truth(self) -> GroundTruthEvent:
+        return self.to_event_script().ground_truth()
+
+
+@dataclass
+class BridgeScript:
+    """A weak keyword *chain* between two concurrent events.
+
+    Real CKGs connect event clusters through chains of generic words
+    ("police", "dead", "city"): each chain edge is strongly correlated for
+    its own small user group, but the chain as a whole contains no short
+    cycle.  Two such chains between the same pair of events make their union
+    **biconnected** — so the offline method of Section 7.3 merges the two
+    real events into one cluster (its recall/precision loss mechanism) —
+    while SCP clusters stay separate because no cycle of length <= 4 crosses
+    the chains.
+
+    ``links`` lists the consecutive keyword pairs of the path, e.g.
+    ``[(a_host, x), (x, b_host)]``.  Each link gets a dedicated user group
+    posting exactly that pair, which keeps the link's edge correlation high.
+    """
+
+    event_id: str
+    links: List[Tuple[str, str]]
+    start_message: int
+    duration_messages: int
+    messages_per_link: int
+    n_users_per_link: int
+    link_user_sources: List[Optional[str]] = field(default_factory=list)
+    """Per link, the event id whose user pool supplies the link's users
+    (None = fresh users from the global pool).  Drawing bridge users from
+    the host event's own pool keeps the host keyword's id set undiluted, so
+    the host stays correlated with its own cluster — bridge users in real
+    streams are exactly such event participants who also use the generic
+    connecting word."""
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ConfigError(f"bridge {self.event_id}: needs links")
+        if self.duration_messages < 1:
+            raise ConfigError(f"bridge {self.event_id}: empty duration")
+        if self.messages_per_link < 1 or self.n_users_per_link < 1:
+            raise ConfigError(f"bridge {self.event_id}: needs volume and users")
+        if self.link_user_sources and len(self.link_user_sources) != len(self.links):
+            raise ConfigError(
+                f"bridge {self.event_id}: link_user_sources must match links"
+            )
+
+    @property
+    def end_message(self) -> int:
+        return self.start_message + self.duration_messages
+
+    @property
+    def chain_keywords(self) -> List[str]:
+        """The intermediate keywords introduced by the chain."""
+        out: List[str] = []
+        for a, b in self.links:
+            for word in (a, b):
+                if word not in out:
+                    out.append(word)
+        return out
+
+
+def chatter_pair_script(
+    event_id: str,
+    words: Sequence[str],
+    total_stream_messages: int,
+    messages: int,
+    n_users: int,
+) -> EventScript:
+    """An *ongoing discussion*: a keyword pair steadily co-used by many users.
+
+    Chatter pairs never form short cycles (two nodes), so the SCP method
+    ignores them — but they are exactly the stray AKG edges that the offline
+    "+Edges" scheme reports as size-2 clusters, crashing its precision in
+    Table 3.  Marked spurious in ground truth: they are not real events.
+    """
+    if len(words) != 2:
+        raise ConfigError("a chatter pair needs exactly 2 words")
+    return EventScript(
+        event_id=event_id,
+        keywords=list(words),
+        start_message=0,
+        duration_messages=total_stream_messages,
+        total_messages=messages,
+        n_users=n_users,
+        keywords_per_message=(2, 2),
+        profile="uniform",
+        spurious=True,
+    )
+
+
+__all__ = ["EventScript", "SpuriousScript", "GroundTruthEvent"]

@@ -1,0 +1,42 @@
+"""The Figure 1 micro-example: six tweets about the Turkey earthquake.
+
+The paper's running example: twelve keywords across six messages, of which
+six burst; the cluster "earthquake struck eastern turkey" emerges, two bursty
+but spatially-uncorrelated words ("massive", "moderate") stay out, and after
+the window slides, "5.9" joins the cluster.  Used by the quickstart example
+and by the paper-example tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.stream.messages import Message
+
+
+def figure1_messages() -> Tuple[List[Message], List[Message]]:
+    """(initial six messages, follow-up messages adding "5.9").
+
+    The first batch induces the four-keyword cluster; replaying the second
+    batch afterwards makes "5.9" join it — the evolution step of Figure 1.
+    """
+    initial = [
+        Message("user1", tokens=("earthquake", "struck", "turkey")),
+        Message("user2", tokens=("earthquake", "eastern", "turkey")),
+        Message("user3", tokens=("massive", "earthquake", "struck")),
+        Message("user4", tokens=("eastern", "turkey", "struck")),
+        Message("user5", tokens=("moderate", "earthquake", "turkey")),
+        Message("user6", tokens=("earthquake", "eastern", "struck", "turkey")),
+    ]
+    update = [
+        Message("user7", tokens=("earthquake", "5.9", "turkey")),
+        Message("user8", tokens=("5.9", "earthquake", "turkey")),
+        Message("user9", tokens=("earthquake", "5.9", "eastern")),
+        Message("user10", tokens=("turkey", "5.9", "struck")),
+        Message("user11", tokens=("earthquake", "turkey", "struck")),
+        Message("user12", tokens=("eastern", "turkey", "5.9")),
+    ]
+    return initial, update
+
+
+__all__ = ["figure1_messages"]

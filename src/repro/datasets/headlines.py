@@ -1,0 +1,67 @@
+"""Synthetic news-headline feed — the Table 1 ground-truth comparator.
+
+The paper collected Google News RSS headlines concurrently with the Twitter
+stream and asked: which headline events does the detector find, and how much
+earlier?  This module derives the equivalent feed from a trace's planted
+ground truth: every headlined event yields a :class:`Headline` published
+``headline_lag_messages`` after the event starts in the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.events import GroundTruthEvent
+from repro.datasets.synthetic import Trace
+
+PAPER_STREAM_RATE = 21.0
+"""Messages per second of the paper's ground-truth download (Section 7.1),
+used to convert message-index lead times into wall-clock terms."""
+
+
+@dataclass(frozen=True)
+class Headline:
+    """One news headline with its publication position in stream time."""
+
+    event_id: str
+    text: str
+    published_message: int
+    keywords: tuple
+
+    def lead_time_messages(self, detected_message: Optional[int]) -> Optional[int]:
+        """How many messages before the headline the event was detected.
+
+        Positive = the detector beat the headline (the paper's tornado
+        warnings were up to six hours ahead); None = never detected.
+        """
+        if detected_message is None:
+            return None
+        return self.published_message - detected_message
+
+    def lead_time_seconds(
+        self, detected_message: Optional[int], rate: float = PAPER_STREAM_RATE
+    ) -> Optional[float]:
+        lead = self.lead_time_messages(detected_message)
+        return None if lead is None else lead / rate
+
+
+def headlines_for_trace(trace: Trace) -> List[Headline]:
+    """The headline feed implied by a trace's ground truth."""
+    out: List[Headline] = []
+    for event in trace.ground_truth:
+        if not event.headlined or event.headline_message is None:
+            continue
+        out.append(
+            Headline(
+                event_id=event.event_id,
+                text=" ".join(event.keywords[:5]).capitalize(),
+                published_message=event.headline_message,
+                keywords=tuple(event.keywords),
+            )
+        )
+    out.sort(key=lambda h: h.published_message)
+    return out
+
+
+__all__ = ["Headline", "headlines_for_trace", "PAPER_STREAM_RATE"]

@@ -1,0 +1,212 @@
+"""Stream assembly: interleave background chatter, events and spurious bursts.
+
+The generator works entirely in *message-index space*, so a single trace can
+be replayed under any quantum size — exactly how the paper sweeps the
+quantum parameter over fixed Twitter traces.
+
+Messages carry pre-extracted token tuples (the detector's fast path); the
+vocabulary's POS lexicon accompanies the trace so the noun filter is exact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.events import (
+    BridgeScript,
+    EventScript,
+    GroundTruthEvent,
+    SpuriousScript,
+)
+from repro.datasets.vocab import Vocabulary
+from repro.errors import ConfigError
+from repro.stream.messages import Message
+
+
+@dataclass
+class StreamSpec:
+    """Everything needed to assemble one synthetic trace."""
+
+    total_messages: int
+    vocabulary: Vocabulary
+    events: List[EventScript] = field(default_factory=list)
+    spurious: List[SpuriousScript] = field(default_factory=list)
+    bridges: List[BridgeScript] = field(default_factory=list)
+    n_users: int = 3000
+    background_words_per_message: Tuple[int, int] = (3, 6)
+    event_background_words: Tuple[int, int] = (0, 2)
+    cross_event_noise: float = 0.0
+    """Probability that an event message also mentions keywords of another
+    concurrently active event (bridge users).  These cross-event edges are
+    what makes offline biconnected components merge distinct events
+    (Section 7.3: "two real events get merged into one offline cluster");
+    the SCP method only merges when a short cycle forms."""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_messages < 1:
+            raise ConfigError("total_messages must be >= 1")
+        if self.n_users < 10:
+            raise ConfigError("n_users must be >= 10")
+        if not 0.0 <= self.cross_event_noise <= 1.0:
+            raise ConfigError("cross_event_noise must be in [0, 1]")
+
+
+@dataclass
+class Trace:
+    """A generated message stream plus its ground truth."""
+
+    name: str
+    messages: List[Message]
+    ground_truth: List[GroundTruthEvent]
+    lexicon: Dict[str, str]
+    spec: StreamSpec
+
+    @property
+    def total_messages(self) -> int:
+        return len(self.messages)
+
+    def real_events(self) -> List[GroundTruthEvent]:
+        return [e for e in self.ground_truth if not e.spurious]
+
+    def spurious_events(self) -> List[GroundTruthEvent]:
+        return [e for e in self.ground_truth if e.spurious]
+
+
+class _CrossEventSampler:
+    """Coarse interval index: which real events are active at a position."""
+
+    def __init__(self, events: Sequence[EventScript], total_messages: int) -> None:
+        self._buckets: List[List[EventScript]] = [[] for _ in range(128)]
+        self._width = max(1.0, total_messages / 128.0)
+        for event in events:
+            first = int(event.start_message / self._width)
+            last = int((event.end_message - 1) / self._width)
+            for b in range(max(0, first), min(127, last) + 1):
+                self._buckets[b].append(event)
+
+    def concurrent_other(
+        self, script: EventScript, position: float, rng: random.Random
+    ) -> Optional[EventScript]:
+        bucket = self._buckets[min(127, int(position / self._width))]
+        candidates = [
+            e
+            for e in bucket
+            if e is not script and e.start_message <= position < e.end_message
+        ]
+        return rng.choice(candidates) if candidates else None
+
+
+def generate_stream(spec: StreamSpec, name: str = "synthetic") -> Trace:
+    """Assemble the trace: deterministic given ``spec.seed``.
+
+    Event messages are placed by each script's intensity profile; the
+    remaining volume is background chatter at uniformly random positions.
+    The final stream is the position-sorted interleaving.
+    """
+    nprng = np.random.default_rng(spec.seed)
+    pyrng = random.Random(spec.seed ^ 0x9E3779B9)
+
+    # (position, user_index, event_keywords, n_background_words)
+    slots: List[Tuple[float, int, List[str], int]] = []
+
+    scripts = list(spec.events) + [s.to_event_script() for s in spec.spurious]
+    contamination = _CrossEventSampler(
+        [s for s in spec.events if not s.spurious and len(s.keywords) >= 3],
+        spec.total_messages,
+    )
+    event_pools: Dict[str, List[int]] = {}
+    for script in scripts:
+        positions = script.message_positions(nprng)
+        pool_size = min(script.n_users, spec.n_users)
+        user_pool = pyrng.sample(range(spec.n_users), pool_size)
+        event_pools[script.event_id] = user_pool
+        evolution_point = script.start_message + 0.5 * script.duration_messages
+        lo, hi = script.keywords_per_message
+        base_pool = list(script.keywords)
+        late_pool = base_pool + list(script.late_keywords)
+        bg_lo, bg_hi = spec.event_background_words
+        for pos in positions:
+            user = user_pool[pyrng.randrange(pool_size)]
+            pool = (
+                late_pool
+                if script.late_keywords and pos >= evolution_point
+                else base_pool
+            )
+            k = min(pyrng.randint(lo, hi), len(pool))
+            keywords = pyrng.sample(pool, k)
+            if (
+                spec.cross_event_noise
+                and not script.spurious
+                and pyrng.random() < spec.cross_event_noise
+            ):
+                other = contamination.concurrent_other(script, pos, pyrng)
+                if other is not None:
+                    keywords = keywords + pyrng.sample(
+                        list(other.keywords), min(2, len(other.keywords))
+                    )
+            slots.append((float(pos), user, keywords, pyrng.randint(bg_lo, bg_hi)))
+
+    for bridge in spec.bridges:
+        sources = bridge.link_user_sources or [None] * len(bridge.links)
+        for (w1, w2), source in zip(bridge.links, sources):
+            source_pool = event_pools.get(source) if source else None
+            if source_pool:
+                pool_size = min(bridge.n_users_per_link, len(source_pool))
+                link_users = pyrng.sample(source_pool, pool_size)
+            else:
+                pool_size = min(bridge.n_users_per_link, spec.n_users)
+                link_users = pyrng.sample(range(spec.n_users), pool_size)
+            for _ in range(bridge.messages_per_link):
+                pos = bridge.start_message + pyrng.random() * bridge.duration_messages
+                user = link_users[pyrng.randrange(pool_size)]
+                slots.append((float(pos), user, [w1, w2], 0))
+
+    n_event_messages = len(slots)
+    n_background = max(0, spec.total_messages - n_event_messages)
+    bg_positions = nprng.random(n_background) * spec.total_messages
+    bg_users = nprng.integers(0, spec.n_users, size=n_background)
+    word_lo, word_hi = spec.background_words_per_message
+    bg_word_counts = nprng.integers(word_lo, word_hi + 1, size=n_background)
+    for i in range(n_background):
+        slots.append(
+            (float(bg_positions[i]), int(bg_users[i]), [], int(bg_word_counts[i]))
+        )
+
+    # One vectorised Zipf draw covers every background word in the trace.
+    total_bg_words = sum(s[3] for s in slots)
+    bg_indexes = spec.vocabulary.sample_background_batch(nprng, total_bg_words)
+    words = spec.vocabulary.words
+
+    slots.sort(key=lambda s: s[0])
+    messages: List[Message] = []
+    cursor = 0
+    for _, user, keywords, n_bg in slots:
+        tokens = list(keywords)
+        if n_bg:
+            tokens.extend(
+                words[idx] for idx in bg_indexes[cursor : cursor + n_bg]
+            )
+            cursor += n_bg
+        if not tokens:  # guarantee non-empty messages
+            tokens = [words[int(bg_indexes[cursor % total_bg_words])]]
+        messages.append(Message(user_id=f"u{user}", tokens=tuple(tokens)))
+
+    ground_truth = [s.ground_truth() for s in spec.events] + [
+        s.ground_truth() for s in spec.spurious
+    ]
+    ground_truth.sort(key=lambda e: e.start_message)
+    return Trace(
+        name=name,
+        messages=messages,
+        ground_truth=ground_truth,
+        lexicon=spec.vocabulary.lexicon(),
+        spec=spec,
+    )
+
+
+__all__ = ["StreamSpec", "Trace", "generate_stream"]

@@ -1,0 +1,439 @@
+"""Trace presets mirroring the paper's three experimental workloads.
+
+* **TW** (time-window) trace — general stream, low event density;
+* **ES** (event-specific) trace — same length, ≈3x the event density
+  (Section 7.2.3 measures exactly this ratio between the two traces);
+* **ground-truth** trace — the Section 7.1 setup: headline events (some too
+  small to be discoverable, as 27 of the paper's 60 were), additional local
+  events with no headline, and spurious bursts.
+
+Event intensity, tightness (keywords per message → edge correlation) and
+duration are drawn from calibrated ranges so that the paper's parameter
+sensitivities reproduce: weak events become discoverable only at larger
+quantum sizes, loose events only at lower EC thresholds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.datasets.events import (
+    BridgeScript,
+    EventScript,
+    SpuriousScript,
+    chatter_pair_script,
+)
+from repro.datasets.synthetic import StreamSpec, Trace, generate_stream
+from repro.datasets.vocab import Vocabulary
+
+REFERENCE_QUANTUM = 160
+"""Quantum size (messages) the intensity calibration refers to (Table 2)."""
+
+# (keyword pool size, keywords-per-message range) per tightness class.
+_TIGHTNESS = {
+    "tight": (6, (3, 5)),    # pairwise EC ~ 0.40
+    "medium": (7, (2, 4)),   # pairwise EC ~ 0.22
+    "loose": (8, (2, 3)),    # pairwise EC ~ 0.13
+}
+
+
+def _make_event(
+    rng: random.Random,
+    vocab: Vocabulary,
+    event_id: str,
+    total_messages: int,
+    *,
+    tightness: str,
+    peak_support: float,
+    headlined: bool = False,
+    evolving: bool = False,
+) -> EventScript:
+    """Build one event script from calibrated intensity parameters.
+
+    ``peak_support`` is the target distinct-user support of one event keyword
+    per REFERENCE_QUANTUM messages at the event's peak; the script's message
+    volume is derived from it (triangular profiles peak at 2x their mean).
+    """
+    pool_size, kpm = _TIGHTNESS[tightness]
+    keywords = vocab.make_event_keywords(pool_size, tag="noun")
+    duration = rng.randint(2500, 7000)
+    duration = min(duration, int(total_messages * 0.5))
+    start = rng.randint(
+        int(total_messages * 0.05), int(total_messages * 0.80)
+    )
+    mean_kpm = (kpm[0] + kpm[1]) / 2.0
+    peak_rate = peak_support / REFERENCE_QUANTUM
+    volume = int(peak_rate * duration * pool_size / (mean_kpm * 2.0))
+    volume = max(volume, 8)
+    late = (
+        vocab.make_event_keywords(rng.randint(1, 2), tag="noun")
+        if evolving
+        else []
+    )
+    # A user pool as large as the volume keeps most users at one or two
+    # messages, so pairwise edge correlation stays at the tightness class's
+    # design point instead of being inflated by heavy reposters.
+    return EventScript(
+        event_id=event_id,
+        keywords=keywords,
+        start_message=start,
+        duration_messages=duration,
+        total_messages=volume,
+        n_users=max(25, volume),
+        keywords_per_message=kpm,
+        profile="triangular",
+        late_keywords=late,
+        headlined=headlined,
+        headline_lag_messages=rng.randint(500, 4000) if headlined else 0,
+    )
+
+
+def _make_spurious(
+    rng: random.Random,
+    vocab: Vocabulary,
+    event_id: str,
+    total_messages: int,
+    *,
+    all_non_noun: bool = False,
+) -> SpuriousScript:
+    """A burst-and-die cluster: advertisement / meme / rumour."""
+    tag = "adj" if all_non_noun else "noun"
+    keywords = vocab.make_event_keywords(rng.randint(4, 6), tag=tag)
+    duration = rng.randint(1500, 3000)
+    start = rng.randint(
+        int(total_messages * 0.05), int(total_messages * 0.85)
+    )
+    volume = rng.randint(120, 260)
+    return SpuriousScript(
+        event_id=event_id,
+        keywords=keywords,
+        start_message=start,
+        duration_messages=duration,
+        total_messages=volume,
+        n_users=max(20, volume // 3),
+        keywords_per_message=(3, 4),
+    )
+
+
+def _make_chatter(
+    rng: random.Random,
+    vocab: Vocabulary,
+    count: int,
+    total_messages: int,
+    prefix: str,
+) -> List[EventScript]:
+    """Ongoing-discussion keyword pairs: persistent stray AKG edges.
+
+    Volume is calibrated so each pair clears the burstiness threshold in
+    most quanta (5–8 co-mentions per reference quantum) while never forming
+    a short cycle.
+    """
+    out = []
+    for i in range(count):
+        words = vocab.make_event_keywords(2, tag="noun")
+        per_quantum = rng.uniform(5.0, 8.0)
+        volume = int(per_quantum * total_messages / REFERENCE_QUANTUM)
+        out.append(
+            chatter_pair_script(
+                f"{prefix}-chat-{i:02d}",
+                words,
+                total_messages,
+                messages=volume,
+                n_users=max(30, volume // 2),
+            )
+        )
+    return out
+
+
+def _event_mix(
+    rng: random.Random,
+    vocab: Vocabulary,
+    count: int,
+    total_messages: int,
+    prefix: str,
+    support_choices: Optional[List[float]] = None,
+) -> List[EventScript]:
+    """The calibrated mix: tightness 40/30/30, intensity log-spread.
+
+    Intensities straddle the burstiness threshold so the quantum-size sweep
+    of Figures 7–10 has something to resolve: strong events are found at
+    every quantum size, weak ones only when the quantum is large enough.
+    """
+    events = []
+    classes = ["tight", "medium", "loose"]
+    weights = [0.4, 0.3, 0.3]
+    if support_choices is None:
+        support_choices = [3.0, 4.5, 6.0, 8.0, 12.0, 16.0]
+    for i in range(count):
+        tightness = rng.choices(classes, weights)[0]
+        peak_support = rng.choice(support_choices)
+        events.append(
+            _make_event(
+                rng,
+                vocab,
+                f"{prefix}-{i:03d}",
+                total_messages,
+                tightness=tightness,
+                peak_support=peak_support,
+                evolving=rng.random() < 0.5,
+            )
+        )
+    return events
+
+
+def _make_bridges(
+    rng: random.Random,
+    vocab: Vocabulary,
+    events: List[EventScript],
+    count: int,
+    prefix: str,
+) -> List[BridgeScript]:
+    """Weak generic-word chains between temporally overlapping event pairs.
+
+    Two chains per sibling pair make the union biconnected without creating
+    any short cycle: distinct host keywords on both sides keep the shortest
+    crossing cycle at length >= 5.  Hosts are drawn from *weaker* events so
+    the chain edges' Jaccard correlation clears the nominal EC threshold
+    (correlation with a very popular keyword is diluted by its large id
+    set — true of real CKGs too).
+    """
+    def weak(event: EventScript) -> bool:
+        # Detectable (its cluster must exist for a merge to mean anything)
+        # yet unpopular enough that chain-edge Jaccard is not diluted.
+        peak = event.peak_keyword_rate() * REFERENCE_QUANTUM
+        return 5.0 <= peak <= 12.0
+
+    candidates = [
+        e
+        for e in events
+        if not e.spurious and len(e.keywords) >= 4 and e.profile == "triangular"
+        and weak(e)
+    ]
+    # Nested pairs: B lives strictly inside A's active window, so the chains
+    # can cover B's entire cluster lifetime — only then does the offline
+    # method lose B entirely (the paper's recall-loss mechanism); a partial
+    # overlap would leave B an unmerged phase in which it is still found.
+    pairs = []
+    for outer in candidates:
+        for inner in candidates:
+            if inner is outer:
+                continue
+            if (
+                inner.start_message >= outer.start_message + 300
+                and inner.end_message <= outer.end_message + 500
+                and inner.duration_messages >= 1200
+            ):
+                pairs.append((outer, inner))
+    rng.shuffle(pairs)
+    bridges: List[BridgeScript] = []
+    used: set = set()
+    for outer, inner in pairs:
+        if len(bridges) >= 2 * count:
+            break
+        if outer.event_id in used or inner.event_id in used:
+            continue
+        used.add(outer.event_id)
+        used.add(inner.event_id)
+        outer_hosts = rng.sample(outer.keywords, 2)
+        inner_hosts = rng.sample(inner.keywords, 2)
+        start = max(0, inner.start_message - 500)
+        duration = inner.end_message + 1500 - start
+        for chain in range(2):
+            mid = vocab.make_event_keywords(1, tag="noun")[0]
+            per_quantum = rng.uniform(6.0, 9.0)
+            messages_per_link = max(6, int(per_quantum * duration / REFERENCE_QUANTUM))
+            bridges.append(
+                BridgeScript(
+                    event_id=f"{prefix}-bridge-{len(bridges):02d}",
+                    links=[(outer_hosts[chain], mid), (mid, inner_hosts[chain])],
+                    start_message=start,
+                    duration_messages=duration,
+                    messages_per_link=messages_per_link,
+                    n_users_per_link=max(20, messages_per_link // 3),
+                    link_user_sources=[outer.event_id, inner.event_id],
+                )
+            )
+    return bridges
+
+
+def build_tw_trace(
+    total_messages: int = 30_000,
+    n_events: int = 10,
+    n_spurious: int = 3,
+    n_chatter_pairs: int = 6,
+    n_bridge_pairs: int = 2,
+    cross_event_noise: float = 0.04,
+    seed: int = 7,
+    n_users: int = 3000,
+) -> Trace:
+    """The Time-Window trace: general stream, low event density."""
+    rng = random.Random(seed)
+    vocab = Vocabulary(size=5000, seed=seed)
+    events = _event_mix(rng, vocab, n_events, total_messages, "tw")
+    bridges = _make_bridges(rng, vocab, events, n_bridge_pairs, "tw")
+    events += _make_chatter(rng, vocab, n_chatter_pairs, total_messages, "tw")
+    spurious = [
+        _make_spurious(
+            rng, vocab, f"tw-spur-{i}", total_messages, all_non_noun=(i % 3 == 2)
+        )
+        for i in range(n_spurious)
+    ]
+    spec = StreamSpec(
+        total_messages=total_messages,
+        vocabulary=vocab,
+        events=events,
+        spurious=spurious,
+        bridges=bridges,
+        n_users=n_users,
+        cross_event_noise=cross_event_noise,
+        seed=seed,
+    )
+    return generate_stream(spec, name="TW")
+
+
+def build_es_trace(
+    total_messages: int = 30_000,
+    n_events: int = 30,
+    n_spurious: int = 5,
+    n_chatter_pairs: int = 6,
+    n_bridge_pairs: int = 5,
+    cross_event_noise: float = 0.05,
+    seed: int = 11,
+    n_users: int = 3000,
+) -> Trace:
+    """The Event-Specific trace: ≈3x the TW event density (Section 7.2.3).
+
+    Besides having three times as many events, the ES trace is
+    *event-dominated*: its intensity mix is shifted upward so that event
+    messages form a large fraction of the stream, like the paper's
+    topic-filtered download — which is why the paper processes ES several
+    times slower than TW (Table 4).
+    """
+    rng = random.Random(seed)
+    vocab = Vocabulary(size=5000, seed=seed)
+    events = _event_mix(
+        rng, vocab, n_events, total_messages, "es",
+        support_choices=[3.0, 4.5, 6.0, 9.0, 14.0, 20.0, 28.0],
+    )
+    bridges = _make_bridges(rng, vocab, events, n_bridge_pairs, "es")
+    events += _make_chatter(rng, vocab, n_chatter_pairs, total_messages, "es")
+    spurious = [
+        _make_spurious(
+            rng, vocab, f"es-spur-{i}", total_messages, all_non_noun=(i % 3 == 2)
+        )
+        for i in range(n_spurious)
+    ]
+    spec = StreamSpec(
+        total_messages=total_messages,
+        vocabulary=vocab,
+        events=events,
+        spurious=spurious,
+        bridges=bridges,
+        n_users=n_users,
+        cross_event_noise=cross_event_noise,
+        seed=seed,
+    )
+    return generate_stream(spec, name="ES")
+
+
+def build_ground_truth_trace(
+    total_messages: int = 60_000,
+    n_headline_discoverable: int = 33,
+    n_headline_subthreshold: int = 27,
+    n_local_events: int = 60,
+    n_spurious: int = 6,
+    n_chatter_pairs: int = 10,
+    n_bridge_pairs: int = 6,
+    cross_event_noise: float = 0.05,
+    seed: int = 3,
+    n_users: int = 5000,
+) -> Trace:
+    """The Section 7.1 ground-truth workload.
+
+    * ``n_headline_discoverable`` headline events with enough stream volume
+      to burst (the paper's 33);
+    * ``n_headline_subthreshold`` headline events with almost no stream
+      presence (the paper's 27 — e.g. one lone tweet);
+    * ``n_local_events`` non-headlined local events (job alerts, weather
+      advisories) — the "6x more events" the paper reports;
+    * spurious bursts for the precision side.
+    """
+    rng = random.Random(seed)
+    vocab = Vocabulary(size=5000, seed=seed)
+    events: List[EventScript] = []
+    for i in range(n_headline_discoverable):
+        tightness = rng.choices(["tight", "medium", "loose"], [0.5, 0.3, 0.2])[0]
+        events.append(
+            _make_event(
+                rng,
+                vocab,
+                f"gt-head-{i:03d}",
+                total_messages,
+                tightness=tightness,
+                peak_support=rng.choice([5.0, 7.0, 10.0, 14.0]),
+                headlined=True,
+                evolving=rng.random() < 0.5,
+            )
+        )
+    for i in range(n_headline_subthreshold):
+        # A headline with barely any microblog echo: 1-3 messages total.
+        keywords = vocab.make_event_keywords(5, tag="noun")
+        start = rng.randint(
+            int(total_messages * 0.05), int(total_messages * 0.9)
+        )
+        events.append(
+            EventScript(
+                event_id=f"gt-sub-{i:03d}",
+                keywords=keywords,
+                start_message=start,
+                duration_messages=1200,
+                total_messages=rng.randint(1, 3),
+                n_users=3,
+                keywords_per_message=(3, 4),
+                profile="uniform",
+                headlined=True,
+                headline_lag_messages=rng.randint(200, 1500),
+            )
+        )
+    for i in range(n_local_events):
+        tightness = rng.choices(["tight", "medium", "loose"], [0.4, 0.3, 0.3])[0]
+        events.append(
+            _make_event(
+                rng,
+                vocab,
+                f"gt-local-{i:03d}",
+                total_messages,
+                tightness=tightness,
+                peak_support=rng.choice([4.5, 6.0, 8.0, 12.0]),
+                headlined=False,
+                evolving=rng.random() < 0.4,
+            )
+        )
+    bridges = _make_bridges(rng, vocab, events, n_bridge_pairs, "gt")
+    events += _make_chatter(rng, vocab, n_chatter_pairs, total_messages, "gt")
+    spurious = [
+        _make_spurious(
+            rng, vocab, f"gt-spur-{i}", total_messages, all_non_noun=(i % 3 == 2)
+        )
+        for i in range(n_spurious)
+    ]
+    spec = StreamSpec(
+        total_messages=total_messages,
+        vocabulary=vocab,
+        events=events,
+        spurious=spurious,
+        bridges=bridges,
+        n_users=n_users,
+        cross_event_noise=cross_event_noise,
+        seed=seed,
+    )
+    return generate_stream(spec, name="ground-truth")
+
+
+__all__ = [
+    "REFERENCE_QUANTUM",
+    "build_tw_trace",
+    "build_es_trace",
+    "build_ground_truth_trace",
+]

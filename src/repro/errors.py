@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Errors are raised eagerly on misuse (bad configuration,
+inconsistent graph operations) rather than returning sentinel values.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of its documented range."""
+
+
+class GraphError(ReproError):
+    """An inconsistent operation was attempted on a dynamic graph."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its repr by default
+        return f"node not in graph: {self.node!r}"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__((u, v))
+        self.u = u
+        self.v = v
+
+    def __str__(self) -> str:
+        return f"edge not in graph: ({self.u!r}, {self.v!r})"
+
+
+class DuplicateNodeError(GraphError):
+    """A node was added twice."""
+
+
+class DuplicateEdgeError(GraphError):
+    """An edge was added twice."""
+
+
+class ClusterError(ReproError):
+    """The cluster registry detected an internal inconsistency."""
+
+
+class StreamError(ReproError):
+    """A message stream source produced invalid input."""

@@ -1,0 +1,38 @@
+"""Evaluation harness: matching, metrics, filters, runners, reporting.
+
+This subpackage reproduces the Section 7 methodology: detected events are
+matched to planted ground truth by keyword overlap and temporal overlap
+(:mod:`matching`), report-time and post-hoc spurious filters are applied
+(:mod:`filtering`), precision/recall are computed over discoverable events
+(:mod:`metrics`), cluster-quality statistics follow Section 7.2.4
+(:mod:`quality`), end-to-end runs are packaged (:mod:`runner`), the
+SCP-vs-offline comparison implements Section 7.3 (:mod:`comparison`), and
+plain-text tables render every benchmark's output (:mod:`reporting`).
+"""
+
+from repro.eval.matching import MatchCriteria, match_events, EventMatch
+from repro.eval.filtering import reported_records
+from repro.eval.metrics import PrecisionRecall, precision_recall
+from repro.eval.quality import QualityStats, quality_stats
+from repro.eval.runner import RunResult, run_detector, evaluate_run, EvalSummary
+from repro.eval.comparison import SchemeComparison, compare_schemes
+from repro.eval.reporting import render_table, render_grid
+
+__all__ = [
+    "MatchCriteria",
+    "match_events",
+    "EventMatch",
+    "reported_records",
+    "PrecisionRecall",
+    "precision_recall",
+    "QualityStats",
+    "quality_stats",
+    "RunResult",
+    "run_detector",
+    "evaluate_run",
+    "EvalSummary",
+    "SchemeComparison",
+    "compare_schemes",
+    "render_table",
+    "render_grid",
+]

@@ -1,0 +1,179 @@
+"""SCP clusters vs offline biconnected clusters — Section 7.3 / Table 3.
+
+Runs the SCP detector with the offline baseline observing the *same* AKG,
+evaluates all three schemes (SCP, biconnected clusters, biconnected clusters
+plus size-2 edge clusters) with the same matching machinery, and computes
+the additional statistics the section reports: extra clusters/events in the
+offline method, exact cluster overlap, short-cycle presence in offline event
+clusters, and the clustering-time comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.config import DetectorConfig
+from repro.core.atoms import atoms_in_subgraph
+from repro.datasets.synthetic import Trace
+from repro.eval.matching import MatchCriteria
+from repro.eval.runner import EvalSummary, RunResult, evaluate_run, run_detector
+
+
+@dataclass(frozen=True)
+class SchemeRow:
+    """One row of Table 3."""
+
+    scheme: str
+    events_discovered: int
+    precision: float
+    recall: float
+    avg_rank: float
+    avg_cluster_size: float
+
+
+@dataclass
+class SchemeComparison:
+    """Everything Section 7.3 reports."""
+
+    rows: List[SchemeRow] = field(default_factory=list)
+    additional_clusters_pct: float = 0.0
+    additional_events_pct: float = 0.0
+    additional_clusters_no_edges_pct: float = 0.0
+    additional_events_no_edges_pct: float = 0.0
+    exact_overlap_pct: float = 0.0
+    avg_size_exact_overlap: float = 0.0
+    avg_size_scp_all: float = 0.0
+    bc_event_clusters_with_short_cycle_pct: float = 0.0
+    scp_clustering_seconds: float = 0.0
+    bc_clustering_seconds: float = 0.0
+
+    @property
+    def scp_speedup_pct(self) -> float:
+        """How much faster SCP cluster computation is than the offline
+        recomputation (the paper reports 46%)."""
+        if self.bc_clustering_seconds == 0:
+            return 0.0
+        return (
+            (self.bc_clustering_seconds - self.scp_clustering_seconds)
+            / self.bc_clustering_seconds
+            * 100.0
+        )
+
+    def row(self, scheme: str) -> SchemeRow:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise KeyError(scheme)
+
+
+def _scheme_row(name: str, summary: EvalSummary) -> SchemeRow:
+    return SchemeRow(
+        scheme=name,
+        events_discovered=summary.pr.n_reported,
+        precision=summary.pr.precision,
+        recall=summary.pr.recall,
+        avg_rank=summary.quality.avg_rank,
+        avg_cluster_size=summary.quality.avg_cluster_size,
+    )
+
+
+def _per_quantum_scp_keyword_sets(result: RunResult) -> Dict[int, Set[FrozenSet[str]]]:
+    """quantum -> node sets of live SCP clusters, rebuilt from the tracker."""
+    out: Dict[int, Set[FrozenSet[str]]] = {}
+    for record in result.records:
+        for snapshot in record.snapshots:
+            out.setdefault(snapshot.quantum, set()).add(snapshot.keywords)
+    return out
+
+
+def compare_schemes(
+    trace: Trace,
+    config: DetectorConfig,
+    criteria: MatchCriteria = MatchCriteria(),
+) -> SchemeComparison:
+    """Run the full Section 7.3 comparison on one trace."""
+    result = run_detector(trace, config, with_baseline=True, keep_detector=True)
+    baseline = result.baseline
+    assert baseline is not None and result.detector is not None
+
+    scp_summary = evaluate_run(result, trace, criteria)
+    bc_summary = evaluate_run(
+        result, trace, criteria, records=baseline.events(with_edge_clusters=False)
+    )
+    bc_edges_summary = evaluate_run(
+        result, trace, criteria, records=baseline.events(with_edge_clusters=True)
+    )
+
+    comparison = SchemeComparison(
+        rows=[
+            _scheme_row("SCP Clusters", scp_summary),
+            _scheme_row("Bi-connected Clusters", bc_summary),
+            _scheme_row("Bi-connected clusters +Edges", bc_edges_summary),
+        ]
+    )
+
+    # ---- per-quantum cluster-instance statistics ------------------------
+    scp_by_quantum = _per_quantum_scp_keyword_sets(result)
+    scp_instances = sum(len(s) for s in scp_by_quantum.values())
+    bc_instances = 0
+    bc_with_edge_instances = 0
+    exact_overlap = 0
+    overlap_sizes: List[int] = []
+    with_short_cycle = 0
+    for snapshot in baseline.snapshots:
+        scp_sets = scp_by_quantum.get(snapshot.quantum, set())
+        bc_instances += len(snapshot.clusters)
+        bc_with_edge_instances += len(snapshot.clusters) + len(
+            snapshot.edge_clusters
+        )
+        for nodes, edges in snapshot.clusters:
+            if nodes in scp_sets:
+                exact_overlap += 1
+                overlap_sizes.append(len(nodes))
+            adjacency: Dict[str, Set[str]] = {str(n): set() for n in nodes}
+            for u, v in edges:
+                adjacency[str(u)].add(str(v))
+                adjacency[str(v)].add(str(u))
+            if atoms_in_subgraph(adjacency):
+                with_short_cycle += 1
+
+    if scp_instances:
+        comparison.additional_clusters_pct = (
+            (bc_with_edge_instances - scp_instances) / scp_instances * 100.0
+        )
+        comparison.additional_clusters_no_edges_pct = (
+            (bc_instances - scp_instances) / scp_instances * 100.0
+        )
+    scp_events = scp_summary.pr.n_reported
+    if scp_events:
+        comparison.additional_events_pct = (
+            (bc_edges_summary.pr.n_reported - scp_events) / scp_events * 100.0
+        )
+        comparison.additional_events_no_edges_pct = (
+            (bc_summary.pr.n_reported - scp_events) / scp_events * 100.0
+        )
+    if bc_instances:
+        comparison.exact_overlap_pct = exact_overlap / bc_instances * 100.0
+        comparison.bc_event_clusters_with_short_cycle_pct = (
+            with_short_cycle / bc_instances * 100.0
+        )
+    if overlap_sizes:
+        comparison.avg_size_exact_overlap = mean(overlap_sizes)
+    sizes = [
+        len(s)
+        for sets in scp_by_quantum.values()
+        for s in sets
+    ]
+    if sizes:
+        comparison.avg_size_scp_all = mean(sizes)
+
+    comparison.scp_clustering_seconds = (
+        result.detector.maintainer.clustering_seconds
+    )
+    comparison.bc_clustering_seconds = baseline.total_seconds
+    return comparison
+
+
+__all__ = ["SchemeRow", "SchemeComparison", "compare_schemes"]

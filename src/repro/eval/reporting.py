@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures report;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule, like the paper's tables."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_grid(
+    row_label: str,
+    row_values: Sequence[object],
+    col_label: str,
+    col_values: Sequence[object],
+    values: Sequence[Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """A parameter-sweep grid (one figure's worth of series).
+
+    Rows are ``row_label`` settings, columns ``col_label`` settings — e.g.
+    recall for each (EC threshold, quantum size) pair of Figure 7.
+    """
+    headers = [f"{row_label} \\ {col_label}"] + [_fmt(v) for v in col_values]
+    rows = [
+        [_fmt(rv)] + [_fmt(values[i][j]) for j in range(len(col_values))]
+        for i, rv in enumerate(row_values)
+    ]
+    return render_table(headers, rows, title=title)
+
+
+__all__ = ["render_table", "render_grid"]

@@ -1,0 +1,195 @@
+"""Articulation points and biconnected components (iterative Hopcroft–Tarjan).
+
+These classical algorithms serve three roles in the reproduction:
+
+* the **offline baseline** of Section 7.3 ([2], Bansal et al.) computes
+  biconnected components of the whole AKG after every quantum;
+* property **P2** of Section 4.3 (every SCP cluster is biconnected) is
+  verified against this implementation in the test suite;
+* the paper's NodeDeletion articulation-check (Section 5.3) is validated
+  against the articulation points computed here.
+
+The implementations are iterative (explicit stack) so that large baseline
+graphs do not hit Python's recursion limit.  They accept either a
+:class:`~repro.graph.dynamic_graph.DynamicGraph` or a plain adjacency mapping
+``{node: iterable-of-neighbours}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph, EdgeKey, edge_key
+
+Node = Hashable
+Adjacency = Mapping[Node, Iterable[Node]]
+
+
+def _as_adjacency(graph: "DynamicGraph | Adjacency") -> Adjacency:
+    if isinstance(graph, DynamicGraph):
+        return graph.adjacency()
+    return graph
+
+
+def articulation_points(graph: "DynamicGraph | Adjacency") -> Set[Node]:
+    """Nodes whose removal disconnects their connected component."""
+    adj = _as_adjacency(graph)
+    visited: Set[Node] = set()
+    disc: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    parent: Dict[Node, Node | None] = {}
+    points: Set[Node] = set()
+    timer = 0
+
+    for root in adj:
+        if root in visited:
+            continue
+        root_children = 0
+        stack: List[Tuple[Node, Iterable]] = [(root, iter(adj[root]))]
+        visited.add(root)
+        disc[root] = low[root] = timer
+        parent[root] = None
+        timer += 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nbr in it:
+                if nbr == parent[node]:
+                    continue
+                if nbr in visited:
+                    low[node] = min(low[node], disc[nbr])
+                    continue
+                visited.add(nbr)
+                parent[nbr] = node
+                disc[nbr] = low[nbr] = timer
+                timer += 1
+                if node == root:
+                    root_children += 1
+                stack.append((nbr, iter(adj[nbr])))
+                advanced = True
+                break
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                par = stack[-1][0]
+                low[par] = min(low[par], low[node])
+                if par != root and low[node] >= disc[par]:
+                    points.add(par)
+        if root_children > 1:
+            points.add(root)
+    return points
+
+
+def biconnected_components(
+    graph: "DynamicGraph | Adjacency",
+) -> List[Set[EdgeKey]]:
+    """Edge sets of the biconnected components, each edge in exactly one.
+
+    Components are maximal edge sets such that any two edges lie on a common
+    simple cycle; a bridge edge forms a singleton component.  Node sets can be
+    recovered with :func:`component_nodes`.
+    """
+    adj = _as_adjacency(graph)
+    visited: Set[Node] = set()
+    disc: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    parent: Dict[Node, Node | None] = {}
+    components: List[Set[EdgeKey]] = []
+    edge_stack: List[EdgeKey] = []
+    timer = 0
+
+    for root in adj:
+        if root in visited:
+            continue
+        stack: List[Tuple[Node, Iterable]] = [(root, iter(adj[root]))]
+        visited.add(root)
+        disc[root] = low[root] = timer
+        parent[root] = None
+        timer += 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nbr in it:
+                if nbr == parent[node]:
+                    continue
+                if nbr in visited:
+                    if disc[nbr] < disc[node]:  # back edge, push once
+                        edge_stack.append(edge_key(node, nbr))
+                        low[node] = min(low[node], disc[nbr])
+                    continue
+                visited.add(nbr)
+                parent[nbr] = node
+                disc[nbr] = low[nbr] = timer
+                timer += 1
+                edge_stack.append(edge_key(node, nbr))
+                stack.append((nbr, iter(adj[nbr])))
+                advanced = True
+                break
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                par = stack[-1][0]
+                low[par] = min(low[par], low[node])
+                if low[node] >= disc[par]:
+                    # par is an articulation point (or the root): pop the
+                    # component containing the tree edge (par, node).
+                    component: Set[EdgeKey] = set()
+                    target = edge_key(par, node)
+                    while edge_stack:
+                        e = edge_stack.pop()
+                        component.add(e)
+                        if e == target:
+                            break
+                    if component:
+                        components.append(component)
+    return components
+
+
+def component_nodes(component: Iterable[EdgeKey]) -> Set[Node]:
+    """Node set spanned by a biconnected component's edge set."""
+    nodes: Set[Node] = set()
+    for u, v in component:
+        nodes.add(u)
+        nodes.add(v)
+    return nodes
+
+
+def bridge_edges(graph: "DynamicGraph | Adjacency") -> Set[EdgeKey]:
+    """Edges that belong to no cycle (singleton biconnected components)."""
+    return {
+        next(iter(comp))
+        for comp in biconnected_components(graph)
+        if len(comp) == 1
+    }
+
+
+def is_biconnected(graph: "DynamicGraph | Adjacency") -> bool:
+    """True iff the graph is connected, has >= 3 nodes, and no articulation
+    point — i.e. any two nodes lie on a common simple cycle."""
+    adj = _as_adjacency(graph)
+    nodes = list(adj)
+    if len(nodes) < 3:
+        return False
+    # connectivity check
+    seen = {nodes[0]}
+    frontier = [nodes[0]]
+    while frontier:
+        n = frontier.pop()
+        for m in adj[n]:
+            if m not in seen:
+                seen.add(m)
+                frontier.append(m)
+    if len(seen) != len(nodes):
+        return False
+    return not articulation_points(adj)
+
+
+__all__ = [
+    "articulation_points",
+    "biconnected_components",
+    "component_nodes",
+    "bridge_edges",
+    "is_biconnected",
+]

@@ -1,0 +1,224 @@
+"""Weighted undirected dynamic graph used as the AKG substrate.
+
+The graph is a thin, fast adjacency-dict structure supporting the operations
+the cluster-maintenance layer needs: O(1) amortized node/edge insertion and
+deletion, O(deg) neighbourhood iteration, and O(min(deg)) common-neighbour
+queries.  Nodes are arbitrary hashable objects (keywords are strings).
+
+Edges are undirected; the canonical identity of an edge is
+``edge_key(u, v) == tuple(sorted((u, v)))`` so that the same frozen key can be
+used in cluster bookkeeping regardless of insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Tuple
+
+from repro.errors import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+
+Node = Hashable
+EdgeKey = Tuple[Node, Node]
+
+
+def edge_key(u: Node, v: Node) -> EdgeKey:
+    """Canonical undirected identity of the edge between ``u`` and ``v``.
+
+    The two endpoints are ordered by ``repr`` when they are not directly
+    comparable; for homogeneous node types (the common case) plain comparison
+    is used.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class DynamicGraph:
+    """Undirected graph with weighted edges and dynamic updates.
+
+    The class deliberately exposes a small, explicit API instead of the full
+    networkx surface; every method is O(1) or O(degree), which is what makes
+    the local cluster maintenance of Section 5 cheap.
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(self, node: Node) -> None:
+        """Insert ``node``; raises :class:`DuplicateNodeError` if present."""
+        if node in self._adj:
+            raise DuplicateNodeError(f"node already in graph: {node!r}")
+        self._adj[node] = {}
+
+    def ensure_node(self, node: Node) -> bool:
+        """Insert ``node`` if absent.  Returns True when it was inserted."""
+        if node in self._adj:
+            return False
+        self._adj[node] = {}
+        return True
+
+    def remove_node(self, node: Node) -> list[EdgeKey]:
+        """Delete ``node`` and all incident edges.
+
+        Returns the list of removed edge keys (useful for cluster repair).
+        """
+        neighbours = self._adj.pop(node, None)
+        if neighbours is None:
+            raise NodeNotFoundError(node)
+        removed = []
+        for other in neighbours:
+            del self._adj[other][node]
+            removed.append(edge_key(node, other))
+        return removed
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Insert edge ``(u, v)``; both endpoints must already exist.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If either endpoint is absent.
+        DuplicateEdgeError
+            If the edge is already present (use :meth:`set_edge_weight`).
+        GraphError
+            For self-loops, which the AKG never contains.
+        """
+        if u == v:
+            raise DuplicateEdgeError(f"self-loops are not allowed: {u!r}")
+        if u not in self._adj:
+            raise NodeNotFoundError(u)
+        if v not in self._adj:
+            raise NodeNotFoundError(v)
+        if v in self._adj[u]:
+            raise DuplicateEdgeError(f"edge already in graph: ({u!r}, {v!r})")
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if u not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
+        if u not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate each undirected edge exactly once as ``(u, v, weight)``."""
+        seen: set[EdgeKey] = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key[0], key[1], w
+
+    def edge_keys(self) -> Iterator[EdgeKey]:
+        for u, v, _ in self.edges():
+            yield (u, v)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    # ------------------------------------------------------- neighbourhoods
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        try:
+            return iter(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbor_weights(self, node: Node) -> Dict[Node, float]:
+        """Direct (read-only by convention) view of a node's adjacency map."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def common_neighbors(self, u: Node, v: Node) -> list[Node]:
+        """Nodes adjacent to both ``u`` and ``v`` (O(min degree))."""
+        nu, nv = self._adj.get(u), self._adj.get(v)
+        if nu is None:
+            raise NodeNotFoundError(u)
+        if nv is None:
+            raise NodeNotFoundError(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return [n for n in nu if n in nv]
+
+    # ------------------------------------------------------------- utilities
+
+    def subgraph_adjacency(
+        self, nodes: Iterable[Node]
+    ) -> Dict[Node, Dict[Node, float]]:
+        """Adjacency dict of the subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        return {
+            n: {m: w for m, w in self._adj[n].items() if m in keep}
+            for n in keep
+            if n in self._adj
+        }
+
+    def copy(self) -> "DynamicGraph":
+        clone = DynamicGraph()
+        clone._adj = {n: dict(nbrs) for n, nbrs in self._adj.items()}
+        return clone
+
+    def adjacency(self) -> Dict[Node, Dict[Node, float]]:
+        """The raw adjacency mapping (treat as read-only)."""
+        return self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+        )
+
+
+__all__ = ["DynamicGraph", "Node", "EdgeKey", "edge_key"]

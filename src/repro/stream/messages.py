@@ -1,0 +1,52 @@
+"""The message record consumed by the detector.
+
+A message is what a microblog post reduces to for this algorithm: a user id
+and a bag of keywords.  Messages may carry raw ``text`` (tokenised on
+demand) or pre-extracted ``tokens`` (the fast path used by the synthetic
+trace generators and the throughput benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import StreamError
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One microblog message.
+
+    Attributes
+    ----------
+    user_id:
+        Stable id of the author; correlation is computed over user ids, not
+        message ids, to resist single-user flooding (Section 3.2).
+    tokens:
+        Pre-extracted keywords (already lower-cased, stop words removed).
+        When None, ``text`` must be set and is tokenised by the engine.
+    text:
+        Raw message text; optional when ``tokens`` is given.
+    timestamp:
+        Optional source timestamp; the algorithm orders messages by arrival,
+        so this is metadata only.
+    """
+
+    user_id: Hashable
+    tokens: Optional[Tuple[str, ...]] = None
+    text: Optional[str] = None
+    timestamp: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.tokens is None and self.text is None:
+            raise StreamError("message needs tokens or text")
+
+    def keyword_tuple(self, tokenizer) -> Tuple[str, ...]:
+        """The message's keywords, tokenising ``text`` when needed."""
+        if self.tokens is not None:
+            return self.tokens
+        return tuple(tokenizer(self.text))
+
+
+__all__ = ["Message"]

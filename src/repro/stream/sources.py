@@ -1,0 +1,57 @@
+"""Trace persistence: JSON-lines reading and writing of message streams.
+
+One JSON object per line: ``{"u": user_id, "k": [tokens...]}`` with optional
+``"t"`` (text) and ``"ts"`` (timestamp).  The compact keys keep multi-million
+message traces manageable on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import StreamError
+from repro.stream.messages import Message
+
+
+def write_jsonl_trace(path: "str | Path", messages: Iterable[Message]) -> int:
+    """Write messages to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for message in messages:
+            record = {"u": message.user_id}
+            if message.tokens is not None:
+                record["k"] = list(message.tokens)
+            if message.text is not None:
+                record["t"] = message.text
+            if message.timestamp is not None:
+                record["ts"] = message.timestamp
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl_trace(path: "str | Path") -> Iterator[Message]:
+    """Stream messages back from a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StreamError(f"{path}:{line_no}: invalid JSON") from exc
+            if "u" not in record:
+                raise StreamError(f"{path}:{line_no}: missing user id")
+            tokens = record.get("k")
+            yield Message(
+                user_id=record["u"],
+                tokens=tuple(tokens) if tokens is not None else None,
+                text=record.get("t"),
+                timestamp=record.get("ts"),
+            )
+
+
+__all__ = ["write_jsonl_trace", "read_jsonl_trace"]

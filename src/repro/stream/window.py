@@ -1,0 +1,113 @@
+"""Quantum batching and per-quantum aggregation.
+
+The moving-window paradigm of Section 1.1: the stream is consumed in quanta
+of a fixed number of messages; the window spans the last ``w`` quanta.  The
+:class:`QuantumBatcher` groups an arbitrary message iterator into quanta; the
+aggregation helpers reduce a quantum to the two mappings the AKG needs:
+keyword -> users (id sets) and user -> keywords (spatial correlation, CKG
+stats).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Set
+
+from repro.errors import StreamError
+from repro.stream.messages import Message
+
+Keyword = str
+UserId = Hashable
+Tokenizer = Callable[[str], Iterable[str]]
+
+
+class QuantumBatcher:
+    """Groups messages into fixed-size quanta.
+
+    Feed messages with :meth:`push`; each call returns a full quantum when
+    one completes, else None.  :meth:`flush` returns any partial remainder.
+    """
+
+    def __init__(self, quantum_size: int) -> None:
+        if quantum_size < 1:
+            raise StreamError(f"quantum_size must be >= 1, got {quantum_size}")
+        self.quantum_size = quantum_size
+        self._buffer: List[Message] = []
+
+    def push(self, message: Message) -> List[Message] | None:
+        self._buffer.append(message)
+        if len(self._buffer) >= self.quantum_size:
+            quantum, self._buffer = self._buffer, []
+            return quantum
+        return None
+
+    def flush(self) -> List[Message]:
+        quantum, self._buffer = self._buffer, []
+        return quantum
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def batches(self, messages: Iterable[Message]) -> Iterator[List[Message]]:
+        """Iterate full quanta from a message iterable (drops the remainder
+        only if it is empty; a final partial quantum is yielded)."""
+        for message in messages:
+            quantum = self.push(message)
+            if quantum is not None:
+                yield quantum
+        tail = self.flush()
+        if tail:
+            yield tail
+
+
+def user_keywords_of_quantum(
+    messages: Iterable[Message],
+    tokenizer: Tokenizer,
+    max_tokens_per_message: int | None = None,
+) -> Dict[UserId, Set[Keyword]]:
+    """user -> keywords used within the quantum (spatial correlation unit).
+
+    Spatial correlation is per *user per quantum*, not per message: a user's
+    keywords may be spread over several messages within the quantum
+    (Section 3.2).  ``max_tokens_per_message`` truncates oversized messages
+    (microblog posts are length-capped; the cap bounds pair fan-out).
+    """
+    out: Dict[UserId, Set[Keyword]] = {}
+    for message in messages:
+        keywords = message.keyword_tuple(tokenizer)
+        if not keywords:
+            continue
+        if max_tokens_per_message is not None:
+            keywords = keywords[:max_tokens_per_message]
+        out.setdefault(message.user_id, set()).update(keywords)
+    return out
+
+
+def keyword_users_of_quantum(
+    messages: Iterable[Message], tokenizer: Tokenizer
+) -> Dict[Keyword, Set[UserId]]:
+    """keyword -> distinct users within the quantum (id-set contribution)."""
+    out: Dict[Keyword, Set[UserId]] = {}
+    for message in messages:
+        for keyword in message.keyword_tuple(tokenizer):
+            out.setdefault(keyword, set()).add(message.user_id)
+    return out
+
+
+def invert_user_keywords(
+    user_keywords: Dict[UserId, Set[Keyword]],
+) -> Dict[Keyword, Set[UserId]]:
+    """Convert user -> keywords into keyword -> users without re-tokenising."""
+    out: Dict[Keyword, Set[UserId]] = {}
+    for user, keywords in user_keywords.items():
+        for keyword in keywords:
+            out.setdefault(keyword, set()).add(user)
+    return out
+
+
+__all__ = [
+    "QuantumBatcher",
+    "user_keywords_of_quantum",
+    "keyword_users_of_quantum",
+    "invert_user_keywords",
+]

@@ -1,0 +1,14 @@
+"""Lightweight text processing: tokenisation, stop words, noun tagging."""
+
+from repro.text.tokenize import tokenize
+from repro.text.stopwords import STOP_WORDS, is_stop_word
+from repro.text.pos import NounTagger
+from repro.text.synonyms import SynonymNormalizer
+
+__all__ = [
+    "tokenize",
+    "STOP_WORDS",
+    "is_stop_word",
+    "NounTagger",
+    "SynonymNormalizer",
+]

@@ -1,0 +1,75 @@
+"""Keyword normalisation: the paper's pre-processing hook (Section 1.1).
+
+Two clusters describing one event can fail to merge when users pick
+synonymous keywords ("quake" / "earthquake") or post in different languages.
+The paper proposes dictionary/thesaurus pre-processing as the remedy and
+leaves it as future work; this module supplies that hook: a
+:class:`SynonymNormalizer` maps every token to a canonical representative
+before it reaches the CKG, so synonymous keywords become one node.
+
+The normaliser is intentionally dictionary-driven (no embedded linguistics):
+callers supply synonym groups — from a thesaurus, a translation table, or
+domain knowledge — and the normaliser canonicalises deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import ConfigError
+
+
+class SynonymNormalizer:
+    """Token canonicaliser over user-supplied synonym groups."""
+
+    def __init__(self, groups: Iterable[Sequence[str]] = ()) -> None:
+        """``groups``: iterables of synonymous words; the first word of each
+        group (lower-cased) becomes the canonical representative."""
+        self._canonical: Dict[str, str] = {}
+        for group in groups:
+            self.add_group(group)
+
+    def add_group(self, group: Sequence[str]) -> None:
+        words = [w.lower() for w in group]
+        if len(words) < 2:
+            raise ConfigError(f"synonym group needs >= 2 words: {group!r}")
+        head = self._canonical.get(words[0], words[0])
+        for word in words:
+            existing = self._canonical.get(word)
+            if existing is not None and existing != head:
+                # merging two previously separate groups: repoint the old head
+                for key, value in list(self._canonical.items()):
+                    if value == existing:
+                        self._canonical[key] = head
+                self._canonical[existing] = head
+            self._canonical[word] = head
+
+    def canonical(self, token: str) -> str:
+        """The canonical representative of ``token`` (itself if unmapped)."""
+        return self._canonical.get(token, token)
+
+    def normalize(self, tokens: Iterable[str]) -> List[str]:
+        """Canonicalise a token sequence, deduplicating collapsed synonyms
+        while preserving first-occurrence order."""
+        seen: set = set()
+        out: List[str] = []
+        for token in tokens:
+            canon = self.canonical(token)
+            if canon not in seen:
+                seen.add(canon)
+                out.append(canon)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+    def wrap_tokenizer(self, tokenizer):
+        """A tokenizer that normalises its output — drop-in for the engine."""
+
+        def tokenize_normalized(text: str) -> List[str]:
+            return self.normalize(tokenizer(text))
+
+        return tokenize_normalized
+
+
+__all__ = ["SynonymNormalizer"]

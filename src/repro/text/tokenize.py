@@ -1,0 +1,39 @@
+"""Tokenisation of microblog text into CKG keywords.
+
+Keywords are lower-cased; stop words, URLs and one-character fragments are
+dropped.  Numeric tokens with a decimal point survive intact — the paper's
+Figure 1 example depends on "5.9" (the earthquake magnitude) becoming a
+graph node.  Hashtags keep their ``#`` prefix because ``#jobs`` and ``jobs``
+are distinct trending signals on microblogs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.text.stopwords import STOP_WORDS
+
+_URL_RE = re.compile(r"https?://\S+|www\.\S+")
+_TOKEN_RE = re.compile(r"[#@]?[a-z][a-z0-9_'\-]*|\d+(?:\.\d+)?")
+
+
+def tokenize(text: str) -> List[str]:
+    """Extract keyword tokens from raw message text.
+
+    >>> tokenize("Earthquake of 5.9 struck Eastern Turkey! http://t.co/x")
+    ['earthquake', '5.9', 'struck', 'eastern', 'turkey']
+    """
+    cleaned = _URL_RE.sub(" ", text.lower())
+    tokens: List[str] = []
+    for match in _TOKEN_RE.finditer(cleaned):
+        token = match.group().strip("'-")
+        if len(token) < 2:
+            continue
+        if token in STOP_WORDS:
+            continue
+        tokens.append(token)
+    return tokens
+
+
+__all__ = ["tokenize"]

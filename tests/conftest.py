@@ -1,0 +1,55 @@
+"""Shared fixtures: canonical graphs from the paper's figures."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))  # make helpers importable
+
+from helpers import graph_from_edges  # noqa: E402
+
+
+@pytest.fixture
+def triangle():
+    return graph_from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def square():
+    return graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+@pytest.fixture
+def figure6_graph():
+    """The 12-node cluster of Figure 6 (before node 9 is deleted).
+
+    Reconstructed to reproduce the figure's documented behaviour: the whole
+    graph is one SCP cluster, and deleting node 9 splits it at articulation
+    node 3 into Cluster 1 = {0,1,2,3,10,11} and Cluster 2 = {3,4,5,6,7,8}.
+    """
+    edges = [
+        # left lobe {0,1,2,3,10,11}: ring + chords, every edge short-cycled
+        (0, 1), (1, 2), (2, 3), (3, 10), (10, 11), (11, 0), (1, 11), (2, 10),
+        # right lobe {3,4,5,6,7,8}
+        (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 3), (4, 8), (5, 7),
+        # node 9 glues the lobes: triangles {9,8,3} and {9,10,3}
+        (8, 9), (9, 3), (9, 10),
+    ]
+    return graph_from_edges(edges)
+
+
+@pytest.fixture
+def figure2a_graph():
+    """Figure 2(a): node n joins n1, n2 via common neighbour nc (rule R1)."""
+    return graph_from_edges(
+        [("n", "n1"), ("n", "n2"), ("n1", "nc"), ("n2", "nc")]
+    )
+
+
+@pytest.fixture
+def figure2b_graph():
+    """Figure 2(b): node n joins n1, n2 which share an edge (rule R2)."""
+    return graph_from_edges([("n", "n1"), ("n", "n2"), ("n1", "n2")])

@@ -1,0 +1,160 @@
+"""AKG builder: the Section 3 node/edge lifecycle rules."""
+
+import pytest
+
+from repro.akg.builder import AkgBuilder
+from repro.config import DetectorConfig
+from repro.core.maintenance import ClusterMaintainer
+
+
+def make_builder(**overrides):
+    base = dict(
+        quantum_size=8,
+        window_quanta=3,
+        high_state_threshold=2,
+        ec_threshold=0.3,
+        use_minhash_filter=False,
+        node_grace_quanta=1,
+    )
+    base.update(overrides)
+    maintainer = ClusterMaintainer()
+    return AkgBuilder(DetectorConfig(**base), maintainer), maintainer
+
+
+def quantum(*pairs):
+    """Build keyword -> user-set mapping from (keyword, users) pairs."""
+    return {kw: set(users) for kw, users in pairs}
+
+
+class TestNodeLifecycle:
+    def test_bursty_keyword_enters_akg(self):
+        builder, maintainer = make_builder()
+        stats = builder.process_quantum(0, quantum(("hot", [1, 2, 3])))
+        assert maintainer.graph.has_node("hot")
+        assert stats.nodes_added == 1
+        assert stats.bursty_keywords == 1
+
+    def test_sub_threshold_keyword_stays_out(self):
+        builder, maintainer = make_builder()
+        builder.process_quantum(0, quantum(("cool", [1])))
+        assert not maintainer.graph.has_node("cool")
+
+    def test_stale_node_removed(self):
+        builder, maintainer = make_builder(window_quanta=2)
+        builder.process_quantum(0, quantum(("hot", [1, 2, 3])))
+        builder.process_quantum(1, quantum(("x", [9])))
+        stats = builder.process_quantum(2, quantum(("y", [9])))
+        assert not maintainer.graph.has_node("hot")
+        assert stats.nodes_removed_stale >= 1
+
+    def test_lazy_drop_of_unclustered_node(self):
+        """A non-clustered keyword that stops bursting is dropped after the
+        grace period even while still inside the window."""
+        builder, maintainer = make_builder(window_quanta=5, node_grace_quanta=1)
+        builder.process_quantum(0, quantum(("hot", [1, 2, 3])))
+        builder.process_quantum(1, quantum(("hot", [1])))  # below theta
+        stats = builder.process_quantum(2, quantum(("hot", [1])))
+        assert not maintainer.graph.has_node("hot")
+        assert stats.nodes_removed_lazy >= 1
+
+    def test_clustered_node_survives_without_bursting(self):
+        """'A keyword which has moved to AKG remains in AKG as long as it is
+        part of an event cluster irrespective of its frequency.'"""
+        builder, maintainer = make_builder(window_quanta=6)
+        users = [1, 2, 3, 4]
+        full = quantum(("a", users), ("b", users), ("c", users))
+        builder.process_quantum(0, full)
+        assert len(maintainer.registry) == 1
+        # keywords keep appearing (no staleness) but below theta
+        trickle = quantum(("a", [1]), ("b", [1]), ("c", [1]))
+        for q in (1, 2, 3):
+            builder.process_quantum(q, trickle)
+        assert maintainer.graph.has_node("a")
+        assert len(maintainer.registry) == 1
+
+
+class TestEdgeLifecycle:
+    def test_edge_between_cobursty_keywords(self):
+        builder, maintainer = make_builder()
+        builder.process_quantum(0, quantum(("a", [1, 2, 3]), ("b", [1, 2, 3])))
+        assert maintainer.graph.has_edge("a", "b")
+        assert maintainer.graph.edge_weight("a", "b") == pytest.approx(1.0)
+
+    def test_no_edge_below_gamma(self):
+        builder, maintainer = make_builder(ec_threshold=0.9)
+        builder.process_quantum(0, quantum(("a", [1, 2, 3]), ("b", [3, 4, 5])))
+        assert not maintainer.graph.has_edge("a", "b")
+
+    def test_new_edges_only_among_currently_bursty(self):
+        """Set (1) of Section 3.2.1: a pair gains a new edge only in a
+        quantum where both keywords burst."""
+        builder, maintainer = make_builder(window_quanta=5)
+        builder.process_quantum(0, quantum(("a", [1, 2, 3])))
+        # 'b' bursts later; 'a' stays in window but is not re-bursting:
+        # correlation exists in the window but no edge may form
+        builder.process_quantum(1, quantum(("b", [1, 2, 3]), ("a", [1])))
+        assert not maintainer.graph.has_edge("a", "b")
+        # both burst together -> edge forms
+        builder.process_quantum(2, quantum(("a", [1, 2, 3]), ("b", [1, 2, 3])))
+        assert maintainer.graph.has_edge("a", "b")
+
+    def test_edge_refresh_updates_weight(self):
+        """Set (2): edges of keywords seen this quantum are recomputed."""
+        builder, maintainer = make_builder(window_quanta=2)
+        builder.process_quantum(0, quantum(("a", [1, 2, 3]), ("b", [1, 2, 3])))
+        w0 = maintainer.graph.edge_weight("a", "b")
+        builder.process_quantum(1, quantum(("a", [1, 2, 3, 4, 5]), ("b", [1])))
+        w1 = maintainer.graph.edge_weight("a", "b")
+        assert w1 < w0
+
+    def test_edge_dropped_when_correlation_decays(self):
+        builder, maintainer = make_builder(window_quanta=2, ec_threshold=0.5)
+        builder.process_quantum(0, quantum(("a", [1, 2, 3]), ("b", [1, 2, 3])))
+        assert maintainer.graph.has_edge("a", "b")
+        builder.process_quantum(
+            1, quantum(("a", [4, 5, 6, 7]), ("b", [8, 9, 10, 11]))
+        )
+        builder.process_quantum(
+            2, quantum(("a", [4, 5, 6, 7]), ("b", [8, 9, 10, 11]))
+        )
+        assert not maintainer.graph.has_edge("a", "b")
+
+    def test_stats_counters(self):
+        builder, _ = make_builder()
+        stats = builder.process_quantum(
+            0, quantum(("a", [1, 2, 3]), ("b", [1, 2, 3]), ("c", [9]))
+        )
+        assert stats.akg_nodes == 2
+        assert stats.akg_edges == 1
+        assert stats.edges_added == 1
+        assert stats.ec_computations >= 1
+
+
+class TestMinhashFilterIntegration:
+    def test_exact_and_filtered_agree_on_strong_pairs(self):
+        """With identical id sets (J = 1) the MinHash filter must not lose
+        the pair (collision probability 1)."""
+        exact_builder, exact_m = make_builder(use_minhash_filter=False)
+        mh_builder, mh_m = make_builder(use_minhash_filter=True)
+        data = quantum(("a", [1, 2, 3]), ("b", [1, 2, 3]), ("c", [1, 2, 3]))
+        exact_builder.process_quantum(0, data)
+        mh_builder.process_quantum(0, data)
+        assert exact_m.graph.num_edges == mh_m.graph.num_edges == 3
+
+    def test_filter_reduces_candidate_pairs(self):
+        """Disjoint-user keywords are never even EC-checked under MinHash."""
+        mh_builder, _ = make_builder(use_minhash_filter=True)
+        data = quantum(
+            ("a", [1, 2, 3]),
+            ("b", [4, 5, 6]),
+            ("c", [7, 8, 9]),
+            ("d", [10, 11, 12]),
+        )
+        stats = mh_builder.process_quantum(0, data)
+        assert stats.candidate_pairs == 0
+
+    def test_node_weights(self):
+        builder, _ = make_builder()
+        builder.process_quantum(0, quantum(("a", [1, 2, 3]), ("b", [1, 2])))
+        weights = builder.node_weights(["a", "b"])
+        assert weights == {"a": 3, "b": 2}

@@ -1,0 +1,54 @@
+"""Two-state keyword automaton (Section 3.1)."""
+
+import pytest
+
+from repro.akg.burstiness import BurstinessTracker
+from repro.errors import ConfigError
+
+
+class TestBurstDetection:
+    def test_threshold_boundary(self):
+        tracker = BurstinessTracker(theta=4)
+        bursty = tracker.observe_quantum(0, {"hot": 4, "warm": 3})
+        assert bursty == {"hot"}
+        assert tracker.is_bursty_now("hot")
+        assert not tracker.is_bursty_now("warm")
+
+    def test_bursty_now_resets_each_quantum(self):
+        tracker = BurstinessTracker(theta=2)
+        tracker.observe_quantum(0, {"a": 5})
+        tracker.observe_quantum(1, {"b": 5})
+        assert tracker.bursty_now() == {"b"}
+        assert not tracker.is_bursty_now("a")
+
+    def test_last_bursty_quantum_remembered(self):
+        tracker = BurstinessTracker(theta=2)
+        tracker.observe_quantum(0, {"a": 5})
+        tracker.observe_quantum(1, {"b": 5})
+        tracker.observe_quantum(2, {"c": 5})
+        assert tracker.last_bursty_quantum("a") == 0
+        assert tracker.quanta_since_bursty("a") == 2
+        assert tracker.quanta_since_bursty("never") is None
+
+    def test_repeat_burst_updates(self):
+        tracker = BurstinessTracker(theta=2)
+        tracker.observe_quantum(0, {"a": 5})
+        tracker.observe_quantum(1, {"a": 5})
+        assert tracker.last_bursty_quantum("a") == 1
+
+    def test_forget(self):
+        tracker = BurstinessTracker(theta=2)
+        tracker.observe_quantum(0, {"a": 5})
+        tracker.forget(["a"])
+        assert tracker.last_bursty_quantum("a") is None
+        assert not tracker.is_bursty_now("a")
+
+    def test_invalid_theta(self):
+        with pytest.raises(ConfigError):
+            BurstinessTracker(theta=0)
+
+    def test_observe_returns_copy(self):
+        tracker = BurstinessTracker(theta=1)
+        result = tracker.observe_quantum(0, {"a": 1})
+        result.add("tampered")
+        assert tracker.bursty_now() == {"a"}

@@ -1,0 +1,108 @@
+"""Sliding-window id sets: expiry, support, Jaccard correlation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.akg.idsets import IdSetIndex
+from repro.errors import StreamError
+
+
+class TestWindowMechanics:
+    def test_support_counts_distinct_users(self):
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(0, {"kw": {1, 2, 3}})
+        assert index.support("kw") == 3
+        assert index.users("kw") == {1, 2, 3}
+
+    def test_users_merge_across_quanta(self):
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(0, {"kw": {1, 2}})
+        index.add_quantum(1, {"kw": {2, 3}})
+        assert index.users("kw") == {1, 2, 3}
+
+    def test_expiry_after_window(self):
+        index = IdSetIndex(window_quanta=2)
+        index.add_quantum(0, {"kw": {1}})
+        index.add_quantum(1, {"kw": {2}})
+        index.add_quantum(2, {"other": {9}})
+        assert index.users("kw") == {2}
+        index.add_quantum(3, {"other": {9}})
+        assert index.support("kw") == 0
+        assert "kw" not in index
+
+    def test_user_survives_until_last_mention_expires(self):
+        index = IdSetIndex(window_quanta=2)
+        index.add_quantum(0, {"kw": {1}})
+        index.add_quantum(1, {"kw": {1}})
+        index.add_quantum(2, {"x": {9}})
+        # user 1's quantum-1 mention is still in the window
+        assert index.users("kw") == {1}
+
+    def test_out_of_order_quantum_rejected(self):
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(5, {"kw": {1}})
+        with pytest.raises(StreamError):
+            index.add_quantum(5, {"kw": {2}})
+        with pytest.raises(StreamError):
+            index.add_quantum(3, {"kw": {2}})
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(StreamError):
+            IdSetIndex(window_quanta=0)
+
+    def test_keywords_iteration(self):
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(0, {"a": {1}, "b": {2}})
+        assert set(index.keywords()) == {"a", "b"}
+        assert index.num_keywords == 2
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(0, {"a": {1, 2}, "b": {1, 2}})
+        assert index.jaccard("a", "b") == 1.0
+
+    def test_disjoint_sets(self):
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(0, {"a": {1, 2}, "b": {3, 4}})
+        assert index.jaccard("a", "b") == 0.0
+
+    def test_half_overlap(self):
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(0, {"a": {1, 2, 3}, "b": {2, 3, 4}})
+        assert index.jaccard("a", "b") == pytest.approx(2 / 4)
+
+    def test_missing_keyword_zero(self):
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(0, {"a": {1}})
+        assert index.jaccard("a", "nope") == 0.0
+
+    @given(
+        sets=st.lists(
+            st.tuples(
+                st.sets(st.integers(0, 30), min_size=0, max_size=10),
+                st.sets(st.integers(0, 30), min_size=0, max_size=10),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_direct_computation(self, sets):
+        """Index Jaccard over a sliding window equals the direct Jaccard of
+        the window-union sets."""
+        window = 3
+        index = IdSetIndex(window_quanta=window)
+        for q, (ua, ub) in enumerate(sets):
+            index.add_quantum(q, {"a": ua, "b": ub})
+        live = sets[-window:]
+        union_a = set().union(*(ua for ua, _ in live))
+        union_b = set().union(*(ub for _, ub in live))
+        if not union_a or not union_b:
+            expected = 0.0
+        else:
+            expected = len(union_a & union_b) / len(union_a | union_b)
+        assert index.jaccard("a", "b") == pytest.approx(expected)
+        assert index.support("a") == len(union_a)

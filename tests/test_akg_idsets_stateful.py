@@ -1,0 +1,67 @@
+"""Stateful model check of the sliding-window id-set index.
+
+A hypothesis state machine feeds arbitrary quantum contents into
+:class:`IdSetIndex` alongside a naive model (a plain list of the last w
+quanta) and asserts support, membership and Jaccard agree after every step.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.akg.idsets import IdSetIndex
+
+WINDOW = 3
+KEYWORDS = ["alpha", "beta", "gamma"]
+
+
+class IdSetModelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.index = IdSetIndex(window_quanta=WINDOW)
+        self.history = []  # list of {keyword: set(users)}
+        self.quantum = -1
+
+    @rule(
+        content=st.dictionaries(
+            st.sampled_from(KEYWORDS),
+            st.sets(st.integers(0, 15), min_size=0, max_size=6),
+            max_size=len(KEYWORDS),
+        )
+    )
+    def add_quantum(self, content):
+        self.quantum += 1
+        self.index.add_quantum(self.quantum, content)
+        self.history.append(content)
+
+    def _model_users(self, keyword):
+        live = self.history[-WINDOW:]
+        users = set()
+        for quantum in live:
+            users |= quantum.get(keyword, set())
+        return users
+
+    @invariant()
+    def support_matches_model(self):
+        for keyword in KEYWORDS:
+            expected = self._model_users(keyword)
+            assert self.index.support(keyword) == len(expected)
+            assert self.index.users(keyword) == expected
+            assert (keyword in self.index) == bool(expected)
+
+    @invariant()
+    def jaccard_matches_model(self):
+        for i, kw1 in enumerate(KEYWORDS):
+            for kw2 in KEYWORDS[i + 1 :]:
+                a, b = self._model_users(kw1), self._model_users(kw2)
+                if not a or not b:
+                    expected = 0.0
+                else:
+                    expected = len(a & b) / len(a | b)
+                assert abs(self.index.jaccard(kw1, kw2) - expected) < 1e-12
+
+
+IdSetModelMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)
+TestIdSetModel = IdSetModelMachine.TestCase

@@ -1,0 +1,145 @@
+"""MinHash sketches: determinism, candidate filtering, estimation accuracy,
+and the incremental windowed index (Section 3.2.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.akg.correlation import exact_jaccard
+from repro.akg.minhash import (
+    MinHasher,
+    WindowedSketchIndex,
+    estimate_jaccard,
+    sketches_share_value,
+)
+from repro.errors import ConfigError
+
+
+class TestMinHasher:
+    def test_deterministic_across_instances(self):
+        h1, h2 = MinHasher(4, seed=7), MinHasher(4, seed=7)
+        assert h1.hash_user("alice") == h2.hash_user("alice")
+
+    def test_seed_changes_hashes(self):
+        h1, h2 = MinHasher(4, seed=7), MinHasher(4, seed=8)
+        assert h1.hash_user("alice") != h2.hash_user("alice")
+
+    def test_sketch_is_sorted_bottom_p(self):
+        hasher = MinHasher(3, seed=1)
+        users = [f"u{i}" for i in range(20)]
+        sketch = hasher.sketch(users)
+        assert len(sketch) == 3
+        assert list(sketch) == sorted(sketch)
+        all_hashes = sorted(hasher.hash_user(u) for u in users)
+        assert list(sketch) == all_hashes[:3]
+
+    def test_sketch_shorter_than_p(self):
+        hasher = MinHasher(5, seed=1)
+        assert len(hasher.sketch(["a", "b"])) == 2
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigError):
+            MinHasher(0)
+
+
+class TestCandidateFilter:
+    def test_identical_sets_always_collide(self):
+        hasher = MinHasher(2, seed=3)
+        users = {f"u{i}" for i in range(10)}
+        assert sketches_share_value(hasher.sketch(users), hasher.sketch(users))
+
+    def test_disjoint_sets_never_collide(self):
+        hasher = MinHasher(4, seed=3)
+        s1 = hasher.sketch({f"a{i}" for i in range(10)})
+        s2 = hasher.sketch({f"b{i}" for i in range(10)})
+        assert not sketches_share_value(s1, s2)
+
+    def test_empty_sketch_no_collision(self):
+        assert not sketches_share_value((), (1, 2))
+
+    def test_collision_rate_tracks_jaccard(self):
+        """Over many draws, pairs with higher Jaccard collide more — the
+        probabilistic guarantee of Section 3.2.2 (Cohen [7])."""
+        rng = random.Random(0)
+        hits = {0.2: 0, 0.8: 0}
+        trials = 200
+        for trial in range(trials):
+            hasher = MinHasher(2, seed=trial)
+            base = [f"u{trial}_{i}" for i in range(20)]
+            for j in hits:
+                shared = int(round(20 * 2 * j / (1 + j)))  # |A n B| for target J
+                a = set(base[:20])
+                b = set(base[:shared]) | {f"x{trial}_{i}" for i in range(20 - shared)}
+                if sketches_share_value(hasher.sketch(a), hasher.sketch(b)):
+                    hits[j] += 1
+        assert hits[0.8] > hits[0.2]
+        assert hits[0.8] / trials > 0.8  # high-J pairs almost always collide
+
+
+class TestEstimateJaccard:
+    def test_identical(self):
+        hasher = MinHasher(8, seed=1)
+        sketch = hasher.sketch({f"u{i}" for i in range(30)})
+        assert estimate_jaccard(sketch, sketch, 8) == 1.0
+
+    def test_disjoint(self):
+        hasher = MinHasher(8, seed=1)
+        s1 = hasher.sketch({f"a{i}" for i in range(30)})
+        s2 = hasher.sketch({f"b{i}" for i in range(30)})
+        assert estimate_jaccard(s1, s2, 8) == 0.0
+
+    def test_empty(self):
+        assert estimate_jaccard((), (1,), 4) == 0.0
+
+    def test_estimation_accuracy(self):
+        """Bottom-p estimate converges to the true Jaccard for large p."""
+        universe = [f"u{i}" for i in range(200)]
+        a = set(universe[:120])
+        b = set(universe[60:180])
+        true = exact_jaccard(a, b)
+        errors = []
+        for seed in range(30):
+            hasher = MinHasher(48, seed=seed)
+            est = estimate_jaccard(hasher.sketch(a), hasher.sketch(b), 48)
+            errors.append(abs(est - true))
+        assert sum(errors) / len(errors) < 0.08
+
+    def test_exact_when_sets_small(self):
+        a = {f"u{i}" for i in range(4)}
+        b = {f"u{i}" for i in range(2, 6)}
+        hasher = MinHasher(16, seed=5)
+        est = estimate_jaccard(hasher.sketch(a), hasher.sketch(b), 16)
+        assert est == pytest.approx(exact_jaccard(a, b))
+
+
+class TestWindowedSketchIndex:
+    @given(
+        quanta=st.lists(
+            st.sets(st.integers(0, 40), min_size=0, max_size=12),
+            min_size=1,
+            max_size=8,
+        ),
+        p=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equals_full_recompute(self, quanta, p):
+        """The incremental window merge equals sketching the full window id
+        set from scratch — the correctness condition for the optimization."""
+        window = 3
+        hasher = MinHasher(p, seed=11)
+        index = WindowedSketchIndex(hasher, window_quanta=window)
+        for q, users in enumerate(quanta):
+            index.add_quantum(q, {"kw": users} if users else {})
+        live = quanta[-window:]
+        union = set().union(*live) if live else set()
+        assert index.sketch("kw") == hasher.sketch(union)
+
+    def test_expiry(self):
+        hasher = MinHasher(2, seed=1)
+        index = WindowedSketchIndex(hasher, window_quanta=2)
+        index.add_quantum(0, {"kw": {1, 2, 3}})
+        index.add_quantum(1, {})
+        index.add_quantum(2, {})
+        assert index.sketch("kw") == ()

@@ -1,0 +1,68 @@
+"""Command-line interface behaviour."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_prints_cluster(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "earthquake" in out
+        assert "5.9" in out
+
+
+class TestGenerateAndDetect:
+    def test_round_trip(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        assert main([
+            "generate", "tw", trace_path, "--messages", "4000", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 4000 messages" in out
+
+        truth = json.loads((tmp_path / "trace.jsonl.truth.json").read_text())
+        assert any(not e["spurious"] for e in truth)
+
+        assert main(["detect", trace_path, "--gamma", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "msg/s" in out
+
+    def test_generate_all_presets(self, tmp_path, capsys):
+        for preset in ("tw", "es", "ground-truth"):
+            path = str(tmp_path / f"{preset}.jsonl")
+            assert main(
+                ["generate", preset, path, "--messages", "3000"]
+            ) == 0
+
+    def test_detect_custom_parameters(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path,
+            "--quantum-size", "80",
+            "--theta", "3",
+            "--exact-ec",
+        ]) == 0
+
+
+class TestSweep:
+    def test_sweep_prints_grids(self, capsys):
+        assert main(["sweep", "tw", "--messages", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "Recall, TW trace" in out
+        assert "Precision, TW trace" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate"])

@@ -1,0 +1,70 @@
+"""DetectorConfig validation and derived parameters."""
+
+import pytest
+
+from repro.config import DetectorConfig, NOMINAL_CONFIG
+from repro.errors import ConfigError, ReproError
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("quantum_size", 0),
+            ("window_quanta", 0),
+            ("high_state_threshold", 0),
+            ("ec_threshold", 0.0),
+            ("ec_threshold", 1.5),
+            ("minhash_size", 0),
+            ("min_cluster_size", 1),
+            ("node_grace_quanta", -1),
+            ("rank_threshold_scale", -0.1),
+        ],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            DetectorConfig(**{field: value})
+
+    def test_config_error_is_repro_and_value_error(self):
+        with pytest.raises(ReproError):
+            DetectorConfig(quantum_size=0)
+        with pytest.raises(ValueError):
+            DetectorConfig(quantum_size=0)
+
+    def test_nominal_matches_table2(self):
+        assert NOMINAL_CONFIG.quantum_size == 160
+        assert NOMINAL_CONFIG.high_state_threshold == 4
+        assert NOMINAL_CONFIG.ec_threshold == pytest.approx(0.20)
+        assert NOMINAL_CONFIG.window_quanta == 30
+
+
+class TestDerivedParameters:
+    def test_minhash_size_formula(self):
+        """p = min(theta / 2, 1 / gamma) per Section 3.2.2."""
+        config = DetectorConfig(high_state_threshold=4, ec_threshold=0.2)
+        assert config.effective_minhash_size == 2  # min(2, 5)
+        config = DetectorConfig(high_state_threshold=20, ec_threshold=0.25)
+        assert config.effective_minhash_size == 4  # min(10, 4)
+
+    def test_minhash_size_at_least_one(self):
+        config = DetectorConfig(high_state_threshold=1, ec_threshold=0.9)
+        assert config.effective_minhash_size == 1
+
+    def test_minhash_override(self):
+        config = DetectorConfig(minhash_size=7)
+        assert config.effective_minhash_size == 7
+
+    def test_window_messages(self):
+        config = DetectorConfig(quantum_size=160, window_quanta=30)
+        assert config.window_messages == 4800  # the paper's 4800 tweets
+
+    def test_with_overrides(self):
+        config = NOMINAL_CONFIG.with_overrides(quantum_size=80)
+        assert config.quantum_size == 80
+        assert config.ec_threshold == NOMINAL_CONFIG.ec_threshold
+        with pytest.raises(ConfigError):
+            NOMINAL_CONFIG.with_overrides(quantum_size=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NOMINAL_CONFIG.quantum_size = 10

@@ -1,0 +1,185 @@
+"""ClusterRegistry bookkeeping: ownership indexes, merge/split identity."""
+
+import pytest
+
+from repro.core.clusters import Cluster, ClusterRegistry
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def registry():
+    return ClusterRegistry()
+
+
+def make_triangle(registry, a="a", b="b", c="c", quantum=0):
+    return registry.new_cluster(
+        {a, b, c},
+        {(a, b), (b, c), (a, c)},
+        born_quantum=quantum,
+    )
+
+
+class TestClusterRecord:
+    def test_size_and_edges(self, registry):
+        cluster = make_triangle(registry)
+        assert cluster.size == 3
+        assert cluster.num_edges == 3
+
+    def test_density_clique(self, registry):
+        cluster = make_triangle(registry)
+        assert cluster.density() == pytest.approx(1.0)
+
+    def test_density_sparse(self, registry):
+        cluster = registry.new_cluster(
+            {"a", "b", "c", "d"},
+            {("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")},
+        )
+        assert cluster.density() == pytest.approx(4 / 6)
+
+    def test_adjacency_restricted_to_cluster_edges(self, registry):
+        cluster = make_triangle(registry)
+        adjacency = cluster.adjacency()
+        assert adjacency["a"] == {"b", "c"}
+
+
+class TestNewCluster:
+    def test_indexes_updated(self, registry):
+        cluster = make_triangle(registry)
+        assert registry.cluster_of_edge("a", "b") == cluster.cluster_id
+        assert registry.clusters_of_node("a") == {cluster.cluster_id}
+
+    def test_duplicate_edge_ownership_rejected(self, registry):
+        make_triangle(registry)
+        with pytest.raises(ClusterError):
+            registry.new_cluster({"a", "b", "x"}, {("a", "b")})
+
+    def test_duplicate_id_rejected(self, registry):
+        cluster = make_triangle(registry)
+        with pytest.raises(ClusterError):
+            registry.new_cluster({"x"}, set(), cluster_id=cluster.cluster_id)
+
+    def test_node_in_two_clusters(self, registry):
+        """Clusters may share nodes (bowtie), never edges."""
+        c1 = make_triangle(registry, "a", "b", "c")
+        c2 = make_triangle(registry, "c", "d", "e")
+        assert registry.clusters_of_node("c") == {c1.cluster_id, c2.cluster_id}
+
+
+class TestMerge:
+    def test_survivor_is_largest(self, registry):
+        small = make_triangle(registry, "a", "b", "c")
+        big = registry.new_cluster(
+            {"p", "q", "r", "s"},
+            {("p", "q"), ("q", "r"), ("r", "s"), ("p", "s")},
+        )
+        survivor = registry.merge([small.cluster_id, big.cluster_id])
+        assert survivor.cluster_id == big.cluster_id
+        assert "a" in survivor.nodes
+        assert registry.cluster_of_edge("a", "b") == big.cluster_id
+        assert small.cluster_id not in registry
+
+    def test_merge_keeps_earliest_birth(self, registry):
+        c1 = make_triangle(registry, "a", "b", "c", quantum=2)
+        c2 = registry.new_cluster(
+            {"p", "q", "r", "s"},
+            {("p", "q"), ("q", "r"), ("r", "s"), ("p", "s")},
+            born_quantum=7,
+        )
+        survivor = registry.merge([c1.cluster_id, c2.cluster_id])
+        assert survivor.born_quantum == 2
+
+    def test_merge_single_id_is_noop(self, registry):
+        cluster = make_triangle(registry)
+        assert registry.merge([cluster.cluster_id]) is cluster
+
+    def test_merge_empty_raises(self, registry):
+        with pytest.raises(ClusterError):
+            registry.merge([])
+
+
+class TestAbsorb:
+    def test_adds_nodes_and_edges(self, registry):
+        cluster = make_triangle(registry)
+        registry.absorb(cluster.cluster_id, {"d"}, {("a", "d"), ("c", "d")})
+        assert "d" in cluster.nodes
+        assert registry.cluster_of_edge("a", "d") == cluster.cluster_id
+
+    def test_foreign_edge_rejected(self, registry):
+        c1 = make_triangle(registry, "a", "b", "c")
+        c2 = make_triangle(registry, "x", "y", "z")
+        with pytest.raises(ClusterError):
+            registry.absorb(c1.cluster_id, {"x", "y"}, {("x", "y")})
+
+
+class TestDissolveAndRelease:
+    def test_dissolve_clears_indexes(self, registry):
+        cluster = make_triangle(registry)
+        registry.dissolve(cluster.cluster_id)
+        assert registry.cluster_of_edge("a", "b") is None
+        assert registry.clusters_of_node("a") == set()
+        assert len(registry) == 0
+
+    def test_release_edges(self, registry):
+        cluster = make_triangle(registry)
+        registry.release_edges(cluster.cluster_id, [("a", "b")])
+        assert registry.cluster_of_edge("a", "b") is None
+        assert ("a", "c") in cluster.edges
+        registry.check_integrity()
+
+    def test_release_node(self, registry):
+        cluster = make_triangle(registry)
+        registry.release_node(cluster.cluster_id, "a")
+        assert registry.clusters_of_node("a") == set()
+        assert "a" not in cluster.nodes
+
+
+class TestReplace:
+    def test_largest_fragment_keeps_id(self, registry):
+        cluster = registry.new_cluster(
+            {"a", "b", "c", "d", "e", "f"},
+            {
+                ("a", "b"), ("b", "c"), ("a", "c"),
+                ("d", "e"), ("e", "f"), ("d", "f"),
+            },
+            born_quantum=1,
+        )
+        original_id = cluster.cluster_id
+        fragments = registry.replace(
+            original_id,
+            [
+                ({"a", "b", "c"}, {("a", "b"), ("b", "c"), ("a", "c")}),
+                ({"d", "e", "f", "g"}, {("d", "e"), ("e", "f"), ("d", "f")}),
+            ],
+            quantum=5,
+        )
+        by_id = {f.cluster_id: f for f in fragments}
+        assert original_id in by_id
+        assert by_id[original_id].nodes == {"d", "e", "f", "g"}
+        assert by_id[original_id].born_quantum == 1
+        other = next(f for f in fragments if f.cluster_id != original_id)
+        assert other.born_quantum == 5
+        registry.check_integrity()
+
+    def test_replace_with_no_fragments_dissolves(self, registry):
+        cluster = make_triangle(registry)
+        assert registry.replace(cluster.cluster_id, []) == []
+        assert len(registry) == 0
+
+
+class TestIntegrity:
+    def test_clean_registry_passes(self, registry):
+        make_triangle(registry)
+        registry.check_integrity()
+
+    def test_detects_corruption(self, registry):
+        cluster = make_triangle(registry)
+        cluster.edges.add(("x", "y"))  # corrupt directly
+        with pytest.raises(ClusterError):
+            registry.check_integrity()
+
+    def test_decomposition_snapshot(self, registry):
+        make_triangle(registry, "a", "b", "c")
+        make_triangle(registry, "x", "y", "z")
+        snapshot = registry.decomposition()
+        assert len(snapshot) == 2
+        assert frozenset({("a", "b"), ("b", "c"), ("a", "c")}) in snapshot

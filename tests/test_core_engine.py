@@ -1,0 +1,171 @@
+"""End-to-end EventDetector behaviour on controlled micro-streams."""
+
+import pytest
+
+from repro.config import DetectorConfig
+from repro.core.engine import EventDetector
+from repro.datasets.figure1 import figure1_messages
+from repro.stream.messages import Message
+from repro.text.pos import NounTagger
+
+
+def exact_config(**overrides):
+    base = dict(
+        quantum_size=6,
+        window_quanta=5,
+        high_state_threshold=2,
+        ec_threshold=0.1,
+        use_minhash_filter=False,
+    )
+    base.update(overrides)
+    return DetectorConfig(**base)
+
+
+def burst(keywords, users, quantum_size=6):
+    """Messages where each user posts all keywords (max correlation)."""
+    return [Message(f"u{u}", tokens=tuple(keywords)) for u in users]
+
+
+class TestFigure1Scenario:
+    def test_cluster_discovered_and_evolves(self):
+        """The paper's running example: the earthquake cluster forms, then
+        '5.9' joins it when the window slides."""
+        detector = EventDetector(exact_config())
+        initial, update = figure1_messages()
+        report1 = detector.process_quantum(initial)
+        assert len(report1.reported) == 1
+        keywords1 = report1.reported[0].keywords
+        assert {"earthquake", "struck", "eastern", "turkey"} <= keywords1
+        # bursty but spatially weak words stay out of the cluster
+        assert "massive" not in keywords1
+        assert "moderate" not in keywords1
+
+        report2 = detector.process_quantum(update)
+        assert len(report2.reported) >= 1
+        top = report2.top(1)[0]
+        assert "5.9" in top.keywords
+        assert top.event_id == report1.reported[0].event_id  # same event
+
+    def test_event_tracker_records_evolution(self):
+        detector = EventDetector(exact_config())
+        initial, update = figure1_messages()
+        detector.process_quantum(initial)
+        detector.process_quantum(update)
+        records = detector.tracker.all_events()
+        main = max(records, key=lambda r: len(r.all_keywords))
+        assert main.evolved()
+        assert "5.9" in main.all_keywords
+
+
+class TestDetectorLifecycle:
+    def test_cluster_dies_when_stale(self):
+        config = exact_config(window_quanta=2)
+        detector = EventDetector(config)
+        detector.process_quantum(burst(["alpha", "beta", "gamma"], range(6)))
+        assert len(detector.registry) == 1
+        noise = [
+            Message(f"n{i}", tokens=(f"w{i}a", f"w{i}b")) for i in range(6)
+        ]
+        detector.process_quantum(noise)
+        report = detector.process_quantum(
+            [Message(f"m{i}", tokens=(f"v{i}a",)) for i in range(6)]
+        )
+        assert len(detector.registry) == 0
+        assert report.dead_event_ids
+
+    def test_quantum_boundaries_via_process_message(self):
+        detector = EventDetector(exact_config(quantum_size=3))
+        messages = burst(["a1", "b1", "c1"], range(3))
+        reports = [detector.process_message(m) for m in messages]
+        assert reports[:2] == [None, None]
+        assert reports[2] is not None
+        assert reports[2].quantum == 0
+
+    def test_partial_final_quantum_via_stream(self):
+        detector = EventDetector(exact_config(quantum_size=4))
+        messages = burst(["a1", "b1", "c1"], range(6))
+        reports = list(detector.process_stream(messages))
+        assert len(reports) == 2
+        assert reports[1].messages_processed == 2
+
+    def test_throughput_accounting(self):
+        detector = EventDetector(exact_config())
+        detector.process_quantum(burst(["a1", "b1"], range(6)))
+        assert detector.total_messages == 6
+        assert detector.throughput() > 0
+
+
+class TestReportFilters:
+    def test_rank_floor_suppresses_weak_clusters(self):
+        config = exact_config(rank_threshold_scale=100.0)
+        detector = EventDetector(config)
+        report = detector.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+        assert report.reported == []
+        assert len(report.suppressed) == 1
+
+    def test_noun_filter(self):
+        tagger = NounTagger({"quickly": "adv", "running": "verb", "slowly": "adv"})
+        detector = EventDetector(exact_config(), noun_tagger=tagger)
+        report = detector.process_quantum(
+            burst(["quickly", "running", "slowly"], range(6))
+        )
+        assert report.reported == []
+        assert len(report.suppressed) == 1
+
+    def test_noun_filter_disabled(self):
+        tagger = NounTagger({"quickly": "adv", "running": "verb", "slowly": "adv"})
+        detector = EventDetector(
+            exact_config(require_noun=False), noun_tagger=tagger
+        )
+        report = detector.process_quantum(
+            burst(["quickly", "running", "slowly"], range(6))
+        )
+        assert len(report.reported) == 1
+
+    def test_min_cluster_size_respected(self):
+        config = exact_config(min_cluster_size=5)
+        detector = EventDetector(config)
+        report = detector.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+        assert report.reported == []
+        assert report.suppressed == []  # too small to even rank
+
+
+class TestSpatialCorrelation:
+    def test_temporally_but_not_spatially_correlated_words_unclustered(self):
+        """Two bursts from disjoint user groups never share an edge."""
+        detector = EventDetector(exact_config())
+        messages = burst(["a1", "b1", "c1"], range(3)) + burst(
+            ["x1", "y1", "z1"], range(10, 13)
+        )
+        report = detector.process_quantum(messages)
+        keyword_sets = [set(e.keywords) for e in report.reported]
+        for keywords in keyword_sets:
+            assert not (
+                keywords & {"a1", "b1", "c1"} and keywords & {"x1", "y1", "z1"}
+            )
+
+    def test_user_level_spatiality_spans_messages(self):
+        """Keywords of one user may be spread over several messages within a
+        quantum and still correlate (Section 3.2)."""
+        detector = EventDetector(exact_config())
+        messages = []
+        for u in range(3):
+            messages.append(Message(f"u{u}", tokens=("storm", "warning")))
+            messages.append(Message(f"u{u}", tokens=("coast", "warning")))
+        report = detector.process_quantum(messages)
+        assert len(report.reported) == 1
+        assert report.reported[0].keywords == {"storm", "warning", "coast"}
+
+
+class TestCkgStats:
+    def test_tracking_enabled(self):
+        config = exact_config(track_ckg_stats=True)
+        detector = EventDetector(config)
+        report = detector.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+        assert report.ckg_nodes == 3
+        assert report.ckg_edges == 3
+
+    def test_tracking_disabled_by_default(self):
+        detector = EventDetector(exact_config())
+        report = detector.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+        assert report.ckg_nodes is None

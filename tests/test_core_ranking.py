@@ -1,0 +1,154 @@
+"""Ranking function (Section 6): closed form vs matrix formula, monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranking import (
+    cluster_rank,
+    minimum_rank,
+    rank_from_matrices,
+    rank_matrices,
+)
+from repro.errors import ClusterError
+
+
+TRIANGLE_NODES = ["a", "b", "c"]
+TRIANGLE_EDGES = [("a", "b"), ("b", "c"), ("a", "c")]
+
+
+def uniform_weights(value=4.0):
+    return {n: value for n in TRIANGLE_NODES}
+
+
+def uniform_corr(value=0.5):
+    return {e: value for e in TRIANGLE_EDGES}
+
+
+class TestClosedForm:
+    def test_hand_computed_triangle(self):
+        # rank = (sum w + sum_e c_e * (w_u + w_v)) / n
+        #      = (12 + 3 * 0.5 * 8) / 3 = 8.0
+        rank = cluster_rank(
+            TRIANGLE_NODES, TRIANGLE_EDGES, uniform_weights(), uniform_corr()
+        )
+        assert rank == pytest.approx(8.0)
+
+    def test_single_node_no_edges(self):
+        assert cluster_rank(["a"], [], {"a": 7.0}, {}) == pytest.approx(7.0)
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ClusterError):
+            cluster_rank([], [], {}, {})
+
+    def test_missing_weight_raises(self):
+        with pytest.raises(ClusterError):
+            cluster_rank(["a", "b"], [("a", "b")], {"a": 1.0}, {("a", "b"): 1.0})
+
+    def test_missing_correlation_raises(self):
+        with pytest.raises(ClusterError):
+            cluster_rank(["a", "b"], [("a", "b")], {"a": 1.0, "b": 1.0}, {})
+
+
+class TestMatrixEquivalence:
+    @given(
+        weights=st.lists(st.floats(1.0, 100.0), min_size=3, max_size=3),
+        corrs=st.lists(st.floats(0.05, 1.0), min_size=3, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_closed_form_equals_w_c_one(self, weights, corrs):
+        """cluster_rank == (W @ C @ 1) / n — the literal paper formula."""
+        node_weights = dict(zip(TRIANGLE_NODES, weights))
+        edge_corrs = dict(zip(TRIANGLE_EDGES, corrs))
+        closed = cluster_rank(
+            TRIANGLE_NODES, TRIANGLE_EDGES, node_weights, edge_corrs
+        )
+        w, c = rank_matrices(
+            TRIANGLE_NODES, TRIANGLE_EDGES, node_weights, edge_corrs
+        )
+        assert closed == pytest.approx(rank_from_matrices(w, c))
+
+    def test_matrix_shapes(self):
+        w, c = rank_matrices(
+            TRIANGLE_NODES, TRIANGLE_EDGES, uniform_weights(), uniform_corr()
+        )
+        assert w.shape == (1, 3)
+        assert c.shape == (3, 3)
+        assert (c.diagonal() == 1.0).all()
+
+
+class TestMonotonicity:
+    """The Section 6 design goals: correlation, density and support each
+    increase the rank; normalisation stops growth being automatic."""
+
+    def test_higher_correlation_higher_rank(self):
+        low = cluster_rank(
+            TRIANGLE_NODES, TRIANGLE_EDGES, uniform_weights(), uniform_corr(0.2)
+        )
+        high = cluster_rank(
+            TRIANGLE_NODES, TRIANGLE_EDGES, uniform_weights(), uniform_corr(0.9)
+        )
+        assert high > low
+
+    def test_higher_support_higher_rank(self):
+        low = cluster_rank(
+            TRIANGLE_NODES, TRIANGLE_EDGES, uniform_weights(4), uniform_corr()
+        )
+        high = cluster_rank(
+            TRIANGLE_NODES, TRIANGLE_EDGES, uniform_weights(40), uniform_corr()
+        )
+        assert high > low
+
+    def test_extra_edge_higher_rank(self):
+        sparse_edges = TRIANGLE_EDGES[:2]
+        sparse = cluster_rank(
+            TRIANGLE_NODES,
+            sparse_edges,
+            uniform_weights(),
+            {e: 0.5 for e in sparse_edges},
+        )
+        dense = cluster_rank(
+            TRIANGLE_NODES, TRIANGLE_EDGES, uniform_weights(), uniform_corr()
+        )
+        assert dense > sparse
+
+    def test_size_normalisation(self):
+        """A bigger but equally sparse cluster does not automatically
+        outrank a small dense one."""
+        big_nodes = list("abcdefgh")
+        ring = [
+            (big_nodes[i], big_nodes[(i + 1) % len(big_nodes)])
+            for i in range(len(big_nodes))
+        ]
+        ring = [tuple(sorted(e)) for e in ring]
+        big = cluster_rank(
+            big_nodes,
+            ring,
+            {n: 4.0 for n in big_nodes},
+            {e: 0.3 for e in ring},
+        )
+        small = cluster_rank(
+            TRIANGLE_NODES, TRIANGLE_EDGES, uniform_weights(), uniform_corr(0.9)
+        )
+        assert small > big
+
+
+class TestMinimumRank:
+    def test_formula(self):
+        assert minimum_rank(4, 0.2) == pytest.approx(4 * 1.4)
+
+    def test_monotone_in_theta_and_gamma(self):
+        assert minimum_rank(8, 0.2) > minimum_rank(4, 0.2)
+        assert minimum_rank(4, 0.3) > minimum_rank(4, 0.1)
+
+    def test_qualifying_cluster_beats_floor(self):
+        """A minimal qualifying cluster (triangle, theta support, gamma
+        correlation) ranks at least at the floor."""
+        theta, gamma = 4, 0.2
+        rank = cluster_rank(
+            TRIANGLE_NODES,
+            TRIANGLE_EDGES,
+            uniform_weights(float(theta)),
+            uniform_corr(gamma),
+        )
+        assert rank >= minimum_rank(theta, gamma)

@@ -1,0 +1,279 @@
+"""Synthetic workload generators: determinism, structure, calibration."""
+
+import pytest
+
+from repro.datasets.events import (
+    BridgeScript,
+    EventScript,
+    SpuriousScript,
+    chatter_pair_script,
+)
+from repro.datasets.headlines import headlines_for_trace
+from repro.datasets.synthetic import StreamSpec, Trace, generate_stream
+from repro.datasets.traces import (
+    build_es_trace,
+    build_ground_truth_trace,
+    build_tw_trace,
+)
+from repro.datasets.vocab import Vocabulary
+from repro.errors import ConfigError
+
+
+class TestVocabulary:
+    def test_words_distinct(self):
+        vocab = Vocabulary(size=2000, seed=1)
+        assert len(set(vocab.words)) == 2000
+
+    def test_zipf_head_heavier_than_tail(self):
+        import numpy as np
+
+        vocab = Vocabulary(size=1000, seed=1)
+        rng = np.random.default_rng(0)
+        draws = vocab.sample_background(rng, 5000)
+        head = sum(1 for w in draws if w in set(vocab.words[:10]))
+        tail = sum(1 for w in draws if w in set(vocab.words[-10:]))
+        assert head > tail * 5
+
+    def test_event_keywords_disjoint_from_background(self):
+        vocab = Vocabulary(size=500, seed=1)
+        minted = vocab.make_event_keywords(20)
+        assert set(minted).isdisjoint(set(vocab.words))
+        assert len(set(minted)) == 20
+
+    def test_event_keywords_tagged(self):
+        vocab = Vocabulary(size=500, seed=1)
+        word = vocab.make_event_keywords(1, tag="noun")[0]
+        assert vocab.lexicon()[word] == "noun"
+
+    def test_pos_mix(self):
+        vocab = Vocabulary(size=2000, noun_fraction=0.5, verb_fraction=0.3, seed=1)
+        tags = list(vocab.lexicon().values())
+        nouns = tags.count("noun") / len(tags)
+        assert 0.42 < nouns < 0.58
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            Vocabulary(size=2)
+        with pytest.raises(ConfigError):
+            Vocabulary(noun_fraction=0.9, verb_fraction=0.5)
+
+
+class TestEventScripts:
+    def make_event(self, **overrides):
+        base = dict(
+            event_id="e1",
+            keywords=["k1", "k2", "k3", "k4"],
+            start_message=1000,
+            duration_messages=2000,
+            total_messages=100,
+            n_users=30,
+        )
+        base.update(overrides)
+        return EventScript(**base)
+
+    def test_positions_within_interval(self):
+        import numpy as np
+
+        script = self.make_event()
+        positions = script.message_positions(np.random.default_rng(0))
+        assert len(positions) == 100
+        assert positions.min() >= 1000
+        assert positions.max() <= 3000
+
+    def test_burst_profile_front_loaded(self):
+        import numpy as np
+
+        script = self.make_event(profile="burst")
+        positions = script.message_positions(np.random.default_rng(0))
+        assert positions.max() <= 1000 + 0.1 * 2000
+
+    def test_ground_truth_discoverability(self):
+        # 100 msgs / 2000 duration * (2+4)/2/4 keywords * 2 peak = 0.075/msg
+        truth = self.make_event(keywords_per_message=(2, 4)).ground_truth()
+        assert truth.peak_keyword_rate == pytest.approx(0.075)
+        assert truth.discoverable(quantum_size=160, theta=4)   # 12 >= 4
+        assert not truth.discoverable(quantum_size=40, theta=4)  # 3 < 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make_event(keywords=[])
+        with pytest.raises(ConfigError):
+            self.make_event(duration_messages=0)
+        with pytest.raises(ConfigError):
+            self.make_event(keywords_per_message=(3, 2))
+        with pytest.raises(ConfigError):
+            self.make_event(profile="sinusoid")
+
+    def test_spurious_script_shape(self):
+        spur = SpuriousScript(
+            event_id="s1",
+            keywords=["a", "b", "c"],
+            start_message=0,
+            duration_messages=1000,
+            total_messages=50,
+            n_users=10,
+        )
+        truth = spur.ground_truth()
+        assert truth.spurious
+        assert spur.to_event_script().profile == "burst"
+
+    def test_chatter_pair(self):
+        script = chatter_pair_script("c1", ["x", "y"], 10_000, 300, 50)
+        assert script.spurious
+        assert script.keywords_per_message == (2, 2)
+        with pytest.raises(ConfigError):
+            chatter_pair_script("c2", ["x"], 10_000, 300, 50)
+
+    def test_bridge_validation(self):
+        with pytest.raises(ConfigError):
+            BridgeScript("b1", [], 0, 100, 10, 5)
+        bridge = BridgeScript(
+            "b1", [("a", "m"), ("m", "b")], 0, 100, 10, 5,
+            link_user_sources=["e1", "e2"],
+        )
+        assert bridge.chain_keywords == ["a", "m", "b"]
+        with pytest.raises(ConfigError):
+            BridgeScript(
+                "b2", [("a", "m")], 0, 100, 10, 5,
+                link_user_sources=["e1", "e2"],
+            )
+
+
+class TestGenerateStream:
+    def make_spec(self, **overrides):
+        vocab = Vocabulary(size=500, seed=2)
+        event = EventScript(
+            event_id="e1",
+            keywords=vocab.make_event_keywords(5),
+            start_message=200,
+            duration_messages=600,
+            total_messages=80,
+            n_users=25,
+        )
+        base = dict(
+            total_messages=2000,
+            vocabulary=vocab,
+            events=[event],
+            n_users=200,
+            seed=5,
+        )
+        base.update(overrides)
+        return StreamSpec(**base)
+
+    def test_total_message_count(self):
+        trace = generate_stream(self.make_spec())
+        assert trace.total_messages == 2000
+
+    def test_deterministic(self):
+        t1 = generate_stream(self.make_spec())
+        t2 = generate_stream(self.make_spec())
+        assert [m.tokens for m in t1.messages[:200]] == [
+            m.tokens for m in t2.messages[:200]
+        ]
+
+    def test_seed_changes_stream(self):
+        t1 = generate_stream(self.make_spec(seed=5))
+        t2 = generate_stream(self.make_spec(seed=6))
+        assert [m.tokens for m in t1.messages[:200]] != [
+            m.tokens for m in t2.messages[:200]
+        ]
+
+    def test_event_keywords_present_in_interval(self):
+        trace = generate_stream(self.make_spec())
+        event = trace.ground_truth[0]
+        hits = [
+            i
+            for i, m in enumerate(trace.messages)
+            if set(m.tokens) & set(event.keywords)
+        ]
+        assert len(hits) >= 70  # ~80 planted
+        assert min(hits) >= event.start_message - 50
+        assert max(hits) <= event.end_message + 50
+
+    def test_every_message_nonempty_with_user(self):
+        trace = generate_stream(self.make_spec())
+        for message in trace.messages[:500]:
+            assert message.tokens
+            assert message.user_id.startswith("u")
+
+    def test_lexicon_covers_event_keywords(self):
+        trace = generate_stream(self.make_spec())
+        for event in trace.ground_truth:
+            for kw in event.keywords:
+                assert kw in trace.lexicon
+
+
+class TestTracePresets:
+    def test_tw_structure(self):
+        trace = build_tw_trace(total_messages=6000, n_events=4, n_spurious=2)
+        assert trace.name == "TW"
+        assert trace.total_messages == 6000
+        assert len(trace.real_events()) == 4
+        # chatter pairs and bursts are spurious ground truth
+        assert len(trace.spurious_events()) >= 2
+
+    def test_es_density_triple(self):
+        tw = build_tw_trace(total_messages=6000, n_events=4)
+        es = build_es_trace(total_messages=6000, n_events=12)
+        assert len(es.real_events()) == 3 * len(tw.real_events())
+
+    def test_ground_truth_composition(self):
+        trace = build_ground_truth_trace(
+            total_messages=10_000,
+            n_headline_discoverable=5,
+            n_headline_subthreshold=4,
+            n_local_events=6,
+            n_spurious=2,
+        )
+        headlined = [e for e in trace.ground_truth if e.headlined]
+        assert len(headlined) == 9
+        locals_ = [
+            e
+            for e in trace.ground_truth
+            if not e.headlined and not e.spurious
+        ]
+        assert len(locals_) == 6
+
+    def test_subthreshold_events_not_discoverable(self):
+        trace = build_ground_truth_trace(
+            total_messages=10_000,
+            n_headline_discoverable=3,
+            n_headline_subthreshold=3,
+            n_local_events=2,
+            n_spurious=1,
+        )
+        subs = [e for e in trace.ground_truth if e.event_id.startswith("gt-sub")]
+        assert subs
+        for event in subs:
+            assert not event.discoverable(quantum_size=160, theta=4)
+
+    def test_headlines_follow_events(self):
+        trace = build_ground_truth_trace(
+            total_messages=10_000,
+            n_headline_discoverable=4,
+            n_headline_subthreshold=2,
+            n_local_events=2,
+            n_spurious=1,
+        )
+        headlines = headlines_for_trace(trace)
+        assert len(headlines) == 6
+        by_id = {e.event_id: e for e in trace.ground_truth}
+        for headline in headlines:
+            event = by_id[headline.event_id]
+            assert headline.published_message >= event.start_message
+
+    def test_headline_lead_time(self):
+        trace = build_ground_truth_trace(
+            total_messages=10_000,
+            n_headline_discoverable=2,
+            n_headline_subthreshold=1,
+            n_local_events=1,
+            n_spurious=1,
+        )
+        headline = headlines_for_trace(trace)[0]
+        assert headline.lead_time_messages(None) is None
+        lead = headline.lead_time_messages(headline.published_message - 2100)
+        assert lead == 2100
+        assert headline.lead_time_seconds(
+            headline.published_message - 2100
+        ) == pytest.approx(100.0)

@@ -1,0 +1,101 @@
+"""Public API surface: imports, __all__ hygiene, docstring presence."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.graph",
+    "repro.akg",
+    "repro.stream",
+    "repro.text",
+    "repro.datasets",
+    "repro.baselines",
+    "repro.eval",
+]
+
+MODULES = [
+    "repro.config",
+    "repro.errors",
+    "repro.cli",
+    "repro.core.atoms",
+    "repro.core.clusters",
+    "repro.core.maintenance",
+    "repro.core.ranking",
+    "repro.core.events",
+    "repro.core.engine",
+    "repro.core.postprocess",
+    "repro.graph.dynamic_graph",
+    "repro.graph.biconnected",
+    "repro.graph.quasi_clique",
+    "repro.graph.generators",
+    "repro.akg.idsets",
+    "repro.akg.burstiness",
+    "repro.akg.minhash",
+    "repro.akg.correlation",
+    "repro.akg.builder",
+    "repro.akg.ckg_stats",
+    "repro.stream.messages",
+    "repro.stream.window",
+    "repro.stream.sources",
+    "repro.text.tokenize",
+    "repro.text.stopwords",
+    "repro.text.pos",
+    "repro.text.synonyms",
+    "repro.datasets.vocab",
+    "repro.datasets.events",
+    "repro.datasets.synthetic",
+    "repro.datasets.traces",
+    "repro.datasets.headlines",
+    "repro.datasets.figure1",
+    "repro.baselines.offline_bc",
+    "repro.baselines.tracking",
+    "repro.baselines.trending",
+    "repro.eval.matching",
+    "repro.eval.metrics",
+    "repro.eval.filtering",
+    "repro.eval.quality",
+    "repro.eval.runner",
+    "repro.eval.comparison",
+    "repro.eval.reporting",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES + MODULES)
+def test_module_imports_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES + MODULES)
+def test_all_entries_exist(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+def test_version_matches_pyproject():
+    from pathlib import Path
+
+    pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+    if pyproject.exists():
+        assert f'version = "{repro.__version__}"' in pyproject.read_text()

@@ -1,0 +1,131 @@
+"""Message records, quantum batching, and trace I/O."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.messages import Message
+from repro.stream.sources import read_jsonl_trace, write_jsonl_trace
+from repro.stream.window import (
+    QuantumBatcher,
+    invert_user_keywords,
+    keyword_users_of_quantum,
+    user_keywords_of_quantum,
+)
+from repro.text.tokenize import tokenize
+
+
+class TestMessage:
+    def test_needs_tokens_or_text(self):
+        with pytest.raises(StreamError):
+            Message(user_id=1)
+
+    def test_pretokenized_fast_path(self):
+        message = Message(1, tokens=("a", "b"))
+        assert message.keyword_tuple(tokenize) == ("a", "b")
+
+    def test_text_tokenised_on_demand(self):
+        message = Message(1, text="Earthquake struck Turkey!")
+        assert message.keyword_tuple(tokenize) == (
+            "earthquake",
+            "struck",
+            "turkey",
+        )
+
+    def test_frozen(self):
+        message = Message(1, tokens=("a",))
+        with pytest.raises(AttributeError):
+            message.user_id = 2
+
+
+class TestQuantumBatcher:
+    def test_push_emits_full_quantum(self):
+        batcher = QuantumBatcher(3)
+        m = Message(1, tokens=("a",))
+        assert batcher.push(m) is None
+        assert batcher.push(m) is None
+        batch = batcher.push(m)
+        assert batch is not None and len(batch) == 3
+        assert batcher.pending == 0
+
+    def test_flush_partial(self):
+        batcher = QuantumBatcher(3)
+        batcher.push(Message(1, tokens=("a",)))
+        assert len(batcher.flush()) == 1
+        assert batcher.flush() == []
+
+    def test_batches_yields_trailing_partial(self):
+        batcher = QuantumBatcher(4)
+        messages = [Message(i, tokens=("a",)) for i in range(10)]
+        batches = list(batcher.batches(messages))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_invalid_size(self):
+        with pytest.raises(StreamError):
+            QuantumBatcher(0)
+
+
+class TestAggregation:
+    MESSAGES = [
+        Message("u1", tokens=("storm", "coast")),
+        Message("u1", tokens=("storm", "warning")),
+        Message("u2", tokens=("storm",)),
+    ]
+
+    def test_user_keywords(self):
+        result = user_keywords_of_quantum(self.MESSAGES, tokenize)
+        assert result == {
+            "u1": {"storm", "coast", "warning"},
+            "u2": {"storm"},
+        }
+
+    def test_keyword_users(self):
+        result = keyword_users_of_quantum(self.MESSAGES, tokenize)
+        assert result["storm"] == {"u1", "u2"}
+        assert result["coast"] == {"u1"}
+
+    def test_inversion_consistent(self):
+        by_user = user_keywords_of_quantum(self.MESSAGES, tokenize)
+        assert invert_user_keywords(by_user) == keyword_users_of_quantum(
+            self.MESSAGES, tokenize
+        )
+
+    def test_empty_messages_skipped(self):
+        result = user_keywords_of_quantum(
+            [Message("u1", tokens=())], tokenize
+        )
+        assert result == {}
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        messages = [
+            Message("u1", tokens=("a", "b"), timestamp=1.5),
+            Message("u2", text="hello world message"),
+            Message(3, tokens=("c",)),
+        ]
+        count = write_jsonl_trace(path, messages)
+        assert count == 3
+        loaded = list(read_jsonl_trace(path))
+        assert loaded[0].user_id == "u1"
+        assert loaded[0].tokens == ("a", "b")
+        assert loaded[0].timestamp == 1.5
+        assert loaded[1].text == "hello world message"
+        assert loaded[2].user_id == 3
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(StreamError):
+            list(read_jsonl_trace(path))
+
+    def test_missing_user_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"k": ["a"]}\n')
+        with pytest.raises(StreamError):
+            list(read_jsonl_trace(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"u": 1, "k": ["a"]}\n\n{"u": 2, "k": ["b"]}\n')
+        assert len(list(read_jsonl_trace(path))) == 2
