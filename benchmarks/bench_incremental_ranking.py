@@ -1,0 +1,151 @@
+"""Incremental vs. from-scratch ranking throughput across churn rates.
+
+The rank stage used to recompute every live cluster each quantum; the
+:class:`~repro.core.incremental.IncrementalRanker` recomputes only clusters
+dirtied by the typed change log.  This bench builds a world of many stable
+clusters, perturbs a controlled fraction of them per round (node-weight
+bumps, exactly what a window slide produces), and times one rank-stage pass
+in each mode.  Per-round parity between the two modes is asserted, so the
+speedup is measured against a provably identical result.
+
+Expected shape: the incremental path's cost scales with churn while the
+oracle's is flat, so the speedup is largest at low churn (the paper's
+operating regime — a quantum touches a small fraction of the graph) and
+fades toward 1x as churn approaches 100%.
+
+Run under pytest with the bench options, or standalone:
+
+    PYTHONPATH=src python benchmarks/bench_incremental_ranking.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.changelog import NodeWeightChanged
+from repro.core.incremental import IncrementalRanker
+from repro.core.maintenance import ClusterMaintainer
+from repro.eval.reporting import render_table
+
+N_CLUSTERS = 150
+CLUSTER_SIZE = 6
+CHURN_RATES = [0.01, 0.10, 0.50]
+ROUNDS = 40
+
+
+def build_world() -> Tuple[ClusterMaintainer, Dict[str, float]]:
+    """``N_CLUSTERS`` disjoint cliques of ``CLUSTER_SIZE`` keywords."""
+    maintainer = ClusterMaintainer()
+    weights: Dict[str, float] = {}
+    for c in range(N_CLUSTERS):
+        nodes = [f"k{c}_{i}" for i in range(CLUSTER_SIZE)]
+        for n in nodes:
+            maintainer.graph.ensure_node(n)
+            weights[n] = 4.0
+        for i in range(len(nodes)):
+            for j in range(i + 1, len(nodes)):
+                maintainer.add_edge(nodes[i], nodes[j], 0.5)
+    return maintainer, weights
+
+
+def measure_churn_rate(
+    churn: float, rounds: int = ROUNDS, seed: int = 7
+) -> Tuple[float, float, int]:
+    """(incremental_seconds, oracle_seconds, dirtied_per_round) for one rate."""
+    maintainer, weights = build_world()
+
+    def weight_fn(nodes):
+        return {n: weights[n] for n in nodes}
+
+    incremental = IncrementalRanker(
+        maintainer.registry, maintainer.graph, weight_fn
+    )
+    oracle = IncrementalRanker(
+        maintainer.registry, maintainer.graph, weight_fn, oracle=True
+    )
+    incremental.apply(maintainer.drain_changes())
+    incremental.rank_all()  # warm the cache: steady state, not cold start
+
+    rng = random.Random(seed)
+    cluster_ids = maintainer.registry.cluster_ids()
+    k = max(1, round(churn * len(cluster_ids)))
+    inc_seconds = 0.0
+    ora_seconds = 0.0
+    for _ in range(rounds):
+        for cid in rng.sample(cluster_ids, k):
+            node = next(iter(maintainer.registry.get(cid).nodes))
+            old = weights[node]
+            weights[node] = old + 1.0
+            maintainer.changelog.record(NodeWeightChanged(node, old, old + 1.0))
+        batch = maintainer.drain_changes()
+
+        t = time.perf_counter()
+        incremental.apply(batch)
+        inc_ranked = incremental.rank_all()
+        inc_seconds += time.perf_counter() - t
+
+        t = time.perf_counter()
+        ora_ranked = oracle.rank_all()
+        ora_seconds += time.perf_counter() - t
+
+        assert incremental.stats.recomputed <= k
+        assert {c.cluster_id: (r, s) for c, r, s in inc_ranked} == {
+            c.cluster_id: (r, s) for c, r, s in ora_ranked
+        }, f"incremental/oracle divergence at churn={churn}"
+    return inc_seconds, ora_seconds, k
+
+
+def run_bench() -> Tuple[str, Dict[float, float]]:
+    rows: List[List[object]] = []
+    speedups: Dict[float, float] = {}
+    for churn in CHURN_RATES:
+        inc_s, ora_s, k = measure_churn_rate(churn)
+        speedup = ora_s / inc_s if inc_s else float("inf")
+        speedups[churn] = speedup
+        rows.append(
+            [
+                f"{churn:.0%}",
+                k,
+                round(1e6 * inc_s / ROUNDS, 1),
+                round(1e6 * ora_s / ROUNDS, 1),
+                f"{speedup:.1f}x",
+            ]
+        )
+    table = render_table(
+        [
+            "churn",
+            "dirty clusters",
+            "incremental us/quantum",
+            "from-scratch us/quantum",
+            "speedup",
+        ],
+        rows,
+        title=(
+            f"Rank stage: incremental vs from-scratch "
+            f"({N_CLUSTERS} clusters of {CLUSTER_SIZE} keywords)"
+        ),
+    )
+    return table, speedups
+
+
+def bench_incremental_ranking():
+    """Acceptance gate: >= 3x at <= 10% churn, with exact rank parity."""
+    table, speedups = run_bench()
+    try:
+        from conftest import emit
+    except ImportError:  # standalone run
+        print(table)
+    else:
+        emit("incremental_ranking", table)
+    assert speedups[0.01] >= 3.0, (
+        f"expected >= 3x speedup at 1% churn, got {speedups[0.01]:.1f}x"
+    )
+    assert speedups[0.10] >= 3.0, (
+        f"expected >= 3x speedup at 10% churn, got {speedups[0.10]:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    bench_incremental_ranking()

@@ -20,7 +20,9 @@ Public entry points
 """
 
 from repro.config import DetectorConfig, NOMINAL_CONFIG
-from repro.core.engine import EventDetector, QuantumReport, ReportedEvent
+from repro.core.changelog import ChangeBatch, ChangeEvent, ChangeLog
+from repro.core.engine import EventDetector, QuantumReport, ReportedEvent, StageTimings
+from repro.core.incremental import IncrementalRanker
 from repro.core.maintenance import ClusterMaintainer, decompose_graph
 from repro.core.clusters import Cluster, ClusterRegistry
 from repro.core.events import EventRecord, EventTracker
@@ -43,6 +45,11 @@ __all__ = [
     "EventDetector",
     "QuantumReport",
     "ReportedEvent",
+    "StageTimings",
+    "ChangeBatch",
+    "ChangeEvent",
+    "ChangeLog",
+    "IncrementalRanker",
     "ClusterMaintainer",
     "decompose_graph",
     "Cluster",

@@ -29,6 +29,7 @@ from repro.akg.burstiness import BurstinessTracker
 from repro.akg.idsets import IdSetIndex
 from repro.akg.minhash import MinHasher, Sketch, WindowedSketchIndex
 from repro.config import DetectorConfig
+from repro.core.changelog import NodeWeightChanged
 from repro.core.maintenance import ClusterMaintainer
 
 Keyword = str
@@ -47,6 +48,7 @@ class AkgQuantumStats:
     edges_added: int = 0
     edges_removed: int = 0
     edges_refreshed: int = 0
+    node_weight_deltas: int = 0
     candidate_pairs: int = 0
     ec_computations: int = 0
     akg_nodes: int = 0
@@ -78,7 +80,15 @@ class AkgBuilder:
         graph = self.maintainer.graph
         self.maintainer.current_quantum = quantum
 
-        self.idsets.add_quantum(quantum, keyword_users)
+        support_deltas = self.idsets.add_quantum(quantum, keyword_users)
+        # Node-weight deltas feed the incremental ranker.  Only nodes already
+        # in the AKG matter: a keyword entering the graph (and a cluster)
+        # later this quantum is covered by that cluster's structural event.
+        changelog = self.maintainer.changelog
+        for kw, (old, new) in support_deltas.items():
+            if graph.has_node(kw):
+                changelog.record(NodeWeightChanged(kw, old, new))
+                stats.node_weight_deltas += 1
         if self.config.use_minhash_filter:
             self.sketches.add_quantum(quantum, keyword_users)
         quantum_support = {kw: len(users) for kw, users in keyword_users.items()}

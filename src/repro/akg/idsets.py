@@ -36,10 +36,15 @@ class IdSetIndex:
 
     def add_quantum(
         self, quantum: int, keyword_users: Mapping[Keyword, Set[UserId]]
-    ) -> None:
+    ) -> Dict[Keyword, Tuple[int, int]]:
         """Ingest one quantum's keyword -> users mapping and expire old ones.
 
-        Quanta must be added in increasing order.
+        Quanta must be added in increasing order.  Returns the support
+        deltas this slide caused, as ``keyword -> (old, new)`` for every
+        keyword whose window support actually changed — the node-weight
+        change feed of the incremental ranking pipeline.  Only keywords in
+        the entering quantum or in expiring ones can move, so computing the
+        deltas is O(changes), never O(window).
         """
         if self._window and quantum <= self._window[-1][0]:
             raise StreamError(
@@ -51,6 +56,12 @@ class IdSetIndex:
         frozen = {
             kw: frozenset(users) for kw, users in keyword_users.items() if users
         }
+        touched: Set[Keyword] = set(frozen)
+        for old_quantum, old in self._window:  # ordered by quantum ascending
+            if old_quantum > quantum - self.window_quanta:
+                break  # nothing further expires this slide
+            touched.update(old)
+        before = {kw: self.support(kw) for kw in touched}
         self._window.append((quantum, frozen))
         for kw, users in frozen.items():
             counter = self._counts.get(kw)
@@ -69,6 +80,11 @@ class IdSetIndex:
                         del counter[user]
                 if not counter:
                     del self._counts[kw]
+        return {
+            kw: (old_support, new_support)
+            for kw, old_support in before.items()
+            if (new_support := self.support(kw)) != old_support
+        }
 
     # ------------------------------------------------------------- queries
 

@@ -45,6 +45,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="edge-correlation threshold (nominal: 0.20)")
     parser.add_argument("--exact-ec", action="store_true",
                         help="disable the MinHash candidate filter")
+    parser.add_argument("--timing", action="store_true",
+                        help="print a per-stage timing breakdown "
+                             "(tokenize/akg/maintain/propagate/rank/report)")
+    parser.add_argument("--oracle-ranking", action="store_true",
+                        help="disable the incremental rank cache and re-rank "
+                             "every cluster from scratch each quantum "
+                             "(verification baseline)")
 
 
 def _config_from(args: argparse.Namespace) -> DetectorConfig:
@@ -103,9 +110,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    detector = EventDetector(_config_from(args))
+    detector = EventDetector(
+        _config_from(args), oracle_ranking=args.oracle_ranking
+    )
     printed = 0
+    quanta = 0
+    cache_hits = 0
+    recomputed = 0
     for report in detector.process_stream(read_jsonl_trace(args.trace)):
+        quanta += 1
+        cache_hits += report.rank_cache_hits
+        recomputed += report.ranked_clusters - report.rank_cache_hits
         for event in report.reported:
             if event.event_id in report.new_event_ids:
                 printed += 1
@@ -118,7 +133,31 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         f"-- {printed} events, {detector.total_messages} messages, "
         f"{detector.throughput():.0f} msg/s"
     )
+    if args.timing:
+        print(_render_timing(detector, quanta, cache_hits, recomputed))
     return 0
+
+
+def _render_timing(
+    detector: EventDetector, quanta: int, cache_hits: int, recomputed: int
+) -> str:
+    """Per-stage breakdown of the staged pipeline's accumulated wall time."""
+    totals = detector.total_timings
+    overall = totals.total or 1e-12
+    lines = [f"-- per-stage timing over {quanta} quanta:"]
+    for stage, seconds in totals.as_dict().items():
+        lines.append(
+            f"   {stage:<10} {seconds * 1000:9.1f} ms  "
+            f"({100.0 * seconds / overall:5.1f}%)"
+        )
+    lines.append(f"   {'total':<10} {overall * 1000:9.1f} ms")
+    ranked = cache_hits + recomputed
+    if ranked:
+        lines.append(
+            f"   rank cache: {cache_hits}/{ranked} cluster ranks served "
+            f"from cache ({100.0 * cache_hits / ranked:.1f}%)"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

@@ -9,7 +9,11 @@ Layers (bottom up):
 * :mod:`repro.core.maintenance` — the incremental node/edge add/delete
   algorithms of Section 5, plus the from-scratch global oracle used to verify
   Theorem 3;
+* :mod:`repro.core.changelog` — typed change events and the per-quantum
+  :class:`ChangeLog` / :class:`ChangeBatch` propagation contract;
 * :mod:`repro.core.ranking` — the Section 6 ranking function;
+* :mod:`repro.core.incremental` — the change-driven
+  :class:`IncrementalRanker` (with a from-scratch oracle mode);
 * :mod:`repro.core.events` — event lifecycle tracking over quanta;
 * :mod:`repro.core.engine` — the streaming :class:`EventDetector`.
 """
@@ -21,11 +25,24 @@ from repro.core.atoms import (
     edge_on_short_cycle,
     satisfies_scp,
 )
+from repro.core.changelog import (
+    ChangeBatch,
+    ChangeEvent,
+    ChangeLog,
+    ClusterCreated,
+    ClusterDissolved,
+    ClusterMerged,
+    ClusterSplit,
+    ClusterUpdated,
+    EdgeWeightChanged,
+    NodeWeightChanged,
+)
 from repro.core.clusters import Cluster, ClusterRegistry
+from repro.core.incremental import IncrementalRanker, RankStats
 from repro.core.maintenance import ClusterMaintainer, decompose_graph
-from repro.core.ranking import cluster_rank, minimum_rank
+from repro.core.ranking import cluster_rank, minimum_rank, rank_and_support
 from repro.core.events import EventRecord, EventTracker
-from repro.core.engine import EventDetector, QuantumReport
+from repro.core.engine import EventDetector, QuantumReport, StageTimings
 from repro.core.postprocess import (
     CorrelatedEventGroup,
     CorrelationPolicy,
@@ -38,16 +55,30 @@ __all__ = [
     "atoms_in_subgraph",
     "edge_on_short_cycle",
     "satisfies_scp",
+    "ChangeBatch",
+    "ChangeEvent",
+    "ChangeLog",
+    "ClusterCreated",
+    "ClusterDissolved",
+    "ClusterMerged",
+    "ClusterSplit",
+    "ClusterUpdated",
+    "EdgeWeightChanged",
+    "NodeWeightChanged",
     "Cluster",
     "ClusterRegistry",
     "ClusterMaintainer",
+    "IncrementalRanker",
+    "RankStats",
     "decompose_graph",
     "cluster_rank",
+    "rank_and_support",
     "minimum_rank",
     "EventRecord",
     "EventTracker",
     "EventDetector",
     "QuantumReport",
+    "StageTimings",
     "CorrelatedEventGroup",
     "CorrelationPolicy",
     "correlate_events",

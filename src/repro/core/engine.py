@@ -7,6 +7,23 @@ reports emerging events.  Everything is incremental: per quantum the work is
 O(k^2 * N * C) for N status-changing keywords of average degree k in clusters
 of average size C (Section 4.1), never proportional to the full graph.
 
+Each quantum runs as an explicit staged pipeline::
+
+    tokenize -> AKG update -> maintain -> propagate -> rank -> report
+
+``tokenize`` extracts per-user keyword sets from the quantum's messages;
+``AKG update`` + ``maintain`` are the Section 3/5 graph and cluster
+maintenance driven by :class:`~repro.akg.builder.AkgBuilder` (the maintain
+share is measured via the maintainer's clustering clock); ``propagate``
+drains the maintainer's typed :class:`~repro.core.changelog.ChangeLog` into
+a :class:`~repro.core.changelog.ChangeBatch` and marks perturbed clusters
+dirty; ``rank`` re-scores only those dirty clusters through the
+:class:`~repro.core.incremental.IncrementalRanker` (a from-scratch oracle
+mode exists for verification); ``report`` applies the Section 7.2.2 filters
+and snapshots event lifecycles.  Per-stage wall times are surfaced on every
+:class:`QuantumReport` as :class:`StageTimings` (and per-stage totals on the
+detector), which ``python -m repro detect --timing`` prints as a breakdown.
+
 Typical use::
 
     from repro import DetectorConfig, EventDetector, Message
@@ -21,8 +38,9 @@ Typical use::
 
 from __future__ import annotations
 
+import heapq
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.akg.builder import AkgBuilder, AkgQuantumStats
@@ -30,8 +48,9 @@ from repro.akg.ckg_stats import CkgStatsTracker
 from repro.config import DetectorConfig
 from repro.core.clusters import Cluster
 from repro.core.events import EventRecord, EventTracker
+from repro.core.incremental import IncrementalRanker
 from repro.core.maintenance import ClusterMaintainer
-from repro.core.ranking import cluster_rank, minimum_rank
+from repro.core.ranking import minimum_rank
 from repro.stream.messages import Message
 from repro.stream.window import (
     QuantumBatcher,
@@ -47,12 +66,43 @@ class ReportedEvent:
     """One cluster as reported to the consumer at the end of a quantum."""
 
     event_id: int
-    keywords: frozenset
+    keywords: frozenset[str]
     rank: float
     support: float
     size: int
     num_edges: int
     born_quantum: int
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds per pipeline stage of one (or many) quanta."""
+
+    tokenize: float = 0.0
+    akg_update: float = 0.0
+    maintain: float = 0.0
+    propagate: float = 0.0
+    rank: float = 0.0
+    report: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.tokenize
+            + self.akg_update
+            + self.maintain
+            + self.propagate
+            + self.rank
+            + self.report
+        )
+
+    def add(self, other: "StageTimings") -> None:
+        """Accumulate another timing record into this one (for totals)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass
@@ -69,9 +119,14 @@ class QuantumReport:
     ckg_edges: Optional[int] = None
     messages_processed: int = 0
     elapsed_seconds: float = 0.0
+    timings: StageTimings = field(default_factory=StageTimings)
+    changes: int = 0
+    dirty_clusters: int = 0
+    ranked_clusters: int = 0
+    rank_cache_hits: int = 0
 
     def top(self, k: int) -> List[ReportedEvent]:
-        return sorted(self.reported, key=lambda e: e.rank, reverse=True)[:k]
+        return heapq.nlargest(k, self.reported, key=lambda e: e.rank)
 
 
 class EventDetector:
@@ -82,15 +137,26 @@ class EventDetector:
         config: DetectorConfig | None = None,
         noun_tagger: NounTagger | None = None,
         tokenizer=None,
+        oracle_ranking: bool = False,
     ) -> None:
         """``tokenizer`` overrides text tokenisation (e.g. a
         :meth:`repro.text.synonyms.SynonymNormalizer.wrap_tokenizer` wrapped
         one for the paper's synonym pre-processing); pre-tokenised messages
-        bypass it."""
+        bypass it.  ``oracle_ranking`` disables the incremental rank cache
+        and re-ranks every live cluster from scratch each quantum — the
+        verification / benchmarking baseline.
+        """
         self.config = config if config is not None else DetectorConfig()
         self.tokenizer = tokenizer if tokenizer is not None else tokenize
         self.maintainer = ClusterMaintainer()
         self.builder = AkgBuilder(self.config, self.maintainer)
+        self.ranker = IncrementalRanker(
+            self.maintainer.registry,
+            self.maintainer.graph,
+            self.builder.node_weights,
+            min_cluster_size=self.config.min_cluster_size,
+            oracle=oracle_ranking,
+        )
         self.tracker = EventTracker()
         self.noun_tagger = noun_tagger if noun_tagger is not None else NounTagger()
         self.batcher = QuantumBatcher(self.config.quantum_size)
@@ -105,6 +171,7 @@ class EventDetector:
         )
         self.total_messages = 0
         self.total_seconds = 0.0
+        self.total_timings = StageTimings()
         self._previously_alive: Set[int] = set()
 
     # ------------------------------------------------------------- access
@@ -142,11 +209,14 @@ class EventDetector:
             yield self.process_quantum(batch)
 
     def process_quantum(self, messages: Sequence[Message]) -> QuantumReport:
-        """Advance the window by one quantum of messages."""
+        """Advance the window by one quantum of messages (staged pipeline)."""
         start = time.perf_counter()
         self._quantum += 1
         quantum = self._quantum
+        timings = StageTimings()
 
+        # -- stage 1: tokenize -------------------------------------------
+        t = time.perf_counter()
         user_keywords = user_keywords_of_quantum(
             messages,
             self.tokenizer,
@@ -155,44 +225,50 @@ class EventDetector:
         keyword_users = invert_user_keywords(user_keywords)
         if self.ckg_stats is not None:
             self.ckg_stats.add_quantum(quantum, user_keywords)
+        timings.tokenize = time.perf_counter() - t
 
+        # -- stages 2+3: AKG update / maintain ---------------------------
+        # The builder drives cluster maintenance inline; the maintainer's
+        # clustering clock separates the maintain share from AKG bookkeeping.
+        t = time.perf_counter()
+        maintain_before = self.maintainer.clustering_seconds
         akg_stats = self.builder.process_quantum(quantum, keyword_users)
-        changes = self.maintainer.pop_changes()
+        timings.maintain = self.maintainer.clustering_seconds - maintain_before
+        timings.akg_update = time.perf_counter() - t - timings.maintain
 
-        ranked = self._rank_clusters()
-        self.tracker.observe_quantum(
-            quantum,
-            [(cluster, rank, support) for cluster, rank, support in ranked],
-            changes,
-        )
+        # -- stage 4: propagate ------------------------------------------
+        t = time.perf_counter()
+        batch = self.maintainer.drain_changes()
+        dirty = self.ranker.apply(batch)
+        timings.propagate = time.perf_counter() - t
 
+        # -- stage 5: rank -----------------------------------------------
+        t = time.perf_counter()
+        ranked = self.ranker.rank_all()
+        timings.rank = time.perf_counter() - t
+
+        # -- stage 6: report ---------------------------------------------
+        t = time.perf_counter()
+        self.tracker.observe_quantum(quantum, ranked, batch)
         report = self._build_report(quantum, ranked, akg_stats)
+        timings.report = time.perf_counter() - t
+
         report.messages_processed = len(messages)
         report.elapsed_seconds = time.perf_counter() - start
+        report.timings = timings
+        report.changes = len(batch)
+        report.dirty_clusters = len(dirty)
+        report.ranked_clusters = self.ranker.stats.ranked
+        report.rank_cache_hits = self.ranker.stats.cache_hits
         self.total_messages += len(messages)
         self.total_seconds += report.elapsed_seconds
+        self.total_timings.add(timings)
         if self.ckg_stats is not None:
             report.ckg_nodes = self.ckg_stats.ckg_nodes
             report.ckg_edges = self.ckg_stats.ckg_edges
         return report
 
     # ------------------------------------------------------------ ranking
-
-    def _rank_clusters(self) -> List[Tuple[Cluster, float, float]]:
-        """Rank every live cluster of reportable size from local state."""
-        out: List[Tuple[Cluster, float, float]] = []
-        graph = self.maintainer.graph
-        for cluster in self.registry:
-            if cluster.size < self.config.min_cluster_size:
-                continue
-            weights = self.builder.node_weights(cluster.nodes)
-            correlations = {
-                e: graph.edge_weight(e[0], e[1]) for e in cluster.edges
-            }
-            rank = cluster_rank(cluster.nodes, cluster.edges, weights, correlations)
-            support = float(sum(weights.values()))
-            out.append((cluster, rank, support))
-        return out
 
     def _build_report(
         self,
@@ -248,4 +324,9 @@ class EventDetector:
         return self.tracker.real_events()
 
 
-__all__ = ["EventDetector", "QuantumReport", "ReportedEvent"]
+__all__ = [
+    "EventDetector",
+    "QuantumReport",
+    "ReportedEvent",
+    "StageTimings",
+]

@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.core.changelog import ChangeBatch, ChangeEvent, ClusterMerged
 from repro.core.clusters import Cluster
-from repro.core.maintenance import Change
 
 
 @dataclass
@@ -106,7 +106,7 @@ class EventTracker:
         self,
         quantum: int,
         ranked_clusters: Iterable[Tuple[Cluster, float, float]],
-        changes: Iterable[Change] = (),
+        changes: "ChangeBatch | Iterable[ChangeEvent]" = (),
     ) -> None:
         """Record the end-of-quantum state.
 
@@ -115,15 +115,18 @@ class EventTracker:
         ranked_clusters:
             ``(cluster, rank, support)`` triples for every live cluster.
         changes:
-            The maintainer's change log for this quantum; used to attribute
-            deaths to merges (``absorbed_into``).
+            The quantum's drained :class:`ChangeBatch` (or any iterable of
+            typed change events); used to attribute deaths to merges
+            (``absorbed_into``).
         """
-        absorbed: Dict[int, int] = {}
-        for change in changes:
-            if change[0] == "merged":
-                survivor = int(change[1])
-                for cid in change[2:]:
-                    absorbed[int(cid)] = survivor
+        if isinstance(changes, ChangeBatch):
+            absorbed = changes.absorbed_into()
+        else:
+            absorbed = {}
+            for change in changes:
+                if isinstance(change, ClusterMerged):
+                    for cid in change.absorbed:
+                        absorbed[cid] = change.survivor
         seen: set = set()
         for cluster, rank, support in ranked_clusters:
             seen.add(cluster.cluster_id)

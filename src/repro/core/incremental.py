@@ -1,0 +1,219 @@
+"""Incremental cluster ranking driven by the typed change log.
+
+The rank of a cluster (Section 6) is a pure function of its node set, edge
+set, node weights and edge correlations.  None of those can change without
+the maintenance layer recording a :class:`~repro.core.changelog.ChangeEvent`,
+so a cached rank stays exact until its cluster is marked dirty by a drained
+:class:`~repro.core.changelog.ChangeBatch`.  :class:`IncrementalRanker`
+exploits this: per quantum it recomputes only the dirty clusters, turning
+the rank stage from O(live clusters x cluster size^2) into
+O(dirty clusters x cluster size^2) plus an O(live) cache sweep of dict
+lookups — per-quantum work proportional to churn, as Section 4.1 requires.
+
+``oracle=True`` disables the cache entirely and recomputes every cluster
+from scratch on every call.  The oracle is the verification baseline: the
+property tests assert that, after arbitrary mutation sequences, incremental
+and oracle ranks are identical (see DESIGN.md Section 3), and the
+``bench_incremental_ranking`` benchmark measures the speedup between the two
+modes across churn rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+
+from repro.core.changelog import ChangeBatch
+from repro.core.clusters import Cluster, ClusterRegistry
+from repro.core.ranking import rank_and_support
+from repro.graph.dynamic_graph import DynamicGraph, EdgeKey
+
+Node = Hashable
+
+NodeWeightFn = Callable[[Iterable[Node]], Mapping[Node, float]]
+"""Resolves a node set to its current window-support weights (the engine
+passes :meth:`repro.akg.builder.AkgBuilder.node_weights`)."""
+
+
+@dataclass
+class RankEntry:
+    """Cached per-cluster ranking state, valid until the cluster is dirtied.
+
+    The input snapshots (``weights``, ``correlations``) are what
+    :meth:`IncrementalRanker.verify_against_oracle` diffs to pinpoint *which*
+    rank input went stale when the propagation contract is violated.
+    """
+
+    rank: float
+    support: float
+    weights: Dict[Node, float]
+    correlations: Dict[EdgeKey, float]
+
+
+@dataclass
+class RankStats:
+    """Work counters for one :meth:`IncrementalRanker.rank_all` call."""
+
+    live: int = 0
+    ranked: int = 0
+    recomputed: int = 0
+    cache_hits: int = 0
+    evicted: int = 0
+
+    def reset(self) -> None:
+        self.live = self.ranked = self.recomputed = 0
+        self.cache_hits = self.evicted = 0
+
+
+class IncrementalRanker:
+    """Caches per-cluster ranks and recomputes only change-dirtied clusters.
+
+    Parameters
+    ----------
+    registry, graph:
+        The live decomposition and its substrate (shared with the
+        maintainer, read-only here).
+    node_weight_fn:
+        Callable mapping a node iterable to current node weights.
+    min_cluster_size:
+        Clusters below this size are neither ranked nor cached.
+    oracle:
+        When True, ignore the cache and recompute everything on every call —
+        the from-scratch baseline used for verification and benchmarking.
+    """
+
+    def __init__(
+        self,
+        registry: ClusterRegistry,
+        graph: DynamicGraph,
+        node_weight_fn: NodeWeightFn,
+        min_cluster_size: int = 3,
+        oracle: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.graph = graph
+        self.node_weight_fn = node_weight_fn
+        self.min_cluster_size = min_cluster_size
+        self.oracle = oracle
+        self.stats = RankStats()
+        self._cache: Dict[int, RankEntry] = {}
+        self._dirty: Set[int] = set()
+
+    # ----------------------------------------------------------- propagation
+
+    def apply(self, batch: ChangeBatch) -> Set[int]:
+        """Absorb one quantum's change batch; returns the dirtied ids.
+
+        Retired clusters (dissolved or absorbed by a merge) are evicted from
+        the cache; every other referenced cluster is marked dirty and will be
+        recomputed by the next :meth:`rank_all`.  Dirt accumulates across
+        calls until consumed, so draining multiple batches before ranking is
+        safe.
+        """
+        for cid in batch.retired_ids():
+            if self._cache.pop(cid, None) is not None:
+                self.stats.evicted += 1
+            self._dirty.discard(cid)
+        dirty = batch.dirty_clusters(self.registry)
+        self._dirty |= dirty
+        return dirty
+
+    # ---------------------------------------------------------------- ranking
+
+    def _compute(self, cluster: Cluster) -> RankEntry:
+        weights = dict(self.node_weight_fn(cluster.nodes))
+        edge_weight = self.graph.edge_weight
+        correlations = {e: edge_weight(e[0], e[1]) for e in cluster.edges}
+        rank, support = rank_and_support(
+            cluster.nodes, cluster.edges, weights, correlations
+        )
+        return RankEntry(rank, support, weights, correlations)
+
+    def rank_all(self) -> List[Tuple[Cluster, float, float]]:
+        """``(cluster, rank, support)`` for every live reportable cluster.
+
+        Incremental mode recomputes dirty clusters and serves the rest from
+        cache; oracle mode recomputes everything.  Either way the returned
+        ranking reflects the current registry exactly.
+        """
+        stats = self.stats
+        stats.reset()
+        out: List[Tuple[Cluster, float, float]] = []
+        if self.oracle:
+            for cluster in self.registry:
+                stats.live += 1
+                if cluster.size < self.min_cluster_size:
+                    continue
+                entry = self._compute(cluster)
+                stats.ranked += 1
+                stats.recomputed += 1
+                out.append((cluster, entry.rank, entry.support))
+            return out
+
+        live_ids: Set[int] = set()
+        dirty = self._dirty
+        cache = self._cache
+        for cluster in self.registry:
+            stats.live += 1
+            cid = cluster.cluster_id
+            live_ids.add(cid)
+            if cluster.size < self.min_cluster_size:
+                if cache.pop(cid, None) is not None:
+                    stats.evicted += 1
+                continue
+            entry = cache.get(cid)
+            if entry is None or cid in dirty:
+                entry = self._compute(cluster)
+                cache[cid] = entry
+                stats.recomputed += 1
+            else:
+                stats.cache_hits += 1
+            stats.ranked += 1
+            out.append((cluster, entry.rank, entry.support))
+        # Clusters that silently left the registry (defensive: normally the
+        # retirement events in apply() already evicted them).
+        for cid in list(cache):
+            if cid not in live_ids:
+                del cache[cid]
+                stats.evicted += 1
+        dirty.clear()
+        return out
+
+    # ------------------------------------------------------------ validation
+
+    def verify_against_oracle(self) -> None:
+        """Assert every cached entry equals a from-scratch recomputation.
+
+        Test helper mirroring
+        :meth:`~repro.core.maintenance.ClusterMaintainer.check_against_oracle`:
+        raises AssertionError on any divergence between the cache and the
+        ground-truth rank of the current state.
+        """
+        for cluster in self.registry:
+            if cluster.size < self.min_cluster_size:
+                continue
+            entry = self._cache.get(cluster.cluster_id)
+            if entry is None:
+                continue  # not ranked yet; nothing stale to check
+            if cluster.cluster_id in self._dirty:
+                continue  # known-dirty, will be recomputed on next rank_all
+            fresh = self._compute(cluster)
+            assert (
+                entry.weights == fresh.weights
+                and entry.correlations == fresh.correlations
+            ), (
+                f"stale rank inputs cached for cluster {cluster.cluster_id} "
+                f"(a weight or correlation changed without a change event):\n"
+                f"  cached weights:      {entry.weights}\n"
+                f"  fresh weights:       {fresh.weights}\n"
+                f"  cached correlations: {entry.correlations}\n"
+                f"  fresh correlations:  {fresh.correlations}"
+            )
+            assert entry.rank == fresh.rank and entry.support == fresh.support, (
+                f"stale rank cache for cluster {cluster.cluster_id}: "
+                f"cached ({entry.rank}, {entry.support}) != "
+                f"fresh ({fresh.rank}, {fresh.support})"
+            )
+
+
+__all__ = ["IncrementalRanker", "RankEntry", "RankStats"]

@@ -26,6 +26,13 @@ EdgeDeletion (5.4)     :meth:`ClusterMaintainer.remove_edge` — same re-glue
 All deletion work is local: only the affected clusters' own (small) subgraphs
 are touched, never the full graph.  :func:`decompose_graph` is the
 from-scratch global computation used as the correctness oracle for Theorem 3.
+
+Every structural mutation is additionally recorded as a typed event in the
+maintainer's :class:`~repro.core.changelog.ChangeLog` (see DESIGN.md
+Section 2), and the graph's weight-listener hook routes correlation
+refreshes into the same log — this is what lets the downstream
+:class:`~repro.core.incremental.IncrementalRanker` re-rank only perturbed
+clusters.
 """
 
 from __future__ import annotations
@@ -34,15 +41,26 @@ import time
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.atoms import Atom, atoms_containing_edge, atoms_in_subgraph
+from repro.core.changelog import (
+    ChangeBatch,
+    ChangeEvent,
+    ChangeLog,
+    ClusterCreated,
+    ClusterDissolved,
+    ClusterMerged,
+    ClusterSplit,
+    ClusterUpdated,
+    EdgeWeightChanged,
+)
 from repro.core.clusters import Cluster, ClusterRegistry
 from repro.errors import GraphError
 from repro.graph.dynamic_graph import DynamicGraph, EdgeKey, edge_key
 
 Node = Hashable
 
-Change = Tuple[str, ...]
-"""Change-log entry: ("created", cid) | ("merged", survivor, *absorbed) |
-("split", original, *fragments) | ("dissolved", cid) | ("updated", cid)."""
+Change = ChangeEvent
+"""Backwards-compatible alias: the change log now carries typed
+:class:`~repro.core.changelog.ChangeEvent` objects instead of string tuples."""
 
 
 class _DisjointSet:
@@ -107,11 +125,13 @@ class ClusterMaintainer:
         self,
         graph: DynamicGraph | None = None,
         registry: ClusterRegistry | None = None,
+        changelog: ChangeLog | None = None,
     ) -> None:
         self.graph = graph if graph is not None else DynamicGraph()
         self.registry = registry if registry is not None else ClusterRegistry()
+        self.changelog = changelog if changelog is not None else ChangeLog()
+        self.graph.set_weight_listener(self._on_edge_weight_changed)
         self.current_quantum = 0
-        self._changes: List[Change] = []
         self.clustering_seconds = 0.0
         """Cumulative wall time spent in cluster-structure updates — the
         incremental counterpart of the offline baseline's per-quantum global
@@ -119,10 +139,24 @@ class ClusterMaintainer:
 
     # ------------------------------------------------------------- changes
 
+    def _on_edge_weight_changed(
+        self, u: Node, v: Node, old: float, new: float
+    ) -> None:
+        """Graph weight-listener hook: correlation refreshes become deltas."""
+        self.changelog.record(EdgeWeightChanged(edge_key(u, v), old, new))
+
     def pop_changes(self) -> List[Change]:
-        """Return and clear the change log accumulated since the last call."""
-        changes, self._changes = self._changes, []
-        return changes
+        """Return and clear the change log accumulated since the last call.
+
+        Convenience wrapper over ``self.changelog.drain().events`` for
+        callers that want a plain list; the engine drains the log itself to
+        keep the :class:`~repro.core.changelog.ChangeBatch` for propagation.
+        """
+        return list(self.changelog.drain().events)
+
+    def drain_changes(self) -> ChangeBatch:
+        """Drain the change log into an immutable batch (the engine's path)."""
+        return self.changelog.drain()
 
     # ------------------------------------------------------------ addition
 
@@ -166,14 +200,16 @@ class ClusterMaintainer:
             self.registry.absorb(survivor.cluster_id, atom_nodes, atom_edges)
             if len(touched) > 1:
                 absorbed = tuple(sorted(touched - {survivor.cluster_id}))
-                self._changes.append(("merged", survivor.cluster_id, *absorbed))
+                self.changelog.record(
+                    ClusterMerged(survivor.cluster_id, absorbed)
+                )
             else:
-                self._changes.append(("updated", survivor.cluster_id))
+                self.changelog.record(ClusterUpdated(survivor.cluster_id))
             return survivor
         cluster = self.registry.new_cluster(
             atom_nodes, atom_edges, born_quantum=self.current_quantum
         )
-        self._changes.append(("created", cluster.cluster_id))
+        self.changelog.record(ClusterCreated(cluster.cluster_id))
         return cluster
 
     def add_node_with_edges(
@@ -285,12 +321,17 @@ class ClusterMaintainer:
         groups = _glue_atoms(atoms_in_subgraph(adjacency, allowed_edges=surviving))
         if not groups:
             self.registry.dissolve(cluster_id)
-            self._changes.append(("dissolved", cluster_id))
+            self.changelog.record(ClusterDissolved(cluster_id))
             return []
         if len(groups) == 1:
             nodes, edges = groups[0]
             if edges == cluster.edges and nodes == cluster.nodes:
-                return [cluster]  # re-glue confirmed the cluster intact
+                # Re-glue confirmed the post-release state is one cluster —
+                # but the cluster still shrank before we got here (every
+                # caller released an edge or node from it first), so its
+                # rank inputs changed and the delta must be propagated.
+                self.changelog.record(ClusterUpdated(cluster_id))
+                return [cluster]
         fragments = self.registry.replace(
             cluster_id, groups, quantum=self.current_quantum
         )
@@ -298,9 +339,9 @@ class ClusterMaintainer:
             extra = tuple(
                 f.cluster_id for f in fragments if f.cluster_id != cluster_id
             )
-            self._changes.append(("split", cluster_id, *extra))
+            self.changelog.record(ClusterSplit(cluster_id, extra))
         else:
-            self._changes.append(("updated", cluster_id))
+            self.changelog.record(ClusterUpdated(cluster_id))
         return fragments
 
     # ----------------------------------------------------------- integrity
@@ -321,4 +362,4 @@ class ClusterMaintainer:
         )
 
 
-__all__ = ["ClusterMaintainer", "decompose_graph", "Change"]
+__all__ = ["ClusterMaintainer", "decompose_graph", "Change", "ChangeBatch"]

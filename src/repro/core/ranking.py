@@ -54,18 +54,35 @@ def cluster_rank(
         If a node or edge has no weight/correlation entry — ranking a
         cluster with missing support data indicates an upstream bug.
     """
+    return rank_and_support(nodes, edges, node_weights, edge_correlations)[0]
+
+
+def rank_and_support(
+    nodes: Iterable[Node],
+    edges: Iterable[EdgeKey],
+    node_weights: Mapping[Node, float],
+    edge_correlations: Mapping[EdgeKey, float],
+) -> Tuple[float, float]:
+    """``(rank, support)`` of one cluster in a single pass.
+
+    ``support`` is the plain weight sum ``sum_i w_i`` the detector reports
+    next to the rank; computing both together halves the per-cluster work of
+    the rank stage, which matters because this is the inner loop of the
+    :class:`~repro.core.incremental.IncrementalRanker`.
+    """
     node_list = list(nodes)
     if not node_list:
         raise ClusterError("cannot rank an empty cluster")
     try:
-        total = sum(node_weights[n] for n in node_list)
+        support = float(sum(node_weights[n] for n in node_list))
+        total = support
         for u, v in edges:
             total += edge_correlations[(u, v)] * (
                 node_weights[u] + node_weights[v]
             )
     except KeyError as exc:
         raise ClusterError(f"missing weight/correlation for {exc.args[0]!r}") from exc
-    return total / len(node_list)
+    return total / len(node_list), support
 
 
 def rank_matrices(
@@ -116,6 +133,7 @@ def minimum_rank(theta: int, gamma: float) -> float:
 
 __all__ = [
     "cluster_rank",
+    "rank_and_support",
     "rank_matrices",
     "rank_from_matrices",
     "minimum_rank",

@@ -12,7 +12,7 @@ used in cluster bookkeeping regardless of insertion order.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Tuple
+from typing import Callable, Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import (
     DuplicateEdgeError,
@@ -23,6 +23,12 @@ from repro.errors import (
 
 Node = Hashable
 EdgeKey = Tuple[Node, Node]
+
+WeightListener = Callable[[Node, Node, float, float], None]
+"""Callback ``(u, v, old_weight, new_weight)`` fired by
+:meth:`DynamicGraph.set_edge_weight` when an edge's weight actually changes.
+Structural mutations (add/remove) do not fire it — the cluster maintainer
+already observes those directly."""
 
 
 def edge_key(u: Node, v: Node) -> EdgeKey:
@@ -46,10 +52,20 @@ class DynamicGraph:
     the local cluster maintenance of Section 5 cheap.
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_weight_listener")
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Dict[Node, float]] = {}
+        self._weight_listener: Optional[WeightListener] = None
+
+    def set_weight_listener(self, listener: Optional[WeightListener]) -> None:
+        """Install (or clear, with None) the optional weight-change hook.
+
+        The hook is how weight deltas reach the change log without the graph
+        depending on higher layers; when unset, weight updates cost exactly
+        what they did before the hook existed.
+        """
+        self._weight_listener = listener
 
     # ------------------------------------------------------------------ nodes
 
@@ -137,8 +153,13 @@ class DynamicGraph:
     def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
         if u not in self._adj or v not in self._adj[u]:
             raise EdgeNotFoundError(u, v)
+        old = self._adj[u][v]
+        if old == weight:
+            return
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        if self._weight_listener is not None:
+            self._weight_listener(u, v, old, weight)
 
     def edges(self) -> Iterator[Tuple[Node, Node, float]]:
         """Iterate each undirected edge exactly once as ``(u, v, weight)``."""
@@ -221,4 +242,4 @@ class DynamicGraph:
         )
 
 
-__all__ = ["DynamicGraph", "Node", "EdgeKey", "edge_key"]
+__all__ = ["DynamicGraph", "Node", "EdgeKey", "edge_key", "WeightListener"]

@@ -49,6 +49,28 @@ class TestGenerateAndDetect:
             "--exact-ec",
         ]) == 0
 
+    def test_detect_timing_breakdown(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        capsys.readouterr()
+        assert main(["detect", trace_path, "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage timing" in out
+        for stage in ("tokenize", "akg_update", "maintain",
+                      "propagate", "rank", "report"):
+            assert stage in out
+        assert "rank cache" in out
+
+    def test_detect_oracle_ranking(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--oracle-ranking", "--timing",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0/" in out or "rank cache" not in out  # no cache hits
+
 
 class TestSweep:
     def test_sweep_prints_grids(self, capsys):

@@ -157,6 +157,72 @@ class TestSpatialCorrelation:
         assert report.reported[0].keywords == {"storm", "warning", "coast"}
 
 
+class TestStagedPipeline:
+    def test_per_stage_timings_populated(self):
+        detector = EventDetector(exact_config())
+        report = detector.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+        timings = report.timings.as_dict()
+        assert set(timings) == {
+            "tokenize", "akg_update", "maintain", "propagate", "rank", "report"
+        }
+        assert all(t >= 0.0 for t in timings.values())
+        assert report.timings.total <= report.elapsed_seconds
+        assert detector.total_timings.total > 0.0
+
+    def test_change_and_dirty_counters(self):
+        detector = EventDetector(exact_config())
+        report = detector.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+        assert report.changes > 0          # cluster creation was logged
+        assert report.dirty_clusters == 1  # the new cluster
+        assert report.ranked_clusters == 1
+
+    def test_stable_cluster_served_from_cache(self):
+        """A cluster whose support and correlations are unchanged between
+        quanta must not be re-ranked — the heart of the incremental claim."""
+        detector = EventDetector(exact_config())
+        messages = burst(["a1", "b1", "c1"], range(6))
+        detector.process_quantum(messages)
+        report = detector.process_quantum(list(messages))
+        assert report.ranked_clusters == 1
+        assert report.rank_cache_hits == 1
+
+    def test_incremental_matches_oracle_end_to_end(self):
+        """Whole-stream parity: the incremental pipeline reports exactly what
+        the from-scratch oracle pipeline reports, quantum by quantum."""
+        def stream():
+            quanta = [
+                burst(["a1", "b1", "c1"], range(6)),
+                burst(["a1", "b1", "c1", "d1"], range(4)),
+                [Message(f"n{i}", tokens=(f"w{i}a", f"w{i}b")) for i in range(6)],
+                burst(["x1", "y1", "z1"], range(5)),
+                burst(["a1", "b1"], range(3)) + burst(["x1", "y1", "z1"], range(5)),
+                [Message(f"m{i}", tokens=(f"v{i}a",)) for i in range(6)],
+            ]
+            return quanta
+
+        incremental = EventDetector(exact_config(window_quanta=3))
+        oracle = EventDetector(exact_config(window_quanta=3), oracle_ranking=True)
+        for batch in stream():
+            a = incremental.process_quantum(batch)
+            b = oracle.process_quantum(list(batch))
+            key = lambda e: (e.event_id, e.keywords, e.rank, e.support)
+            assert [key(e) for e in a.reported] == [key(e) for e in b.reported]
+            assert [key(e) for e in a.suppressed] == [key(e) for e in b.suppressed]
+            assert a.rank_cache_hits >= 0 and b.rank_cache_hits == 0
+
+    def test_top_k_uses_rank_order(self):
+        detector = EventDetector(exact_config())
+        report = detector.process_quantum(
+            burst(["a1", "b1", "c1"], range(6))
+            + burst(["x1", "y1", "z1"], range(10, 18))
+        )
+        top = report.top(1)
+        assert len(top) == 1
+        assert top[0].rank == max(e.rank for e in report.reported)
+        assert report.top(0) == []
+        assert len(report.top(99)) == len(report.reported)
+
+
 class TestCkgStats:
     def test_tracking_enabled(self):
         config = exact_config(track_ckg_stats=True)

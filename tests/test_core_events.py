@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.changelog import ChangeBatch, ClusterMerged
 from repro.core.clusters import Cluster
 from repro.core.events import EventRecord, EventSnapshot, EventTracker
 
@@ -94,10 +95,24 @@ class TestEventTracker:
         tracker.observe_quantum(
             1,
             [(cluster(1, set("abcxyz")), 8.0, 20.0)],
-            changes=[("merged", 1, 2)],
+            changes=[ClusterMerged(survivor=1, absorbed=(2,))],
         )
         dead = tracker.get(2)
         assert dead.absorbed_into == 1
+
+    def test_absorption_attributed_from_change_batch(self):
+        """The engine path hands the tracker a drained ChangeBatch."""
+        tracker = EventTracker()
+        tracker.observe_quantum(
+            0,
+            [(cluster(1, "abc"), 5.0, 12.0), (cluster(2, "xyz"), 4.0, 9.0)],
+        )
+        tracker.observe_quantum(
+            1,
+            [(cluster(1, set("abcxyz")), 8.0, 20.0)],
+            changes=ChangeBatch((ClusterMerged(survivor=1, absorbed=(2,)),)),
+        )
+        assert tracker.get(2).absorbed_into == 1
 
     def test_reopen_after_false_death(self):
         tracker = EventTracker()

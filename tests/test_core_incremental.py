@@ -1,0 +1,174 @@
+"""IncrementalRanker: cache behaviour, dirt propagation, oracle parity."""
+
+import pytest
+
+from repro.core.changelog import NodeWeightChanged
+from repro.core.incremental import IncrementalRanker
+from repro.core.maintenance import ClusterMaintainer
+
+
+@pytest.fixture
+def maintainer():
+    return ClusterMaintainer()
+
+
+def build(maintainer, edges):
+    for u, v in edges:
+        maintainer.graph.ensure_node(u)
+        maintainer.graph.ensure_node(v)
+        maintainer.add_edge(u, v)
+    return maintainer
+
+
+def make_rankers(maintainer, weights, min_size=3):
+    """An incremental ranker and a from-scratch oracle over shared state."""
+
+    def weight_fn(nodes):
+        return {n: weights.get(n, 1.0) for n in nodes}
+
+    incremental = IncrementalRanker(
+        maintainer.registry, maintainer.graph, weight_fn,
+        min_cluster_size=min_size,
+    )
+    oracle = IncrementalRanker(
+        maintainer.registry, maintainer.graph, weight_fn,
+        min_cluster_size=min_size, oracle=True,
+    )
+    return incremental, oracle
+
+
+def ranks_of(ranker):
+    return {c.cluster_id: (r, s) for c, r, s in ranker.rank_all()}
+
+
+class TestIncrementalRanking:
+    def test_matches_oracle_after_build(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"),
+                           ("d", "e"), ("c", "e")])
+        incremental, oracle = make_rankers(maintainer, {})
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle)
+
+    def test_unchanged_clusters_served_from_cache(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        incremental, _ = make_rankers(maintainer, {})
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+        assert incremental.stats.recomputed == 1
+        incremental.apply(maintainer.drain_changes())  # empty batch
+        incremental.rank_all()
+        assert incremental.stats.recomputed == 0
+        assert incremental.stats.cache_hits == 1
+
+    def test_node_weight_delta_dirties_only_containing_cluster(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c"),
+                           ("x", "y"), ("y", "z"), ("x", "z")])
+        weights = {}
+        incremental, oracle = make_rankers(maintainer, weights)
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+
+        weights["a"] = 5.0
+        maintainer.changelog.record(NodeWeightChanged("a", 1.0, 5.0))
+        dirty = incremental.apply(maintainer.drain_changes())
+        abc = next(iter(maintainer.registry.clusters_of_node("a")))
+        assert dirty == {abc}
+        assert ranks_of(incremental) == ranks_of(oracle)
+        assert incremental.stats.recomputed == 1
+        assert incremental.stats.cache_hits == 1  # the xyz triangle
+
+    def test_edge_weight_delta_dirties_owner(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c"),
+                           ("x", "y"), ("y", "z"), ("x", "z")])
+        incremental, oracle = make_rankers(maintainer, {})
+        incremental.apply(maintainer.drain_changes())
+        before = ranks_of(incremental)
+
+        maintainer.set_edge_weight("a", "b", 0.25)  # listener records delta
+        incremental.apply(maintainer.drain_changes())
+        after = ranks_of(incremental)
+        abc = maintainer.registry.cluster_of_edge("a", "b")
+        xyz = maintainer.registry.cluster_of_edge("x", "y")
+        assert after[abc] != before[abc]
+        assert after[xyz] == before[xyz]
+        assert after == ranks_of(oracle)
+
+    def test_dissolve_evicts_cache_entry(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        incremental, oracle = make_rankers(maintainer, {})
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+
+        maintainer.remove_edge("a", "b")  # triangle dissolves
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle) == {}
+        assert not incremental._cache
+
+    def test_edge_removal_without_split_still_dirties(self, maintainer):
+        """Regression: deleting one K4 edge leaves a single glued cluster
+        (two triangles sharing an edge), so the re-glue confirms it
+        "intact" — but it lost an edge and its rank changed, so an event
+        must still be emitted or the cache serves a stale rank."""
+        build(maintainer, [("a", "b"), ("a", "c"), ("a", "d"),
+                           ("b", "c"), ("b", "d"), ("c", "d")])
+        incremental, oracle = make_rankers(maintainer, {})
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+
+        maintainer.remove_edge("a", "b")
+        assert len(maintainer.registry) == 1  # no split happened
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle)
+
+    def test_node_removal_without_split_still_dirties(self, maintainer):
+        """Same hole via NodeDeletion: K5 minus a node is a K4 that re-glues
+        into a single unchanged-looking (post-release) cluster."""
+        nodes = ["a", "b", "c", "d", "e"]
+        build(maintainer, [(u, v) for i, u in enumerate(nodes)
+                           for v in nodes[i + 1:]])
+        incremental, oracle = make_rankers(maintainer, {})
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+
+        maintainer.remove_node("e")
+        assert len(maintainer.registry) == 1
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle)
+
+    def test_split_rank_parity(self, maintainer):
+        # two triangles joined at a shared edge form one cluster; deleting a
+        # bridge-side edge splits it
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c"),
+                           ("b", "d"), ("c", "d")])
+        incremental, oracle = make_rankers(maintainer, {})
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+
+        maintainer.remove_edge("a", "b")
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle)
+
+    def test_min_cluster_size_skips_and_drops(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        incremental, oracle = make_rankers(maintainer, {}, min_size=4)
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle) == {}
+
+    def test_verify_against_oracle_passes_when_clean(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        incremental, _ = make_rankers(maintainer, {})
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+        incremental.verify_against_oracle()
+
+    def test_verify_against_oracle_detects_staleness(self, maintainer):
+        """An un-propagated weight change must trip the verifier — this is
+        the guard that the dirty-marking rules are load-bearing."""
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        weights = {}
+        incremental, _ = make_rankers(maintainer, weights)
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+        weights["a"] = 99.0  # mutate weights without recording a delta
+        with pytest.raises(AssertionError):
+            incremental.verify_against_oracle()

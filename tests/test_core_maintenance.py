@@ -287,7 +287,7 @@ class TestChangeLog:
     def test_created_and_merged_entries(self, maintainer):
         build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
         changes = maintainer.pop_changes()
-        assert ("created" in {c[0] for c in changes})
+        assert ("created" in {c.kind for c in changes})
         assert maintainer.pop_changes() == []  # cleared
 
     def test_split_entry(self, maintainer, figure6_graph):
@@ -297,7 +297,7 @@ class TestChangeLog:
             maintainer.add_edge(u, v)
         maintainer.pop_changes()
         maintainer.remove_node(9)
-        kinds = {c[0] for c in maintainer.pop_changes()}
+        kinds = {c.kind for c in maintainer.pop_changes()}
         assert "split" in kinds
 
     def test_dissolved_entry(self, maintainer, triangle):
@@ -307,5 +307,26 @@ class TestChangeLog:
             maintainer.add_edge(u, v)
         maintainer.pop_changes()
         maintainer.remove_edge(0, 1)
-        kinds = {c[0] for c in maintainer.pop_changes()}
+        kinds = {c.kind for c in maintainer.pop_changes()}
         assert "dissolved" in kinds
+
+    def test_edge_weight_delta_recorded(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        maintainer.pop_changes()
+        maintainer.set_edge_weight("a", "b", 0.75)
+        changes = maintainer.pop_changes()
+        assert [c.kind for c in changes] == ["edge-weight"]
+        assert changes[0].edge == ("a", "b")
+        assert changes[0].new == 0.75
+
+    def test_same_weight_refresh_is_silent(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        maintainer.pop_changes()
+        maintainer.set_edge_weight("a", "b", 1.0)  # unchanged value
+        assert maintainer.pop_changes() == []
+
+    def test_drain_changes_returns_batch(self, maintainer):
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        batch = maintainer.drain_changes()
+        assert batch.dirty_clusters(maintainer.registry)
+        assert len(maintainer.drain_changes()) == 0  # cleared
