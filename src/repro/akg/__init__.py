@@ -10,19 +10,25 @@
   sketch-estimated;
 * :mod:`repro.akg.builder` — the per-quantum pipeline that applies node and
   edge deltas to a :class:`~repro.core.maintenance.ClusterMaintainer`;
+* :mod:`repro.akg.oracle` — from-scratch window-state recomputation, the
+  differential-verification baseline of the delta-driven fast path;
 * :mod:`repro.akg.ckg_stats` — optional full-CKG counters for the Section
   7.4 reduction study.
 """
 
-from repro.akg.idsets import IdSetIndex
+from repro.akg.idsets import IdSetIndex, SlideDelta
 from repro.akg.burstiness import BurstinessTracker
 from repro.akg.minhash import MinHasher, estimate_jaccard, sketches_share_value
 from repro.akg.correlation import exact_jaccard
 from repro.akg.builder import AkgBuilder, AkgQuantumStats
+from repro.akg.oracle import OracleIdSetIndex, OracleSketchIndex
 from repro.akg.ckg_stats import CkgStatsTracker
 
 __all__ = [
     "IdSetIndex",
+    "SlideDelta",
+    "OracleIdSetIndex",
+    "OracleSketchIndex",
     "BurstinessTracker",
     "MinHasher",
     "estimate_jaccard",

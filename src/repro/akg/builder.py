@@ -18,16 +18,29 @@ Every insertion/deletion flows through the
 :class:`~repro.core.maintenance.ClusterMaintainer`, which keeps the SCP
 cluster decomposition exact at all times — this is what makes discovery
 *real-time* rather than snapshot-based.
+
+Churn proportionality (DESIGN.md Section 5): every step above is driven by
+the quantum's *delta sets*, never the window vocabulary.  The id-set slide
+reports a :class:`~repro.akg.idsets.SlideDelta`; burstiness advances only
+touched keywords; sketches are merged only when dirtied; and step 5 checks
+only three delta-sized candidate pools — keywords whose support just hit
+zero (stale), keywords whose burst grace period expires this quantum
+(scheduled at burst time), and nodes that just lost their last cluster
+membership (registry listener).  ``oracle=True`` swaps in the from-scratch
+components of :mod:`repro.akg.oracle` and a full-vocabulary dead-node sweep:
+identical semantics, O(window x vocabulary) cost, used as the differential
+baseline by the property tests and ``benchmarks/bench_incremental_akg.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
 
 from repro.akg.burstiness import BurstinessTracker
-from repro.akg.idsets import IdSetIndex
+from repro.akg.idsets import IdSetIndex, SlideDelta
 from repro.akg.minhash import MinHasher, Sketch, WindowedSketchIndex
+from repro.akg.oracle import OracleIdSetIndex, OracleSketchIndex
 from repro.config import DetectorConfig
 from repro.core.changelog import NodeWeightChanged
 from repro.core.maintenance import ClusterMaintainer
@@ -51,20 +64,53 @@ class AkgQuantumStats:
     node_weight_deltas: int = 0
     candidate_pairs: int = 0
     ec_computations: int = 0
+    removal_candidates: int = 0
     akg_nodes: int = 0
     akg_edges: int = 0
 
 
 class AkgBuilder:
-    """Maintains the active keyword graph over a sliding window."""
+    """Maintains the active keyword graph over a sliding window.
 
-    def __init__(self, config: DetectorConfig, maintainer: ClusterMaintainer) -> None:
+    ``oracle=True`` replaces the incremental window indexes with the
+    from-scratch implementations of :mod:`repro.akg.oracle` and sweeps the
+    whole graph for dead nodes each quantum — the verification baseline for
+    the fast path (``EventDetector(oracle_akg=True)``, ``detect
+    --oracle-akg``).
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        maintainer: ClusterMaintainer,
+        oracle: bool = False,
+    ) -> None:
         self.config = config
         self.maintainer = maintainer
-        self.idsets = IdSetIndex(config.window_quanta)
-        self.burstiness = BurstinessTracker(config.high_state_threshold)
+        self.oracle = oracle
         self.minhasher = MinHasher(config.effective_minhash_size, seed=config.seed)
-        self.sketches = WindowedSketchIndex(self.minhasher, config.window_quanta)
+        if oracle:
+            self.idsets = OracleIdSetIndex(config.window_quanta)
+            self.sketches = OracleSketchIndex(self.minhasher, self.idsets)
+        else:
+            self.idsets = IdSetIndex(config.window_quanta)
+            self.sketches = WindowedSketchIndex(
+                self.minhasher, config.window_quanta
+            )
+        self.burstiness = BurstinessTracker(config.high_state_threshold)
+        # Lazy-removal schedule: quantum -> keywords whose grace period can
+        # first be exceeded then.  Armed on every burst; checked when due.
+        self._grace_deadlines: Dict[int, Set[Keyword]] = {}
+        # Nodes that lost their last cluster membership since the previous
+        # step-5 pass (registry listener; hints only, re-verified on use).
+        self._newly_unclustered: Set[Keyword] = set()
+        if not oracle:
+            maintainer.registry.add_unclustered_listener(
+                self._on_node_unclustered
+            )
+
+    def _on_node_unclustered(self, node: Keyword) -> None:
+        self._newly_unclustered.add(node)
 
     # ----------------------------------------------------------- main loop
 
@@ -80,12 +126,12 @@ class AkgBuilder:
         graph = self.maintainer.graph
         self.maintainer.current_quantum = quantum
 
-        support_deltas = self.idsets.add_quantum(quantum, keyword_users)
+        delta = self.idsets.add_quantum(quantum, keyword_users)
         # Node-weight deltas feed the incremental ranker.  Only nodes already
         # in the AKG matter: a keyword entering the graph (and a cluster)
         # later this quantum is covered by that cluster's structural event.
         changelog = self.maintainer.changelog
-        for kw, (old, new) in support_deltas.items():
+        for kw, (old, new) in delta.support_deltas.items():
             if graph.has_node(kw):
                 changelog.record(NodeWeightChanged(kw, old, new))
                 stats.node_weight_deltas += 1
@@ -96,10 +142,14 @@ class AkgBuilder:
         stats.bursty_keywords = len(bursty)
 
         # -- nodes: newly bursty keywords enter the AKG -------------------
+        grace = self.config.node_grace_quanta
         for kw in bursty:
             if not graph.has_node(kw):
                 self.maintainer.add_node(kw)
                 stats.nodes_added += 1
+            if not self.oracle:
+                deadline = self.burstiness.first_droppable_quantum(kw, grace)
+                self._grace_deadlines.setdefault(deadline, set()).add(kw)
 
         # -- edges: new candidates among this quantum's bursty set --------
         new_edges = self._new_edges_among(sorted(bursty), stats)
@@ -111,7 +161,7 @@ class AkgBuilder:
         self._refresh_incident_edges(keyword_users.keys(), stats)
 
         # -- nodes: stale and lazy removal --------------------------------
-        self._remove_dead_nodes(quantum, stats)
+        self._remove_dead_nodes(quantum, delta, stats)
 
         stats.akg_nodes = graph.num_nodes
         stats.akg_edges = graph.num_edges
@@ -200,27 +250,62 @@ class AkgBuilder:
         if to_remove:
             self.maintainer.remove_edges(to_remove)
 
-    def _remove_dead_nodes(self, quantum: int, stats: AkgQuantumStats) -> None:
+    # ------------------------------------------------------- dead-node pass
+
+    def _removal_candidates(
+        self, quantum: int, delta: SlideDelta
+    ) -> Iterable[Keyword]:
+        """The delta-sized pool of nodes that *could* die this quantum.
+
+        Completeness argument (DESIGN.md Section 5): a node is removed when
+        (a) its window support is zero — support reaches zero exactly in the
+        slide that expires its last entry, so ``delta.emptied`` covers it; or
+        (b) it is unclustered and its last burst aged past the grace period —
+        which first becomes true either at the burst's scheduled deadline
+        (armed in :meth:`process_quantum`) or, if it was clustered then, at
+        the later quantum where it loses its last membership (registry
+        listener).  Any node outside these pools fails the removal predicate
+        for the same reason it did last quantum.
+        """
+        due: Set[Keyword] = set(delta.emptied)
+        for deadline in [q for q in self._grace_deadlines if q <= quantum]:
+            due |= self._grace_deadlines.pop(deadline)
+        due |= self._newly_unclustered
+        self._newly_unclustered = set()
+        return due
+
+    def _remove_dead_nodes(
+        self, quantum: int, delta: SlideDelta, stats: AkgQuantumStats
+    ) -> None:
         """Stale removal plus the lazy-update drop of Section 3.1.
 
         Stale: the keyword did not occur in any of the last w quanta (its
         window id set is empty).  Lazy: the keyword is in no cluster and its
         last burst is older than the grace period — it can only re-enter the
         AKG by bursting again, exactly the hysteresis the paper describes.
+
+        The oracle sweeps every graph node; the fast path evaluates the same
+        predicate over the delta-sized candidate pool only.
         """
         graph = self.maintainer.graph
         registry = self.maintainer.registry
         grace = self.config.node_grace_quanta
+        if self.oracle:
+            candidates: Iterable[Keyword] = graph.nodes()
+        else:
+            candidates = self._removal_candidates(quantum, delta)
         stale: List[Keyword] = []
         lazy: List[Keyword] = []
-        for kw in graph.nodes():
+        for kw in sorted(candidates):
+            if not graph.has_node(kw):
+                continue
+            stats.removal_candidates += 1
             if self.idsets.support(kw) == 0:
                 stale.append(kw)
                 continue
             if registry.clusters_of_node(kw):
                 continue
-            last = self.burstiness.last_bursty_quantum(kw)
-            if last is None or quantum - last > grace:
+            if self.burstiness.aged_out(kw, quantum, grace):
                 lazy.append(kw)
         stats.nodes_removed_stale = len(stale)
         stats.nodes_removed_lazy = len(lazy)

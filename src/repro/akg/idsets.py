@@ -9,17 +9,59 @@ than ``window_quanta`` are subtracted again.
 Multiplicities are tracked per (keyword, user) so that a user who used a
 keyword in several quanta stays in the id set until the *last* of those
 quanta expires.
+
+Churn proportionality (DESIGN.md Section 5): every keyword owns its own deque
+of ``(quantum, users)`` entries, and a global appearance schedule records
+which keywords contributed to each quantum.  A slide therefore touches only
+the keywords that appeared in the entering quantum plus the keywords whose
+entries expire — never the full vocabulary — and reports exactly that delta
+as a :class:`SlideDelta` so downstream stages can stay delta-driven too.
 """
 
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Deque, Dict, Hashable, Iterable, Mapping, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
 
 from repro.errors import StreamError
 
 Keyword = str
 UserId = Hashable
+
+
+@dataclass(frozen=True)
+class SlideDelta:
+    """Everything one window slide changed — the AKG stage's delta contract.
+
+    ``appeared``
+        keywords with a non-empty user set in the entering quantum;
+    ``expired``
+        keywords that lost at least one window entry to expiry this slide;
+    ``support_deltas``
+        ``keyword -> (old, new)`` for every keyword whose window support
+        (distinct-user count) actually moved;
+    ``emptied``
+        keywords whose support dropped to zero this slide — the complete set
+        of stale-node candidates, because a keyword's support can only reach
+        zero in the slide that expires its last entry.
+
+    Every field is computable in O(appeared + expired); nothing here is ever
+    proportional to the window vocabulary.
+    """
+
+    quantum: int
+    appeared: FrozenSet[Keyword] = frozenset()
+    expired: FrozenSet[Keyword] = frozenset()
+    support_deltas: Mapping[Keyword, Tuple[int, int]] = field(
+        default_factory=dict
+    )
+    emptied: FrozenSet[Keyword] = frozenset()
+
+    @property
+    def touched(self) -> FrozenSet[Keyword]:
+        """Keywords whose window id set may have changed this slide."""
+        return self.appeared | self.expired
 
 
 class IdSetIndex:
@@ -29,62 +71,100 @@ class IdSetIndex:
         if window_quanta < 1:
             raise StreamError(f"window_quanta must be >= 1, got {window_quanta}")
         self.window_quanta = window_quanta
-        self._window: Deque[Tuple[int, Dict[Keyword, frozenset]]] = deque()
+        # keyword -> deque of (quantum, frozenset of users), oldest first
+        self._entries: Dict[Keyword, Deque[Tuple[int, FrozenSet[UserId]]]] = {}
+        # expiry schedule: (quantum, keywords that appeared then), oldest first
+        self._schedule: Deque[Tuple[int, Tuple[Keyword, ...]]] = deque()
         self._counts: Dict[Keyword, Counter] = {}
+        self._last_quantum: int | None = None
 
     # ------------------------------------------------------------- updates
 
     def add_quantum(
         self, quantum: int, keyword_users: Mapping[Keyword, Set[UserId]]
-    ) -> Dict[Keyword, Tuple[int, int]]:
+    ) -> SlideDelta:
         """Ingest one quantum's keyword -> users mapping and expire old ones.
 
-        Quanta must be added in increasing order.  Returns the support
-        deltas this slide caused, as ``keyword -> (old, new)`` for every
-        keyword whose window support actually changed — the node-weight
-        change feed of the incremental ranking pipeline.  Only keywords in
-        the entering quantum or in expiring ones can move, so computing the
-        deltas is O(changes), never O(window).
+        Quanta must be added in increasing order.  Returns the
+        :class:`SlideDelta` of the slide; work is O(appeared + expired),
+        never O(window vocabulary).
         """
-        if self._window and quantum <= self._window[-1][0]:
+        if self._last_quantum is not None and quantum <= self._last_quantum:
             raise StreamError(
                 f"quanta must be added in increasing order: got {quantum} "
-                f"after {self._window[-1][0]}"
+                f"after {self._last_quantum}"
             )
+        self._last_quantum = quantum
+        cutoff = quantum - self.window_quanta
         # Empty user sets are skipped: they carry no id-set information and
-        # would otherwise leave dangling empty counters behind.
+        # would otherwise leave dangling empty entries behind.
         frozen = {
             kw: frozenset(users) for kw, users in keyword_users.items() if users
         }
-        touched: Set[Keyword] = set(frozen)
-        for old_quantum, old in self._window:  # ordered by quantum ascending
-            if old_quantum > quantum - self.window_quanta:
-                break  # nothing further expires this slide
-            touched.update(old)
-        before = {kw: self.support(kw) for kw in touched}
-        self._window.append((quantum, frozen))
+        appeared = set(frozen)
+        expired: Set[Keyword] = set()
+        while self._schedule and self._schedule[0][0] <= cutoff:
+            _, kws = self._schedule.popleft()
+            expired.update(kws)
+        touched = appeared | expired
+        counts = self._counts
+        before = {
+            kw: len(counter) if (counter := counts.get(kw)) else 0
+            for kw in touched
+        }
+
         for kw, users in frozen.items():
-            counter = self._counts.get(kw)
+            entries = self._entries.get(kw)
+            if entries is None:
+                entries = self._entries[kw] = deque()
+            entries.append((quantum, users))
+            counter = counts.get(kw)
             if counter is None:
-                counter = self._counts[kw] = Counter()
+                counter = counts[kw] = Counter()
             counter.update(users)
-        while self._window and self._window[0][0] <= quantum - self.window_quanta:
-            _, old = self._window.popleft()
-            for kw, users in old.items():
-                counter = self._counts.get(kw)
-                if counter is None:
-                    continue
-                counter.subtract(users)
+        if frozen:
+            self._schedule.append((quantum, tuple(frozen)))
+
+        for kw in expired:
+            entries = self._entries.get(kw)
+            if entries is None:
+                continue
+            counter = counts[kw]
+            while entries and entries[0][0] <= cutoff:
+                _, users = entries.popleft()
                 for user in users:
-                    if counter[user] <= 0:
+                    remaining = counter[user] - 1
+                    if remaining:
+                        counter[user] = remaining
+                    else:
                         del counter[user]
-                if not counter:
-                    del self._counts[kw]
-        return {
+            if not entries:
+                del self._entries[kw]
+            if not counter:
+                del counts[kw]
+
+        support_deltas = {
             kw: (old_support, new_support)
             for kw, old_support in before.items()
-            if (new_support := self.support(kw)) != old_support
+            if (
+                new_support := len(counter)
+                if (counter := counts.get(kw))
+                else 0
+            )
+            != old_support
         }
+        emptied = frozenset(
+            kw
+            for kw, (old_support, new_support) in support_deltas.items()
+            if new_support == 0
+        )
+        return SlideDelta(
+            quantum=quantum,
+            appeared=frozenset(appeared),
+            expired=frozenset(expired),
+            support_deltas=support_deltas,
+            emptied=emptied,
+        )
 
     # ------------------------------------------------------------- queries
 
@@ -98,6 +178,14 @@ class IdSetIndex:
     @property
     def num_keywords(self) -> int:
         return len(self._counts)
+
+    def entries(self, keyword: Keyword) -> Tuple[Tuple[int, FrozenSet[UserId]], ...]:
+        """The keyword's live (quantum, users) window entries, oldest first.
+
+        Exposed for the leak tests: a keyword must never hold two entries for
+        the same quantum, even when it expires and re-enters in one slide.
+        """
+        return tuple(self._entries.get(keyword, ()))
 
     def users(self, keyword: Keyword) -> Set[UserId]:
         """The id set: distinct users of ``keyword`` in the window."""
@@ -120,4 +208,4 @@ class IdSetIndex:
         return intersection / union if union else 0.0
 
 
-__all__ = ["IdSetIndex"]
+__all__ = ["IdSetIndex", "SlideDelta"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from hashlib import blake2b
-from typing import Dict, Hashable, Iterable, Mapping, Tuple
+from typing import Deque, Dict, Hashable, Iterable, Mapping, Set, Tuple
 
 from repro.errors import ConfigError
 
@@ -48,8 +48,21 @@ class MinHasher:
         return value
 
     def sketch(self, users: Iterable[UserId]) -> Sketch:
-        """The p smallest user hashes, ascending (may be shorter than p)."""
-        return tuple(heapq.nsmallest(self.p, map(self.hash_user, users)))
+        """The p smallest *distinct* user hashes, ascending (may be < p).
+
+        Hash values are deduplicated before the bottom-p cut so that a
+        colliding pair of users cannot occupy two sketch slots — this keeps
+        a from-scratch sketch of a union of sets identical to the merge of
+        the per-set sketches, which the windowed index and its oracle rely
+        on.  ``p == 1`` (a common outcome of the paper's
+        ``min(theta/2, 1/gamma)`` derivation) short-circuits to a plain
+        ``min`` — duplicates cannot matter for a single minimum.
+        """
+        hashes = map(self.hash_user, users)
+        if self.p == 1:
+            smallest = min(hashes, default=None)
+            return () if smallest is None else (smallest,)
+        return tuple(heapq.nsmallest(self.p, set(hashes)))
 
 
 class WindowedSketchIndex:
@@ -57,38 +70,84 @@ class WindowedSketchIndex:
 
     The paper keeps "p Min-Hash values amongst all the user ids in the id
     set" per keyword.  Recomputing that from the full window id set every
-    quantum costs O(window); instead this index stores a bottom-p
-    mini-sketch per (quantum, keyword) — computed once from that quantum's
-    new users only — and merges the ≤ ``window_quanta`` mini-sketches on
-    demand (≤ w*p values).  Work per quantum is proportional to *new* data,
-    matching the paper's real-time constraint.
+    quantum costs O(window); instead this index stores, per keyword, a deque
+    of bottom-p mini-sketches — one per quantum the keyword appeared in,
+    computed once from that quantum's new users only — and merges the
+    <= ``window_quanta`` mini-sketches into a cached full-window sketch.
+
+    The merged sketch is recomputed lazily and only when *dirtied*: a
+    keyword's cache entry is invalidated exactly when it gains a mini-sketch
+    (it appeared this quantum) or loses one (an entry expired).  Untouched
+    keywords keep serving their cached sketch, so per-quantum sketch work is
+    proportional to the delta, matching the paper's real-time constraint
+    (DESIGN.md Section 5).
     """
 
     def __init__(self, hasher: MinHasher, window_quanta: int) -> None:
         self.hasher = hasher
         self.window_quanta = window_quanta
-        self._window: deque = deque()  # (quantum, {keyword: mini-sketch})
+        # keyword -> deque of (quantum, mini-sketch), oldest first
+        self._minis: Dict[str, Deque[Tuple[int, Sketch]]] = {}
+        # expiry schedule: (quantum, keywords that appeared then)
+        self._schedule: Deque[Tuple[int, Tuple[str, ...]]] = deque()
+        self._merged: Dict[str, Sketch] = {}
+        self._dirty: Set[str] = set()
+        self.merge_recomputes = 0
+        """Number of merged-sketch rebuilds performed (work counter for the
+        dirty-only regression tests and the AKG bench)."""
 
     def add_quantum(
         self, quantum: int, keyword_users: Mapping[str, Iterable[UserId]]
     ) -> None:
-        minis = {
-            kw: self.hasher.sketch(users) for kw, users in keyword_users.items()
-        }
-        self._window.append((quantum, minis))
-        while self._window and self._window[0][0] <= quantum - self.window_quanta:
-            self._window.popleft()
+        cutoff = quantum - self.window_quanta
+        entered = []
+        for kw, users in keyword_users.items():
+            mini = self.hasher.sketch(users)
+            if not mini:
+                continue
+            minis = self._minis.get(kw)
+            if minis is None:
+                minis = self._minis[kw] = deque()
+            minis.append((quantum, mini))
+            entered.append(kw)
+            self._dirty.add(kw)
+        if entered:
+            self._schedule.append((quantum, tuple(entered)))
+        while self._schedule and self._schedule[0][0] <= cutoff:
+            _, kws = self._schedule.popleft()
+            for kw in kws:
+                minis = self._minis.get(kw)
+                if minis is None:
+                    continue
+                while minis and minis[0][0] <= cutoff:
+                    minis.popleft()
+                if minis:
+                    self._dirty.add(kw)
+                else:
+                    del self._minis[kw]
+                    self._merged.pop(kw, None)
+                    self._dirty.discard(kw)
 
     def sketch(self, keyword: str) -> Sketch:
-        """Bottom-p hash values of the keyword's window id set."""
+        """Bottom-p hash values of the keyword's window id set (cached)."""
+        minis = self._minis.get(keyword)
+        if minis is None:
+            return ()
+        if keyword not in self._dirty:
+            cached = self._merged.get(keyword)
+            if cached is not None:
+                return cached
         values: set = set()
-        for _, minis in self._window:
-            mini = minis.get(keyword)
-            if mini:
-                values.update(mini)
+        for _, mini in minis:
+            values.update(mini)
         if len(values) <= self.hasher.p:
-            return tuple(sorted(values))
-        return tuple(heapq.nsmallest(self.hasher.p, values))
+            merged = tuple(sorted(values))
+        else:
+            merged = tuple(heapq.nsmallest(self.hasher.p, values))
+        self._merged[keyword] = merged
+        self._dirty.discard(keyword)
+        self.merge_recomputes += 1
+        return merged
 
 
 def sketches_share_value(sketch_a: Sketch, sketch_b: Sketch) -> bool:

@@ -6,6 +6,14 @@ Commands
 ``generate``   build a synthetic trace (tw / es / ground-truth) as JSONL
 ``detect``     run the detector over a JSONL trace and print events
 ``sweep``      print a small precision/recall parameter grid for a preset
+
+``detect`` exposes the verification baselines: ``--oracle-ranking`` re-ranks
+every cluster from scratch each quantum, and ``--oracle-akg`` rebuilds the
+AKG window state (id sets, sketches, dead-node sweep) from scratch each
+quantum.  Either flag trades the incremental path's churn-proportional cost
+for the obviously-correct O(window x vocabulary) one, so an A/B run over the
+same trace (optionally with ``--timing``) doubles as a live differential
+check and a speedup demo.
 """
 
 from __future__ import annotations
@@ -52,6 +60,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the incremental rank cache and re-rank "
                              "every cluster from scratch each quantum "
                              "(verification baseline)")
+    parser.add_argument("--oracle-akg", action="store_true",
+                        help="rebuild the AKG window state (id sets, "
+                             "sketches, dead-node sweep) from scratch each "
+                             "quantum instead of applying deltas "
+                             "(verification baseline)")
 
 
 def _config_from(args: argparse.Namespace) -> DetectorConfig:
@@ -61,6 +74,8 @@ def _config_from(args: argparse.Namespace) -> DetectorConfig:
         high_state_threshold=args.theta,
         ec_threshold=args.gamma,
         use_minhash_filter=not args.exact_ec,
+        oracle_akg=args.oracle_akg,
+        oracle_ranking=args.oracle_ranking,
     )
 
 
@@ -110,9 +125,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    detector = EventDetector(
-        _config_from(args), oracle_ranking=args.oracle_ranking
-    )
+    detector = EventDetector(_config_from(args))
     printed = 0
     quanta = 0
     cache_hits = 0

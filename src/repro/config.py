@@ -71,6 +71,17 @@ class DetectorConfig:
         Maintain full CKG node/edge counts for the Section 7.4 reduction
         study.  Costs memory proportional to distinct co-occurring pairs in
         the window; off by default.
+    oracle_akg:
+        Run the AKG stage on the from-scratch oracle components
+        (:mod:`repro.akg.oracle`): window id sets, sketches and the
+        dead-node sweep are recomputed over the full vocabulary every
+        quantum.  Semantically identical to the fast path and O(window x
+        vocabulary) slower — the differential-verification baseline
+        (``detect --oracle-akg``).
+    oracle_ranking:
+        Run the rank stage from scratch every quantum instead of through the
+        incremental rank cache — the PR-1 verification baseline
+        (``detect --oracle-ranking``).
     seed:
         Seed for the MinHash hash-function salt; fixed for reproducibility.
     """
@@ -87,6 +98,8 @@ class DetectorConfig:
     require_noun: bool = True
     max_tokens_per_message: int = 32
     track_ckg_stats: bool = False
+    oracle_akg: bool = False
+    oracle_ranking: bool = False
     seed: int = 0x5C9C1E
 
     def __post_init__(self) -> None:

@@ -21,12 +21,22 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set
 
 from repro.errors import ClusterError
 from repro.graph.dynamic_graph import EdgeKey, edge_key
 
 Node = Hashable
+
+UnclusteredListener = Callable[[Node], None]
+"""Callback fired when a node's cluster-membership count drops to zero.
+
+The AKG builder uses this to learn, in O(transitions) instead of an
+O(graph) sweep, which nodes may have become eligible for the Section 3.1
+lazy drop (DESIGN.md Section 5).  The notification is a *hint*: it may fire
+for a node that is immediately re-clustered in the same operation (a split's
+dissolve/recreate cycle), so consumers must re-verify membership before
+acting on it."""
 
 
 @dataclass
@@ -76,6 +86,15 @@ class ClusterRegistry:
         self._edge_to_cluster: Dict[EdgeKey, int] = {}
         self._node_to_clusters: Dict[Node, Set[int]] = {}
         self._ids = itertools.count(1)
+        self._unclustered_listeners: List[UnclusteredListener] = []
+
+    def add_unclustered_listener(self, listener: UnclusteredListener) -> None:
+        """Subscribe to clustered -> unclustered node transitions."""
+        self._unclustered_listeners.append(listener)
+
+    def _notify_unclustered(self, node: Node) -> None:
+        for listener in self._unclustered_listeners:
+            listener(node)
 
     # ------------------------------------------------------------- queries
 
@@ -206,6 +225,7 @@ class ClusterRegistry:
             members.discard(cluster_id)
             if not members:
                 del self._node_to_clusters[node]
+                self._notify_unclustered(node)
 
     def dissolve(self, cluster_id: int) -> Cluster:
         """Remove a cluster entirely, releasing its edges and nodes."""
@@ -219,6 +239,7 @@ class ClusterRegistry:
                 members.discard(cluster_id)
                 if not members:
                     del self._node_to_clusters[n]
+                    self._notify_unclustered(n)
         del self._clusters[cluster_id]
         return cluster
 

@@ -138,24 +138,32 @@ class EventDetector:
         noun_tagger: NounTagger | None = None,
         tokenizer=None,
         oracle_ranking: bool = False,
+        oracle_akg: bool = False,
     ) -> None:
         """``tokenizer`` overrides text tokenisation (e.g. a
         :meth:`repro.text.synonyms.SynonymNormalizer.wrap_tokenizer` wrapped
         one for the paper's synonym pre-processing); pre-tokenised messages
         bypass it.  ``oracle_ranking`` disables the incremental rank cache
-        and re-ranks every live cluster from scratch each quantum — the
-        verification / benchmarking baseline.
+        and re-ranks every live cluster from scratch each quantum;
+        ``oracle_akg`` runs the AKG stage on the from-scratch oracle
+        components of :mod:`repro.akg.oracle` — the verification /
+        benchmarking baselines (also settable via
+        :class:`~repro.config.DetectorConfig`).
         """
         self.config = config if config is not None else DetectorConfig()
         self.tokenizer = tokenizer if tokenizer is not None else tokenize
         self.maintainer = ClusterMaintainer()
-        self.builder = AkgBuilder(self.config, self.maintainer)
+        self.builder = AkgBuilder(
+            self.config,
+            self.maintainer,
+            oracle=oracle_akg or self.config.oracle_akg,
+        )
         self.ranker = IncrementalRanker(
             self.maintainer.registry,
             self.maintainer.graph,
             self.builder.node_weights,
             min_cluster_size=self.config.min_cluster_size,
-            oracle=oracle_ranking,
+            oracle=oracle_ranking or self.config.oracle_ranking,
         )
         self.tracker = EventTracker()
         self.noun_tagger = noun_tagger if noun_tagger is not None else NounTagger()

@@ -5,10 +5,13 @@ set, node weights and edge correlations.  None of those can change without
 the maintenance layer recording a :class:`~repro.core.changelog.ChangeEvent`,
 so a cached rank stays exact until its cluster is marked dirty by a drained
 :class:`~repro.core.changelog.ChangeBatch`.  :class:`IncrementalRanker`
-exploits this: per quantum it recomputes only the dirty clusters, turning
-the rank stage from O(live clusters x cluster size^2) into
-O(dirty clusters x cluster size^2) plus an O(live) cache sweep of dict
-lookups — per-quantum work proportional to churn, as Section 4.1 requires.
+exploits this: the ranked-result list is maintained *in place* — per quantum
+it touches only the dirtied clusters, turning the rank stage from
+O(live clusters x cluster size^2) into O(dirty clusters x cluster size^2).
+There is no per-quantum cache sweep over the live clusters at all: a cluster
+that appears, changes size, or dies necessarily produced a structural event
+(DESIGN.md Section 2), so the dirty set is the complete edit script for the
+result list.
 
 ``oracle=True`` disables the cache entirely and recomputes every cluster
 from scratch on every call.  The oracle is the verification baseline: the
@@ -20,8 +23,8 @@ modes across churn rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.changelog import ChangeBatch
 from repro.core.clusters import Cluster, ClusterRegistry
@@ -42,31 +45,41 @@ class RankEntry:
     The input snapshots (``weights``, ``correlations``) are what
     :meth:`IncrementalRanker.verify_against_oracle` diffs to pinpoint *which*
     rank input went stale when the propagation contract is violated.
+    ``cluster`` is the registry object the entry was computed from; it is
+    refreshed on every recompute because splits replace the surviving id's
+    object.
     """
 
     rank: float
     support: float
     weights: Dict[Node, float]
     correlations: Dict[EdgeKey, float]
+    cluster: Optional[Cluster] = field(default=None, repr=False)
 
 
 @dataclass
 class RankStats:
-    """Work counters for one :meth:`IncrementalRanker.rank_all` call."""
+    """Work counters for one :meth:`IncrementalRanker.rank_all` call.
+
+    ``dirty_processed`` counts the clusters the call actually visited; the
+    dirty-only regression tests assert it scales with churn while ``live``
+    (derived from the maintained result list, not from a sweep) does not.
+    """
 
     live: int = 0
     ranked: int = 0
     recomputed: int = 0
     cache_hits: int = 0
     evicted: int = 0
+    dirty_processed: int = 0
 
     def reset(self) -> None:
         self.live = self.ranked = self.recomputed = 0
-        self.cache_hits = self.evicted = 0
+        self.cache_hits = self.evicted = self.dirty_processed = 0
 
 
 class IncrementalRanker:
-    """Caches per-cluster ranks and recomputes only change-dirtied clusters.
+    """Maintains the ranked-result list in place, touching only dirty clusters.
 
     Parameters
     ----------
@@ -97,7 +110,10 @@ class IncrementalRanker:
         self.oracle = oracle
         self.stats = RankStats()
         self._cache: Dict[int, RankEntry] = {}
-        self._dirty: Set[int] = set()
+        # Clusters alive before this ranker existed produced their change
+        # events in the past; seed them as dirty so the first rank_all
+        # covers them without a registry sweep ever happening again.
+        self._dirty: Set[int] = {cluster.cluster_id for cluster in registry}
 
     # ----------------------------------------------------------- propagation
 
@@ -127,19 +143,24 @@ class IncrementalRanker:
         rank, support = rank_and_support(
             cluster.nodes, cluster.edges, weights, correlations
         )
-        return RankEntry(rank, support, weights, correlations)
+        return RankEntry(rank, support, weights, correlations, cluster)
 
     def rank_all(self) -> List[Tuple[Cluster, float, float]]:
         """``(cluster, rank, support)`` for every live reportable cluster.
 
-        Incremental mode recomputes dirty clusters and serves the rest from
-        cache; oracle mode recomputes everything.  Either way the returned
-        ranking reflects the current registry exactly.
+        Incremental mode edits the maintained result list: each accumulated
+        dirty id is recomputed (entering or leaving the list as its size
+        crosses ``min_cluster_size`` or it dies), and every untouched entry
+        is returned as-is — no per-cluster work, no registry sweep.  Oracle
+        mode recomputes everything.  Either way the returned ranking
+        reflects the current registry exactly (DESIGN.md Section 3) and is
+        ordered by cluster id, so the two modes emit identically ordered
+        output regardless of cache or registry insertion history.
         """
         stats = self.stats
         stats.reset()
-        out: List[Tuple[Cluster, float, float]] = []
         if self.oracle:
+            out: List[Tuple[Cluster, float, float]] = []
             for cluster in self.registry:
                 stats.live += 1
                 if cluster.size < self.min_cluster_size:
@@ -148,36 +169,33 @@ class IncrementalRanker:
                 stats.ranked += 1
                 stats.recomputed += 1
                 out.append((cluster, entry.rank, entry.support))
+            out.sort(key=lambda item: item[0].cluster_id)
             return out
 
-        live_ids: Set[int] = set()
-        dirty = self._dirty
         cache = self._cache
-        for cluster in self.registry:
-            stats.live += 1
-            cid = cluster.cluster_id
-            live_ids.add(cid)
+        registry = self.registry
+        for cid in self._dirty:
+            stats.dirty_processed += 1
+            if cid not in registry:
+                # Normally retirement events already evicted it; a dirty id
+                # can still die later in the same batch (merge after update).
+                if cache.pop(cid, None) is not None:
+                    stats.evicted += 1
+                continue
+            cluster = registry.get(cid)
             if cluster.size < self.min_cluster_size:
                 if cache.pop(cid, None) is not None:
                     stats.evicted += 1
                 continue
-            entry = cache.get(cid)
-            if entry is None or cid in dirty:
-                entry = self._compute(cluster)
-                cache[cid] = entry
-                stats.recomputed += 1
-            else:
-                stats.cache_hits += 1
-            stats.ranked += 1
-            out.append((cluster, entry.rank, entry.support))
-        # Clusters that silently left the registry (defensive: normally the
-        # retirement events in apply() already evicted them).
-        for cid in list(cache):
-            if cid not in live_ids:
-                del cache[cid]
-                stats.evicted += 1
-        dirty.clear()
-        return out
+            cache[cid] = self._compute(cluster)
+            stats.recomputed += 1
+        self._dirty.clear()
+        stats.live = stats.ranked = len(cache)
+        stats.cache_hits = stats.ranked - stats.recomputed
+        return [
+            (entry.cluster, entry.rank, entry.support)
+            for _, entry in sorted(cache.items())
+        ]
 
     # ------------------------------------------------------------ validation
 
@@ -187,8 +205,23 @@ class IncrementalRanker:
         Test helper mirroring
         :meth:`~repro.core.maintenance.ClusterMaintainer.check_against_oracle`:
         raises AssertionError on any divergence between the cache and the
-        ground-truth rank of the current state.
+        ground-truth rank of the current state.  Also asserts the maintained
+        result list covers exactly the live reportable clusters — the
+        no-sweep contract.
         """
+        reportable = {
+            c.cluster_id
+            for c in self.registry
+            if c.size >= self.min_cluster_size
+        }
+        cached = set(self._cache)
+        unexpected = cached - reportable - self._dirty
+        missing = reportable - cached - self._dirty
+        assert not unexpected and not missing, (
+            f"maintained result list diverged from the registry:\n"
+            f"  entries for dead/short clusters: {sorted(unexpected)}\n"
+            f"  live clusters missing an entry:  {sorted(missing)}"
+        )
         for cluster in self.registry:
             if cluster.size < self.min_cluster_size:
                 continue
@@ -198,6 +231,10 @@ class IncrementalRanker:
             if cluster.cluster_id in self._dirty:
                 continue  # known-dirty, will be recomputed on next rank_all
             fresh = self._compute(cluster)
+            assert entry.cluster is cluster, (
+                f"stale cluster object cached for {cluster.cluster_id} "
+                f"(the registry replaced it without a change event)"
+            )
             assert (
                 entry.weights == fresh.weights
                 and entry.correlations == fresh.correlations

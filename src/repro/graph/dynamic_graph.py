@@ -52,10 +52,11 @@ class DynamicGraph:
     the local cluster maintenance of Section 5 cheap.
     """
 
-    __slots__ = ("_adj", "_weight_listener")
+    __slots__ = ("_adj", "_num_edges", "_weight_listener")
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Dict[Node, float]] = {}
+        self._num_edges = 0
         self._weight_listener: Optional[WeightListener] = None
 
     def set_weight_listener(self, listener: Optional[WeightListener]) -> None:
@@ -94,6 +95,7 @@ class DynamicGraph:
         for other in neighbours:
             del self._adj[other][node]
             removed.append(edge_key(node, other))
+        self._num_edges -= len(removed)
         return removed
 
     def has_node(self, node: Node) -> bool:
@@ -133,12 +135,14 @@ class DynamicGraph:
             raise DuplicateEdgeError(f"edge already in graph: ({u!r}, {v!r})")
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._num_edges += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         if u not in self._adj or v not in self._adj[u]:
             raise EdgeNotFoundError(u, v)
         del self._adj[u][v]
         del self._adj[v][u]
+        self._num_edges -= 1
 
     def has_edge(self, u: Node, v: Node) -> bool:
         nbrs = self._adj.get(u)
@@ -177,7 +181,13 @@ class DynamicGraph:
 
     @property
     def num_edges(self) -> int:
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        """Edge count, maintained as an O(1) counter.
+
+        The engine snapshots this every quantum (``AkgQuantumStats``), so a
+        recount over the adjacency lists would be a per-quantum O(graph)
+        term — exactly what the delta-driven AKG stage forbids.
+        """
+        return self._num_edges
 
     # ------------------------------------------------------- neighbourhoods
 
@@ -227,6 +237,7 @@ class DynamicGraph:
     def copy(self) -> "DynamicGraph":
         clone = DynamicGraph()
         clone._adj = {n: dict(nbrs) for n, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
         return clone
 
     def adjacency(self) -> Dict[Node, Dict[Node, float]]:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.akg.builder import AkgBuilder
 from repro.config import DetectorConfig
+from repro.core.changelog import NodeWeightChanged
 from repro.core.maintenance import ClusterMaintainer
 
 
@@ -71,6 +72,104 @@ class TestNodeLifecycle:
             builder.process_quantum(q, trickle)
         assert maintainer.graph.has_node("a")
         assert len(maintainer.registry) == 1
+
+
+class TestSameQuantumReentry:
+    def test_no_duplicate_entry_and_single_weight_delta(self):
+        """A keyword whose last window entry expires in the same quantum it
+        re-appears must keep exactly one id-set entry and emit exactly one
+        NodeWeightChanged — not a stale-then-readd double account."""
+        builder, maintainer = make_builder(window_quanta=2, ec_threshold=0.1)
+        users = [1, 2, 3]
+        builder.process_quantum(
+            0, quantum(("hot", users), ("warm", users))
+        )  # hot/warm burst -> AKG edge, no cluster (only 2 nodes)
+        builder.process_quantum(1, quantum(("hot", [1]), ("warm", [1])))
+        maintainer.drain_changes()
+        # quantum 2: the quantum-0 entries expire AND both re-appear
+        stats = builder.process_quantum(
+            2, quantum(("hot", [1, 9]), ("warm", [1, 9]))
+        )
+        assert builder.idsets.entries("hot") == (
+            (1, frozenset({1})),
+            (2, frozenset({1, 9})),
+        )
+        events = [
+            e
+            for e in maintainer.drain_changes().events
+            if isinstance(e, NodeWeightChanged) and e.node == "hot"
+        ]
+        assert len(events) == 1
+        assert (events[0].old, events[0].new) == (3, 2)
+        assert stats.nodes_removed_stale == 0
+        assert maintainer.graph.has_node("hot")
+
+    def test_reentry_after_full_expiry_rejoins_cleanly(self):
+        """Silence for exactly the window length: the keyword's last entry
+        expires in the quantum it bursts again, so it must stay in the AKG
+        without ever being counted stale."""
+        builder, maintainer = make_builder(window_quanta=2)
+        builder.process_quantum(0, quantum(("hot", [1, 2, 3])))
+        builder.process_quantum(1, quantum(("x", [1, 2])))
+        stats = builder.process_quantum(2, quantum(("hot", [4, 5, 6])))
+        assert maintainer.graph.has_node("hot")
+        assert stats.nodes_removed_stale == 0
+        assert builder.idsets.support("hot") == 3
+        assert builder.idsets.entries("hot") == ((2, frozenset({4, 5, 6})),)
+
+
+class TestDeltaDrivenRemoval:
+    def test_unclustered_transition_triggers_lazy_drop(self):
+        """A clustered keyword that outlives its grace period is dropped in
+        the quantum it loses its last cluster — discovered through the
+        registry's unclustered listener, not a graph sweep."""
+        builder, maintainer = make_builder(
+            window_quanta=3, node_grace_quanta=1, ec_threshold=0.4
+        )
+        users = [1, 2, 3, 4]
+        builder.process_quantum(
+            0, quantum(("a", users), ("b", users), ("c", users))
+        )
+        assert len(maintainer.registry) == 1
+        # keep the keywords in-window but below theta; grace expires while
+        # the triangle still protects them
+        for q in (1, 2, 3):
+            builder.process_quantum(
+                q, quantum(("a", [1]), ("b", [1]), ("c", [1]))
+            )
+        assert maintainer.graph.has_node("a")
+        # disjoint users crash the correlations -> edges drop -> cluster
+        # dissolves -> all three become unclustered and past grace
+        stats = builder.process_quantum(
+            4, quantum(("a", [5]), ("b", [6]), ("c", [7]))
+        )
+        assert stats.nodes_removed_lazy == 3
+        assert not maintainer.graph.has_node("a")
+        assert len(maintainer.registry) == 0
+
+    def test_removal_work_tracks_candidates_not_graph(self):
+        """The dead-node pass must examine only the delta-sized candidate
+        pool: with a large stable clustered vocabulary and one dying
+        keyword, candidates stay O(1), not O(nodes)."""
+        builder, maintainer = make_builder(
+            window_quanta=6, node_grace_quanta=0, ec_threshold=0.1
+        )
+        users = list(range(4))
+        stable = {f"s{i}": set(users) for i in range(30)}
+        builder.process_quantum(0, {**stable, "loner": {101, 102, 103}})
+        assert maintainer.graph.num_nodes == 31
+        # quantum 1: stable keywords burst again (deadlines re-armed, all
+        # clustered); the loner's grace deadline fires and it is dropped.
+        # The candidate pool is the 31 quantum-0 deadlines, never the
+        # vocabulary sweep the oracle does.
+        stats = builder.process_quantum(1, stable)
+        assert stats.removal_candidates <= 31
+        assert not maintainer.graph.has_node("loner")
+        # steady state: only the re-armed deadline checks fire
+        for q in (2, 3):
+            stats = builder.process_quantum(q, stable)
+            assert stats.removal_candidates <= 30
+        assert maintainer.graph.num_nodes == 30
 
 
 class TestEdgeLifecycle:

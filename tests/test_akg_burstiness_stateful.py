@@ -1,0 +1,116 @@
+"""Stateful model check of the delta-aware burstiness automaton.
+
+The production :class:`~repro.akg.burstiness.BurstinessTracker` is advanced
+only for keywords *touched* in a quantum and answers every state query in
+closed form from the last recorded burst.  The model here is the automaton
+the paper actually describes, stepped explicitly: **every** keyword is
+advanced **every** quantum, keeping a literal low/high state and an age
+counter.  The machine feeds the tracker only the touched subset while
+stepping the model over the full vocabulary, then asserts all queries agree
+— proving the closed-form catch-up equals the step-by-step automaton.
+Extends the model-check pattern of ``tests/test_akg_idsets_stateful.py``.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.akg.burstiness import BurstinessTracker
+
+KEYWORDS = ["alpha", "beta", "gamma", "delta"]
+THETA = 2
+GRACES = [0, 1, 2, 3]
+
+
+class _SteppedAutomaton:
+    """Reference implementation: per-keyword state advanced one quantum at a
+    time, for the whole vocabulary, with explicit counters."""
+
+    def __init__(self):
+        self.last_bursty = {}
+        self.bursts = {}
+        self.age = {}  # quanta since last burst, stepped explicitly
+
+    def step(self, quantum, counts):
+        for kw in KEYWORDS:
+            if counts.get(kw, 0) >= THETA:
+                self.last_bursty[kw] = quantum
+                self.bursts[kw] = self.bursts.get(kw, 0) + 1
+                self.age[kw] = 0
+            elif kw in self.age:
+                self.age[kw] += 1
+
+    def forget(self, kw):
+        self.last_bursty.pop(kw, None)
+        self.bursts.pop(kw, None)
+        self.age.pop(kw, None)
+
+
+class BurstinessModelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tracker = BurstinessTracker(theta=THETA)
+        self.model = _SteppedAutomaton()
+        self.quantum = -1
+
+    @rule(
+        counts=st.dictionaries(
+            st.sampled_from(KEYWORDS),
+            st.integers(0, 2 * THETA),
+            max_size=len(KEYWORDS),
+        )
+    )
+    def observe_quantum(self, counts):
+        self.quantum += 1
+        self.model.step(self.quantum, counts)
+        # The tracker sees only the touched keywords — the delta contract.
+        touched = {kw: c for kw, c in counts.items() if c > 0}
+        bursty = self.tracker.observe_quantum(self.quantum, touched)
+        assert bursty == {
+            kw for kw, c in counts.items() if c >= THETA
+        }
+
+    @rule(kw=st.sampled_from(KEYWORDS))
+    def forget(self, kw):
+        self.tracker.forget([kw])
+        self.model.forget(kw)
+
+    @invariant()
+    def closed_form_matches_stepped_automaton(self):
+        if self.quantum < 0:
+            return
+        for kw in KEYWORDS:
+            expected_last = self.model.last_bursty.get(kw)
+            assert self.tracker.last_bursty_quantum(kw) == expected_last
+            assert self.tracker.burst_count(kw) == self.model.bursts.get(kw, 0)
+            assert self.tracker.is_bursty_now(kw) == (
+                expected_last == self.quantum
+            )
+            assert self.tracker.is_bursty_at(kw, self.quantum) == (
+                expected_last == self.quantum
+            )
+            expected_age = self.model.age.get(kw)
+            assert self.tracker.quanta_since_bursty(kw) == expected_age
+            for grace in GRACES:
+                # Closed form vs the explicitly stepped age counter.
+                stepped = expected_age is None or expected_age > grace
+                assert (
+                    self.tracker.aged_out(kw, self.quantum, grace) == stepped
+                ), (
+                    f"aged_out({kw!r}, q={self.quantum}, grace={grace}) "
+                    f"disagrees with the stepped automaton (age={expected_age})"
+                )
+            deadline = self.tracker.first_droppable_quantum(kw, GRACES[-1])
+            if expected_last is not None:
+                assert deadline == expected_last + GRACES[-1] + 1
+                # The schedule is tight: not droppable before, droppable at.
+                assert not self.tracker.aged_out(kw, deadline - 1, GRACES[-1])
+                assert self.tracker.aged_out(kw, deadline, GRACES[-1])
+            else:
+                assert deadline is None
+
+
+BurstinessModelMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestBurstinessModel = BurstinessModelMachine.TestCase

@@ -1,10 +1,11 @@
-"""Sliding-window id sets: expiry, support, Jaccard correlation."""
+"""Sliding-window id sets: expiry, support, Jaccard, and the slide delta."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.akg.idsets import IdSetIndex
+from repro.akg.oracle import OracleIdSetIndex
 from repro.errors import StreamError
 
 
@@ -56,6 +57,94 @@ class TestWindowMechanics:
         index.add_quantum(0, {"a": {1}, "b": {2}})
         assert set(index.keywords()) == {"a", "b"}
         assert index.num_keywords == 2
+
+
+class TestSlideDelta:
+    def test_appearance_reports_support_delta(self):
+        index = IdSetIndex(window_quanta=3)
+        delta = index.add_quantum(0, {"kw": {1, 2}})
+        assert delta.appeared == {"kw"}
+        assert delta.expired == frozenset()
+        assert delta.support_deltas == {"kw": (0, 2)}
+        assert delta.emptied == frozenset()
+        assert delta.touched == {"kw"}
+
+    def test_expiry_reports_emptied(self):
+        index = IdSetIndex(window_quanta=2)
+        index.add_quantum(0, {"kw": {1}})
+        index.add_quantum(1, {"other": {9}})
+        delta = index.add_quantum(2, {"other": {9}})
+        assert delta.expired == {"kw"}
+        assert delta.support_deltas == {"kw": (1, 0)}
+        assert delta.emptied == {"kw"}
+
+    def test_unchanged_support_not_reported(self):
+        """A keyword whose expiring users re-enter the same slide moves
+        nothing and must not appear in support_deltas."""
+        index = IdSetIndex(window_quanta=2)
+        index.add_quantum(0, {"kw": {1}})
+        index.add_quantum(1, {"kw": {1}})
+        delta = index.add_quantum(2, {"kw": {1}})
+        assert delta.appeared == {"kw"}
+        assert delta.expired == {"kw"}
+        assert delta.support_deltas == {}
+        assert delta.emptied == frozenset()
+
+    def test_empty_user_sets_do_not_appear(self):
+        index = IdSetIndex(window_quanta=2)
+        delta = index.add_quantum(0, {"kw": set()})
+        assert delta.appeared == frozenset()
+        assert index.support("kw") == 0
+
+    def test_same_quantum_expiry_and_reentry_single_entry(self):
+        """Stale + re-enter in one slide must not leak a duplicate deque
+        entry: the expired entry is popped, the fresh one alone remains."""
+        index = IdSetIndex(window_quanta=2)
+        index.add_quantum(0, {"kw": {1, 2}})
+        index.add_quantum(1, {"x": {9}})
+        delta = index.add_quantum(2, {"kw": {3}})
+        assert delta.appeared == {"kw"} and delta.expired == {"kw"}
+        assert delta.support_deltas == {"kw": (2, 1)}
+        assert index.entries("kw") == ((2, frozenset({3})),)
+        assert index.users("kw") == {3}
+
+    def test_skipped_quanta_expire_together(self):
+        """Quantum numbers may skip; every overdue entry expires in one
+        slide and each keyword still holds at most one entry per quantum."""
+        index = IdSetIndex(window_quanta=3)
+        index.add_quantum(0, {"a": {1}})
+        index.add_quantum(1, {"a": {2}, "b": {5}})
+        delta = index.add_quantum(7, {"a": {3}})
+        assert delta.expired == {"a", "b"}
+        assert delta.emptied == {"b"}
+        assert delta.support_deltas == {"a": (2, 1), "b": (1, 0)}
+        assert index.entries("a") == ((7, frozenset({3})),)
+
+    @given(
+        quanta=st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]),
+                st.sets(st.integers(0, 10), min_size=0, max_size=4),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        window=st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_delta_matches_from_scratch_oracle(self, quanta, window):
+        """The O(changes) slide delta equals the oracle's full-diff delta."""
+        fast = IdSetIndex(window_quanta=window)
+        oracle = OracleIdSetIndex(window_quanta=window)
+        for q, content in enumerate(quanta):
+            fast_delta = fast.add_quantum(q, content)
+            oracle_delta = oracle.add_quantum(q, content)
+            assert fast_delta == oracle_delta
+            for kw in ("a", "b", "c"):
+                assert fast.support(kw) == oracle.support(kw)
+                assert fast.users(kw) == oracle.users(kw)
+            assert set(fast.keywords()) == set(oracle.keywords())
 
 
 class TestJaccard:

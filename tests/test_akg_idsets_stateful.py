@@ -31,8 +31,20 @@ class IdSetModelMachine(RuleBasedStateMachine):
     )
     def add_quantum(self, content):
         self.quantum += 1
-        self.index.add_quantum(self.quantum, content)
+        before = {kw: len(self._model_users(kw)) for kw in KEYWORDS}
+        delta = self.index.add_quantum(self.quantum, content)
         self.history.append(content)
+        # The reported slide delta must equal the model's support diff.
+        expected = {
+            kw: (before[kw], after)
+            for kw in KEYWORDS
+            if (after := len(self._model_users(kw))) != before[kw]
+        }
+        assert dict(delta.support_deltas) == expected
+        assert delta.emptied == {
+            kw for kw, (_, after) in expected.items() if after == 0
+        }
+        assert delta.appeared == {kw for kw, users in content.items() if users}
 
     def _model_users(self, keyword):
         live = self.history[-WINDOW:]

@@ -143,3 +143,33 @@ class TestWindowedSketchIndex:
         index.add_quantum(1, {})
         index.add_quantum(2, {})
         assert index.sketch("kw") == ()
+
+    def test_untouched_sketch_served_from_cache(self):
+        """Only dirtied sketches are re-merged: an untouched keyword costs
+        zero merge work no matter how often it is queried."""
+        hasher = MinHasher(2, seed=1)
+        index = WindowedSketchIndex(hasher, window_quanta=4)
+        index.add_quantum(0, {"kw": {1, 2, 3}})
+        first = index.sketch("kw")
+        assert index.merge_recomputes == 1
+        for _ in range(5):
+            assert index.sketch("kw") == first
+        assert index.merge_recomputes == 1
+        # other keywords entering leave "kw" clean
+        index.add_quantum(1, {"other": {7, 8}})
+        assert index.sketch("kw") == first
+        assert index.merge_recomputes == 1
+        index.sketch("other")
+        assert index.merge_recomputes == 2  # only "other" was merged
+
+    def test_dirtied_sketch_recomputed_on_appearance_and_expiry(self):
+        hasher = MinHasher(2, seed=1)
+        index = WindowedSketchIndex(hasher, window_quanta=2)
+        index.add_quantum(0, {"kw": {1, 2, 3}})
+        s0 = index.sketch("kw")
+        index.add_quantum(1, {"kw": {4, 5}})  # appearance dirties
+        s1 = index.sketch("kw")
+        assert s1 == hasher.sketch({1, 2, 3, 4, 5})
+        index.add_quantum(2, {})  # quantum-0 mini expires -> dirties
+        assert index.sketch("kw") == hasher.sketch({4, 5})
+        assert s0 == hasher.sketch({1, 2, 3})

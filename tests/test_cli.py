@@ -71,6 +71,22 @@ class TestGenerateAndDetect:
         out = capsys.readouterr().out
         assert "0/" in out or "rank cache" not in out  # no cache hits
 
+    def test_detect_oracle_akg_matches_fast_path(self, tmp_path, capsys):
+        """--oracle-akg runs the from-scratch AKG baseline and reports the
+        same events as the delta-driven default."""
+        trace_path = str(tmp_path / "trace.jsonl")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        capsys.readouterr()
+        assert main(["detect", trace_path, "--gamma", "0.15"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main([
+            "detect", trace_path, "--gamma", "0.15", "--oracle-akg",
+        ]) == 0
+        oracle_out = capsys.readouterr().out
+        fast_events = [l for l in fast_out.splitlines() if "NEW event" in l]
+        oracle_events = [l for l in oracle_out.splitlines() if "NEW event" in l]
+        assert fast_events == oracle_events
+
 
 class TestSweep:
     def test_sweep_prints_grids(self, capsys):

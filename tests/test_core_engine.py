@@ -210,6 +210,37 @@ class TestStagedPipeline:
             assert [key(e) for e in a.suppressed] == [key(e) for e in b.suppressed]
             assert a.rank_cache_hits >= 0 and b.rank_cache_hits == 0
 
+    def test_oracle_akg_matches_fast_akg_end_to_end(self):
+        """Whole-stream parity for the AKG stage: the delta-driven builder
+        and the from-scratch oracle builder report identical events."""
+        def stream():
+            return [
+                burst(["a1", "b1", "c1"], range(6)),
+                burst(["a1", "b1", "c1", "d1"], range(4)),
+                [Message(f"n{i}", tokens=(f"w{i}a", f"w{i}b")) for i in range(6)],
+                burst(["x1", "y1", "z1"], range(5)),
+                burst(["a1", "b1"], range(3)) + burst(["x1", "y1", "z1"], range(5)),
+                [Message(f"m{i}", tokens=(f"v{i}a",)) for i in range(6)],
+                burst(["a1", "b1", "c1"], range(6)),
+            ]
+
+        fast = EventDetector(exact_config(window_quanta=3))
+        oracle = EventDetector(exact_config(window_quanta=3), oracle_akg=True)
+        assert fast.builder.oracle is False
+        assert oracle.builder.oracle is True
+        for batch in stream():
+            a = fast.process_quantum(batch)
+            b = oracle.process_quantum(list(batch))
+            key = lambda e: (e.event_id, e.keywords, e.rank, e.support)
+            assert sorted(map(key, a.reported)) == sorted(map(key, b.reported))
+            assert sorted(map(key, a.suppressed)) == sorted(map(key, b.suppressed))
+            assert set(fast.graph.nodes()) == set(oracle.graph.nodes())
+
+    def test_oracle_akg_via_config(self):
+        detector = EventDetector(exact_config(oracle_akg=True))
+        assert detector.builder.oracle is True
+        detector.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+
     def test_top_k_uses_rank_order(self):
         detector = EventDetector(exact_config())
         report = detector.process_quantum(

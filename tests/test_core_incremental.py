@@ -161,6 +161,114 @@ class TestIncrementalRanking:
         incremental.rank_all()
         incremental.verify_against_oracle()
 
+    def test_rank_stage_work_scales_with_dirty_only(self, maintainer):
+        """ROADMAP regression: the ranked-result list is maintained in
+        place, so a quantum that dirties one cluster performs exactly one
+        cluster visit and one weight lookup — no O(live clusters) sweep."""
+        n_clusters = 40
+        for c in range(n_clusters):
+            nodes = [f"k{c}_{i}" for i in range(3)]
+            for n in nodes:
+                maintainer.graph.ensure_node(n)
+            for i, u in enumerate(nodes):
+                for v in nodes[i + 1:]:
+                    maintainer.add_edge(u, v, 0.5)
+        weights = {}
+        weight_calls = []
+
+        def weight_fn(nodes):
+            weight_calls.append(set(nodes))
+            return {n: weights.get(n, 1.0) for n in nodes}
+
+        incremental = IncrementalRanker(
+            maintainer.registry, maintainer.graph, weight_fn,
+        )
+        oracle = IncrementalRanker(
+            maintainer.registry, maintainer.graph, weight_fn, oracle=True,
+        )
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()  # warm: every cluster computed once
+        assert incremental.stats.recomputed == n_clusters
+
+        weight_calls.clear()
+        weights["k7_0"] = 9.0
+        maintainer.changelog.record(NodeWeightChanged("k7_0", 1.0, 9.0))
+        incremental.apply(maintainer.drain_changes())
+        ranked = incremental.rank_all()
+        stats = incremental.stats
+        assert stats.dirty_processed == 1
+        assert stats.recomputed == 1
+        assert stats.live == stats.ranked == n_clusters
+        assert stats.cache_hits == n_clusters - 1
+        # the one dirty cluster's nodes are the only weight lookups made
+        assert weight_calls == [{"k7_0", "k7_1", "k7_2"}]
+        assert {c.cluster_id: (r, s) for c, r, s in ranked} == ranks_of(oracle)
+
+        # a no-change quantum performs zero per-cluster work
+        weight_calls.clear()
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+        assert incremental.stats.dirty_processed == 0
+        assert incremental.stats.recomputed == 0
+        assert weight_calls == []
+
+    def test_cluster_growth_across_min_size_enters_result_list(self, maintainer):
+        """Without a registry sweep, list membership must be driven purely
+        by dirty events: a cluster crossing min_cluster_size in either
+        direction enters/leaves the maintained results."""
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        incremental, oracle = make_rankers(maintainer, {}, min_size=4)
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle) == {}
+        # grow the triangle into a K4: size 4 now clears min_cluster_size
+        maintainer.graph.ensure_node("d")
+        for other in ("a", "b", "c"):
+            maintainer.add_edge("d", other)
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle)
+        assert len(ranks_of(incremental)) == 1
+        # shrink back below the threshold
+        maintainer.remove_node("d")
+        incremental.apply(maintainer.drain_changes())
+        assert ranks_of(incremental) == ranks_of(oracle) == {}
+
+    def test_output_order_stable_under_evict_and_reenter(self, maintainer):
+        """An entry evicted (size dip) and re-inserted must not migrate to
+        the end of the returned ranking: both modes order by cluster id, so
+        tie-ranked events downstream are emitted identically."""
+        nodes1 = ["a", "b", "c", "d"]
+        nodes2 = ["w", "x", "y", "z"]
+        for group in (nodes1, nodes2):
+            for n in group:
+                maintainer.graph.ensure_node(n)
+            for i, u in enumerate(group):
+                for v in group[i + 1:]:
+                    maintainer.add_edge(u, v)
+        incremental, oracle = make_rankers(maintainer, {}, min_size=4)
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+        # cluster 1 dips below min size (evicted) and regrows (re-inserted)
+        maintainer.remove_node("d")
+        incremental.apply(maintainer.drain_changes())
+        incremental.rank_all()
+        maintainer.graph.ensure_node("d")
+        for other in ("a", "b", "c"):
+            maintainer.add_edge("d", other)
+        incremental.apply(maintainer.drain_changes())
+        inc_ids = [c.cluster_id for c, _, _ in incremental.rank_all()]
+        ora_ids = [c.cluster_id for c, _, _ in oracle.rank_all()]
+        assert inc_ids == ora_ids == sorted(inc_ids)
+
+    def test_ranker_over_prepopulated_registry_ranks_without_apply(self, maintainer):
+        """A ranker constructed after the world was built must rank the
+        existing clusters on its first rank_all, even with no batch applied
+        — pre-existing clusters are seeded dirty at construction."""
+        build(maintainer, [("a", "b"), ("b", "c"), ("a", "c")])
+        maintainer.drain_changes()  # events consumed by nobody
+        incremental, oracle = make_rankers(maintainer, {})
+        assert ranks_of(incremental) == ranks_of(oracle)
+        assert len(ranks_of(incremental)) == 1
+
     def test_verify_against_oracle_detects_staleness(self, maintainer):
         """An un-propagated weight change must trip the verifier — this is
         the guard that the dirty-marking rules are load-bearing."""
