@@ -1,16 +1,17 @@
 """Breaking-news monitor: a live event dashboard over a synthetic stream.
 
 Replays the ground-truth workload (headlined events, local events, spurious
-bursts) and prints, every 25 quanta, the current top-5 ranked events — the
-consumption pattern the paper's ranking function is designed for.  At the
-end it compares detection times against the synthetic headline feed,
-reproducing the Section 7.1 observation that many events are detected well
-before the news headline appears.
+bursts) through a streaming session with an ``EMERGING``-only callback sink
+(the newsroom alert feed), prints every 25 quanta the current top-5 ranked
+events — the consumption pattern the paper's ranking function is designed
+for — and at the end compares detection times against the synthetic
+headline feed, reproducing the Section 7.1 observation that many events are
+detected well before the news headline appears.
 
 Run:  python examples/breaking_news_monitor.py
 """
 
-from repro import DetectorConfig, EventDetector
+from repro import DetectorConfig, EventKind, open_session
 from repro.datasets.headlines import PAPER_STREAM_RATE, headlines_for_trace
 from repro.datasets.traces import build_ground_truth_trace
 from repro.eval.matching import match_events
@@ -29,10 +30,13 @@ def main() -> None:
         seed=3,
     )
     config = DetectorConfig()
-    detector = EventDetector(config, noun_tagger=NounTagger(trace.lexicon))
+    session = open_session(config, noun_tagger=NounTagger(trace.lexicon))
+
+    alerts = []
+    session.subscribe(alerts.append, kinds={EventKind.EMERGING}, top_k=5)
 
     print(f"streaming {trace.total_messages} messages ...\n")
-    for report in detector.process_stream(trace.messages):
+    for report in session.ingest_many(trace.messages, flush=True):
         if report.quantum % 25 != 24:
             continue
         print(f"--- quantum {report.quantum} | AKG "
@@ -43,10 +47,14 @@ def main() -> None:
                 f"  #{event.event_id:<4} rank={event.rank:7.1f} "
                 f"{', '.join(sorted(event.keywords)[:6])}"
             )
+    print(
+        f"\nalert sink received {len(alerts)} EMERGING notifications "
+        f"(top-5 filtered)"
+    )
 
     print("\n=== detection vs headline feed ===")
     reported = reported_records(
-        detector.tracker.all_events(), config, NounTagger(trace.lexicon)
+        session.events(), config, NounTagger(trace.lexicon)
     )
     match = match_events(
         reported, trace.ground_truth, config.quantum_size, config.window_quanta

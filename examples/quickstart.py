@@ -1,14 +1,15 @@
 """Quickstart: discover the Figure 1 earthquake event and watch it evolve.
 
-Runs the paper's six-tweet example through the detector, prints the
-discovered cluster, then replays the follow-up messages and shows the
-magnitude keyword "5.9" joining the same event — the evolution behaviour
-SCP clusters exist to support.
+Opens a streaming session (the ``repro.api`` surface), subscribes a callback
+sink to cluster lifecycle notifications, runs the paper's six-tweet example,
+then replays the follow-up messages and shows the magnitude keyword "5.9"
+joining the same event — the evolution behaviour SCP clusters exist to
+support, delivered as a ``GROWING`` notification instead of a report scan.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import DetectorConfig, EventDetector
+from repro import DetectorConfig, EventKind, open_session
 from repro.datasets.figure1 import figure1_messages
 
 
@@ -20,12 +21,28 @@ def main() -> None:
         ec_threshold=0.1,
         use_minhash_filter=False,  # exact EC for a deterministic demo
     )
-    detector = EventDetector(config)
+    session = open_session(config)
+
+    def on_lifecycle(note) -> None:
+        label = {
+            EventKind.EMERGING: "EMERGING",
+            EventKind.GROWING: "GROWING ",
+            EventKind.DYING: "DYING   ",
+            EventKind.RANK_CHANGED: "RANKED  ",
+        }[note.kind]
+        print(
+            f"  [{label}] event #{note.event_id}: {sorted(note.keywords)}  "
+            f"rank={note.rank:.1f}"
+        )
+
+    session.subscribe(
+        on_lifecycle, kinds={EventKind.EMERGING, EventKind.GROWING}
+    )
 
     initial, update = figure1_messages()
 
     print("=== quantum 0: the first six tweets ===")
-    report = detector.process_quantum(initial)
+    report = session.process_quantum(initial)
     for event in report.reported:
         print(
             f"event #{event.event_id}: {sorted(event.keywords)}  "
@@ -33,7 +50,7 @@ def main() -> None:
         )
 
     print("\n=== quantum 1: the window slides, new tweets mention 5.9 ===")
-    report = detector.process_quantum(update)
+    report = session.process_quantum(update)
     for event in report.reported:
         marker = " <- '5.9' joined" if "5.9" in event.keywords else ""
         print(
@@ -42,7 +59,7 @@ def main() -> None:
         )
 
     print("\n=== event history ===")
-    for record in detector.tracker.all_events():
+    for record in session.events():
         keyword_path = " -> ".join(
             "{" + ", ".join(sorted(s.keywords)) + "}" for s in record.snapshots
         )

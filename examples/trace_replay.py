@@ -1,9 +1,12 @@
 """Persist a synthetic trace to JSONL and replay it from disk.
 
 Demonstrates the trace I/O path a downstream user needs to run the detector
-over their own captured microblog data: write once, replay under several
-configurations without regenerating, and feed raw-text messages (the
-tokeniser handles stop words, URLs, hashtags and decimal magnitudes).
+over their own captured microblog data: write once, replay through streaming
+sessions under several configurations without regenerating, and feed
+raw-text messages (the tokeniser handles stop words, URLs, hashtags and
+decimal magnitudes).  The reader is hardened for dirty feeds — malformed
+lines are skipped and counted rather than killing the replay — which this
+example shows by corrupting the trace in place.
 
 Run:  python examples/trace_replay.py
 """
@@ -11,9 +14,13 @@ Run:  python examples/trace_replay.py
 import tempfile
 from pathlib import Path
 
-from repro import DetectorConfig, EventDetector, Message
+from repro import DetectorConfig, Message, open_session
 from repro.datasets.traces import build_es_trace
-from repro.stream.sources import read_jsonl_trace, write_jsonl_trace
+from repro.stream.sources import (
+    TraceReadStats,
+    read_jsonl_trace,
+    write_jsonl_trace,
+)
 from repro.text.pos import NounTagger
 
 
@@ -27,20 +34,39 @@ def main() -> None:
         print(f"wrote {count} messages to {path.name} ({size_kb:.0f} KiB)")
 
         for gamma in (0.15, 0.25):
-            detector = EventDetector(
+            session = open_session(
                 DetectorConfig(ec_threshold=gamma),
                 noun_tagger=NounTagger(trace.lexicon),
             )
             events = 0
-            for report in detector.process_stream(read_jsonl_trace(path)):
+            for report in session.ingest_many(read_jsonl_trace(path), flush=True):
                 events += len(report.new_event_ids)
             print(
                 f"replay with gamma={gamma}: {events} event births, "
-                f"{detector.throughput():.0f} msg/s"
+                f"{session.throughput():.0f} msg/s"
             )
 
+        # corrupt a few lines the way a flaky collector would and replay
+        lines = path.read_text().splitlines(keepends=True)
+        lines[100] = "not json at all\n"
+        lines[200] = lines[200][: len(lines[200]) // 2]  # truncated write
+        path.write_text("".join(lines))
+        stats = TraceReadStats()
+        session = open_session(
+            DetectorConfig(), noun_tagger=NounTagger(trace.lexicon)
+        )
+        for _ in session.ingest_many(
+            read_jsonl_trace(path, stats=stats), flush=True
+        ):
+            pass
+        print(
+            f"dirty replay: {stats.messages} messages kept, "
+            f"{stats.malformed} malformed lines skipped "
+            f"(first: {stats.errors[0]})"
+        )
+
     print("\nraw-text messages work too:")
-    detector = EventDetector(
+    session = open_session(
         DetectorConfig(
             quantum_size=4,
             high_state_threshold=2,
@@ -54,7 +80,7 @@ def main() -> None:
         "Earthquake near Turkey - eastern region, magnitude 5.9",
         "Turkey earthquake: 5.9, eastern provinces shaking",
     ]
-    report = detector.process_quantum(
+    report = session.process_quantum(
         [Message(f"user{i}", text=t) for i, t in enumerate(texts)]
     )
     for event in report.reported:

@@ -9,16 +9,28 @@ workload generators, and the paper's full evaluation harness.
 
 Public entry points
 -------------------
-:class:`EventDetector`     streaming detector (Sections 3–6 end to end)
+:func:`open_session`       streaming session API: ingest / subscribe /
+                           checkpoint-resume (:mod:`repro.api`)
+:class:`DetectorSession`   the long-lived session behind it
+:class:`EventDetector`     legacy batch-shaped facade over the session
 :class:`DetectorConfig`    Table 2 parameters
 :class:`Message`           stream record
 :class:`ClusterMaintainer` incremental SCP clustering over any dynamic graph
 :class:`DynamicGraph`      the graph substrate
+``repro.pipeline``         the composable per-quantum Stage pipeline
 ``repro.datasets``         synthetic ES/TW traces and ground truth
 ``repro.baselines``        offline biconnected clustering ([2]) and trending
 ``repro.eval``             precision/recall/quality harness
 """
 
+from repro.api import (
+    CallbackSink,
+    DetectorSession,
+    EventKind,
+    QueueSink,
+    SessionEvent,
+    open_session,
+)
 from repro.config import DetectorConfig, NOMINAL_CONFIG
 from repro.core.changelog import ChangeBatch, ChangeEvent, ChangeLog
 from repro.core.engine import EventDetector, QuantumReport, ReportedEvent, StageTimings
@@ -30,9 +42,11 @@ from repro.core.ranking import cluster_rank, minimum_rank
 from repro.graph.dynamic_graph import DynamicGraph, edge_key
 from repro.stream.messages import Message
 from repro.errors import (
+    CheckpointError,
     ClusterError,
     ConfigError,
     GraphError,
+    PipelineError,
     ReproError,
     StreamError,
 )
@@ -40,6 +54,12 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "open_session",
+    "DetectorSession",
+    "EventKind",
+    "SessionEvent",
+    "CallbackSink",
+    "QueueSink",
     "DetectorConfig",
     "NOMINAL_CONFIG",
     "EventDetector",
@@ -66,5 +86,7 @@ __all__ = [
     "GraphError",
     "ClusterError",
     "StreamError",
+    "PipelineError",
+    "CheckpointError",
     "__version__",
 ]

@@ -44,6 +44,7 @@ from repro.akg.oracle import OracleIdSetIndex, OracleSketchIndex
 from repro.config import DetectorConfig
 from repro.core.changelog import NodeWeightChanged
 from repro.core.maintenance import ClusterMaintainer
+from repro.errors import GraphError
 
 Keyword = str
 UserId = Hashable
@@ -312,6 +313,48 @@ class AkgBuilder:
         if stale or lazy:
             self.maintainer.remove_nodes(stale + lazy)
             self.burstiness.forget(stale + lazy)
+
+    # ---------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpointable snapshot of the AKG stage's window bookkeeping.
+
+        Composes the child components' states (id sets, sketches, burstiness
+        automaton) with the builder's own lazy-removal schedule.  The
+        MinHasher's memo cache is deliberately excluded: hashes are a pure
+        salted function of the user id and re-memoise on demand.
+        """
+        return {
+            "oracle": self.oracle,
+            "idsets": self.idsets.to_state(),
+            "sketches": self.sketches.to_state(),
+            "burstiness": self.burstiness.to_state(),
+            "grace_deadlines": [
+                [deadline, sorted(kws)]
+                for deadline, kws in sorted(self._grace_deadlines.items())
+            ],
+            "newly_unclustered": sorted(self._newly_unclustered),
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore the AKG stage in place from :meth:`to_state` output.
+
+        The builder must have been constructed with the same ``oracle``
+        flag the snapshot was taken under — the two modes keep differently
+        shaped window state.
+        """
+        if state["oracle"] != self.oracle:
+            raise GraphError(
+                f"checkpoint was taken with oracle={state['oracle']}, "
+                f"builder runs with oracle={self.oracle}"
+            )
+        self.idsets.from_state(state["idsets"])
+        self.sketches.from_state(state["sketches"])
+        self.burstiness.from_state(state["burstiness"])
+        self._grace_deadlines = {
+            deadline: set(kws) for deadline, kws in state["grace_deadlines"]
+        }
+        self._newly_unclustered = set(state["newly_unclustered"])
 
     # ------------------------------------------------------------- access
 

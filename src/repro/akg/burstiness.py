@@ -84,6 +84,28 @@ class BurstinessTracker:
         self._current_quantum = quantum
         return set(bursty)
 
+    # -------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpointable snapshot of the per-keyword automaton states."""
+        return {
+            "current_quantum": self._current_quantum,
+            "bursty_now": sorted(self._bursty_now),
+            "states": [
+                [kw, state.last_bursty, state.bursts]
+                for kw, state in sorted(self._states.items())
+            ],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Rebuild the tracker in place from :meth:`to_state` output."""
+        self._current_quantum = state["current_quantum"]
+        self._bursty_now = set(state["bursty_now"])
+        self._states = {
+            kw: BurstState(last_bursty=last_bursty, bursts=bursts)
+            for kw, last_bursty, bursts in state["states"]
+        }
+
     # ------------------------------------------------------ closed-form state
 
     def is_bursty_now(self, keyword: Keyword) -> bool:

@@ -166,6 +166,43 @@ class IdSetIndex:
             emptied=emptied,
         )
 
+    # ---------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpointable snapshot: the per-keyword window entries.
+
+        The multiplicity counters and the expiry schedule are derivable from
+        the entries, so only the entries (plus the slide cursor) are stored;
+        :meth:`from_state` rebuilds the rest deterministically.
+        """
+        return {
+            "last_quantum": self._last_quantum,
+            "entries": [
+                [kw, [[q, sorted(users, key=repr)] for q, users in entries]]
+                for kw, entries in self._entries.items()
+            ],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Rebuild the index in place from :meth:`to_state` output."""
+        self._last_quantum = state["last_quantum"]
+        self._entries = {}
+        self._counts = {}
+        by_quantum: Dict[int, list] = {}
+        for kw, entries in state["entries"]:
+            deque_entries: Deque[Tuple[int, FrozenSet[UserId]]] = deque()
+            counter: Counter = Counter()
+            for q, users in entries:
+                frozen = frozenset(users)
+                deque_entries.append((q, frozen))
+                counter.update(frozen)
+                by_quantum.setdefault(q, []).append(kw)
+            self._entries[kw] = deque_entries
+            self._counts[kw] = counter
+        self._schedule = deque(
+            (q, tuple(sorted(by_quantum[q]))) for q in sorted(by_quantum)
+        )
+
     # ------------------------------------------------------------- queries
 
     def __contains__(self, keyword: Keyword) -> bool:

@@ -128,6 +128,39 @@ class WindowedSketchIndex:
                     self._merged.pop(kw, None)
                     self._dirty.discard(kw)
 
+    def to_state(self) -> dict:
+        """Checkpointable snapshot: the per-keyword mini-sketch deques.
+
+        The expiry schedule is derivable from the deques and the merged-
+        sketch cache is a pure function of them, so neither is stored;
+        :meth:`from_state` rebuilds the schedule and marks every keyword
+        dirty — the first post-restore query recomputes a merge identical to
+        the pre-snapshot one (the merge is exact, DESIGN.md Section 5).
+        """
+        return {
+            "minis": [
+                [kw, [[q, list(mini)] for q, mini in minis]]
+                for kw, minis in self._minis.items()
+            ],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Rebuild the index in place from :meth:`to_state` output."""
+        self._minis = {}
+        by_quantum: Dict[int, list] = {}
+        for kw, minis in state["minis"]:
+            entries: Deque[Tuple[int, Sketch]] = deque()
+            for q, mini in minis:
+                entries.append((q, tuple(mini)))
+                by_quantum.setdefault(q, []).append(kw)
+            self._minis[kw] = entries
+        self._schedule = deque(
+            (q, tuple(sorted(by_quantum[q]))) for q in sorted(by_quantum)
+        )
+        self._merged = {}
+        self._dirty = set(self._minis)
+        self.merge_recomputes = 0
+
     def sketch(self, keyword: str) -> Sketch:
         """Bottom-p hash values of the keyword's window id set (cached)."""
         minis = self._minis.get(keyword)

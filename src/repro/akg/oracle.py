@@ -88,6 +88,37 @@ class OracleIdSetIndex:
             emptied=emptied,
         )
 
+    # ---------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpointable snapshot: the raw retained quanta."""
+        return {
+            "last_quantum": self._last_quantum,
+            "window": [
+                [
+                    q,
+                    [
+                        [kw, sorted(users, key=repr)]
+                        for kw, users in sorted(content.items())
+                    ],
+                ]
+                for q, content in self._window
+            ],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Rebuild the index in place from :meth:`to_state` output."""
+        self._last_quantum = state["last_quantum"]
+        self._window = [
+            (q, {kw: frozenset(users) for kw, users in content})
+            for q, content in state["window"]
+        ]
+        sets: Dict[Keyword, Set[UserId]] = {}
+        for _, content in self._window:
+            for kw, users in content.items():
+                sets.setdefault(kw, set()).update(users)
+        self._sets = sets
+
     # ------------------------------------------------------------- queries
 
     def __contains__(self, keyword: Keyword) -> bool:
@@ -138,6 +169,13 @@ class OracleSketchIndex:
 
     def sketch(self, keyword: Keyword) -> Sketch:
         return self.hasher.sketch(self._idsets.users(keyword))
+
+    def to_state(self) -> dict:
+        """No state of its own: sketches derive from the id-set index."""
+        return {}
+
+    def from_state(self, state: dict) -> None:
+        """No-op counterpart of :meth:`to_state`."""
 
 
 __all__ = ["OracleIdSetIndex", "OracleSketchIndex"]

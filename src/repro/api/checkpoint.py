@@ -1,0 +1,143 @@
+"""Versioned on-disk checkpoint format for detector sessions.
+
+A checkpoint is a single JSON document::
+
+    {"format": "repro-session-checkpoint", "version": 1, "state": <encoded>}
+
+``state`` is the session's composed ``to_state()`` tree (DESIGN.md
+Section 6) run through a small *tagged* encoding, because plain JSON cannot
+represent the state faithfully: user ids may be non-string hashables used as
+dict keys, edge keys are tuples, window id sets are sets.  Every container
+is wrapped as ``{"t": <kind>, "v": <payload>}`` — ``list``, ``tuple``,
+``set``, ``frozenset``, and ``dict`` (payload: list of ``[key, value]``
+pairs) — and scalars (``None``, ``bool``, ``int``, ``float``, ``str``) pass
+through untouched.  Python's shortest-roundtrip float repr makes the float
+trip exact, which the bit-identical resume guarantee relies on.
+
+Forward compatibility is handled loudly: an unknown format, a newer
+``version``, or an unknown tag raises :class:`~repro.errors.CheckpointError`
+instead of best-effort loading a state the code cannot honour.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+
+CHECKPOINT_FORMAT = "repro-session-checkpoint"
+CHECKPOINT_VERSION = 1
+"""Bump on any change to the state tree layout; loaders reject newer
+versions and migrate older ones explicitly (none exist yet)."""
+
+_SCALARS = (bool, int, float, str)
+
+
+def encode_state(obj: Any) -> Any:
+    """Encode a state tree into the tagged JSON-safe form."""
+    if obj is None or isinstance(obj, _SCALARS):
+        return obj
+    if isinstance(obj, list):
+        return {"t": "list", "v": [encode_state(x) for x in obj]}
+    if isinstance(obj, tuple):
+        return {"t": "tuple", "v": [encode_state(x) for x in obj]}
+    if isinstance(obj, (set, frozenset)):
+        kind = "set" if isinstance(obj, set) else "frozenset"
+        return {
+            "t": kind,
+            "v": [encode_state(x) for x in sorted(obj, key=repr)],
+        }
+    if isinstance(obj, dict):
+        return {
+            "t": "dict",
+            "v": [[encode_state(k), encode_state(v)] for k, v in obj.items()],
+        }
+    raise CheckpointError(
+        f"cannot checkpoint object of type {type(obj).__name__}: {obj!r}"
+    )
+
+
+def decode_state(obj: Any) -> Any:
+    """Inverse of :func:`encode_state`."""
+    if obj is None or isinstance(obj, _SCALARS):
+        return obj
+    if isinstance(obj, dict):
+        try:
+            tag, payload = obj["t"], obj["v"]
+        except KeyError:
+            raise CheckpointError(f"malformed tagged value: {obj!r}") from None
+        if tag == "list":
+            return [decode_state(x) for x in payload]
+        if tag == "tuple":
+            return tuple(decode_state(x) for x in payload)
+        if tag == "set":
+            return {decode_state(x) for x in payload}
+        if tag == "frozenset":
+            return frozenset(decode_state(x) for x in payload)
+        if tag == "dict":
+            return {decode_state(k): decode_state(v) for k, v in payload}
+        raise CheckpointError(f"unknown state tag: {tag!r}")
+    raise CheckpointError(f"unexpected raw JSON value in state: {obj!r}")
+
+
+def save_checkpoint(path: "str | Path", state: dict) -> None:
+    """Write one session state tree as a versioned checkpoint file.
+
+    The write is atomic (temp file + ``os.replace`` in the same directory):
+    a crash mid-snapshot must never truncate the previous good checkpoint —
+    surviving crashes is the whole point of having one.
+    """
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "state": encode_state(state),
+    }
+    target = Path(path)
+    scratch = target.with_name(target.name + ".tmp")
+    try:
+        with open(scratch, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(scratch, target)
+    except OSError as exc:
+        scratch.unlink(missing_ok=True)
+        raise CheckpointError(
+            f"cannot write checkpoint {path}: {exc}"
+        ) from exc
+
+
+def load_checkpoint(path: "str | Path") -> dict:
+    """Read and validate a checkpoint file; returns the decoded state tree."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"{path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != CHECKPOINT_FORMAT
+    ):
+        raise CheckpointError(f"{path} is not a repro session checkpoint")
+    version = document.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path} has checkpoint version {version!r}; this build reads "
+            f"version {CHECKPOINT_VERSION}"
+        )
+    return decode_state(document["state"])
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "encode_state",
+    "decode_state",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,577 @@
+"""Long-lived, resumable detector sessions over unbounded streams.
+
+:func:`open_session` is the public entry point of the redesigned API: it
+returns a :class:`DetectorSession` that owns the engine components and
+drives the composable stage pipeline of :mod:`repro.pipeline` one quantum at
+a time.  Compared with the batch-shaped ``EventDetector`` facade (which now
+delegates here), a session adds the three capabilities a production
+deployment needs:
+
+* **push-based subscription** — :meth:`DetectorSession.subscribe` delivers
+  ``EMERGING`` / ``GROWING`` / ``DYING`` / ``RANK_CHANGED`` notifications
+  (:mod:`repro.api.session_events`) to callback or queue sinks, filtered
+  through the report stage's threshold index (optionally top-k limited);
+* **incremental ingestion** — :meth:`DetectorSession.ingest` /
+  :meth:`DetectorSession.ingest_many` accept messages whenever they arrive;
+  partial quanta stay buffered across calls (and across checkpoints)
+  instead of being force-flushed;
+* **checkpoint/restore** — :meth:`DetectorSession.snapshot` serializes the
+  full detector state through the layers' ``to_state()`` hooks, and
+  ``open_session(resume=path)`` reconstructs a session that continues the
+  stream *bit-identically* to one that never stopped (DESIGN.md Section 6).
+
+Typical use::
+
+    from repro.api import open_session, QueueSink, EventKind
+
+    session = open_session(DetectorConfig(quantum_size=160))
+    inbox = QueueSink()
+    session.subscribe(inbox, kinds={EventKind.EMERGING, EventKind.DYING})
+    for report in session.ingest_many(stream):
+        for note in inbox.drain():
+            print(note.kind.value, sorted(note.keywords))
+    session.snapshot("detector.ckpt")          # later:
+    session = open_session(resume="detector.ckpt")
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
+
+from repro.akg.builder import AkgBuilder
+from repro.akg.ckg_stats import CkgStatsTracker
+from repro.api.checkpoint import load_checkpoint, save_checkpoint
+from repro.api.session_events import EventKind, SessionEvent
+from repro.api.sinks import CallbackSink, Sink
+from repro.config import DetectorConfig
+from repro.core.events import EventRecord, EventTracker
+from repro.core.incremental import IncrementalRanker
+from repro.core.maintenance import ClusterMaintainer
+from repro.core.ranking import minimum_rank
+from repro.errors import CheckpointError, GraphError
+from repro.pipeline.report_index import ThresholdIndex
+from repro.pipeline.reports import QuantumReport, ReportedEvent, StageTimings
+from repro.pipeline.stages import (
+    Pipeline,
+    QuantumContext,
+    ReportStage,
+    build_stages,
+)
+from repro.stream.messages import Message
+from repro.stream.sources import message_from_record, message_to_record
+from repro.stream.window import QuantumBatcher
+from repro.text.pos import NounTagger
+from repro.text.tokenize import tokenize
+
+
+class _Notified(NamedTuple):
+    """Last-notified state of one reported event (the lifecycle diff base)."""
+
+    rank: float
+    size: int
+    keywords: frozenset
+
+
+@dataclass
+class Subscription:
+    """Handle returned by :meth:`DetectorSession.subscribe`.
+
+    ``kinds`` restricts delivery to the given lifecycle transitions.
+    ``top_k`` scopes the subscription to the report index's top-k *view*:
+    an event is announced with an ``EMERGING`` delivery when it first enters
+    the view (even if it originally emerged further down the ranking),
+    receives its ``GROWING``/``RANK_CHANGED`` updates while inside it, and
+    is closed by its ``DYING`` — so the subscriber always sees a consistent
+    announce/update/close stream.  ``_announced`` is that per-subscription
+    memory; it is not part of session checkpoints (sinks re-subscribe after
+    a restore).  ``unsubscribe()`` detaches the sink.
+    """
+
+    sink: Sink
+    kinds: frozenset
+    top_k: Optional[int]
+    _session: "DetectorSession"
+    _announced: Set[int] = dataclass_field(default_factory=set)
+
+    def unsubscribe(self) -> None:
+        """Stop delivering events to this subscription's sink."""
+        try:
+            self._session._subscriptions.remove(self)
+        except ValueError:
+            pass
+
+
+class DetectorSession:
+    """One long-lived detection session over one (resumable) stream."""
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        *,
+        noun_tagger: Optional[NounTagger] = None,
+        tokenizer=None,
+        oracle_ranking: bool = False,
+        oracle_akg: bool = False,
+    ) -> None:
+        """Build a fresh session (use :func:`open_session` in client code).
+
+        Parameters mirror the legacy ``EventDetector``: ``tokenizer``
+        overrides text tokenisation, ``noun_tagger`` the report-time noun
+        filter, and the ``oracle_*`` flags swap in the from-scratch
+        verification baselines for the AKG and rank stages.
+        """
+        self.config = config if config is not None else DetectorConfig()
+        # Function-valued state cannot be checkpointed; remember whether the
+        # defaults were overridden so restore() can demand the same objects
+        # back instead of silently diverging (DESIGN.md Section 6).
+        self._custom_tokenizer = tokenizer is not None
+        self._custom_noun_tagger = noun_tagger is not None
+        self.tokenizer = tokenizer if tokenizer is not None else tokenize
+        self.noun_tagger = (
+            noun_tagger if noun_tagger is not None else NounTagger()
+        )
+        self.maintainer = ClusterMaintainer()
+        self.builder = AkgBuilder(
+            self.config,
+            self.maintainer,
+            oracle=oracle_akg or self.config.oracle_akg,
+        )
+        self.ranker = IncrementalRanker(
+            self.maintainer.registry,
+            self.maintainer.graph,
+            self.builder.node_weights,
+            min_cluster_size=self.config.min_cluster_size,
+            oracle=oracle_ranking or self.config.oracle_ranking,
+        )
+        self.tracker = EventTracker()
+        self.batcher = QuantumBatcher(self.config.quantum_size)
+        self.ckg_stats = (
+            CkgStatsTracker(self.config.window_quanta)
+            if self.config.track_ckg_stats
+            else None
+        )
+        self._rank_floor = self.config.rank_threshold_scale * minimum_rank(
+            self.config.high_state_threshold, self.config.ec_threshold
+        )
+        self.report_index = ThresholdIndex(self._passes_filters)
+        self.pipeline = Pipeline(
+            build_stages(
+                self.tokenizer,
+                self.maintainer,
+                self.builder,
+                self.ranker,
+                self.tracker,
+                self.report_index,
+                self.config.max_tokens_per_message,
+                self.ckg_stats,
+            )
+        )
+        self._quantum = -1
+        self.total_messages = 0
+        self.total_seconds = 0.0
+        self.total_timings = StageTimings()
+        self._subscriptions: List[Subscription] = []
+        self._notified: Dict[int, _Notified] = {}
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def graph(self):
+        """The live AKG (read-only by convention)."""
+        return self.maintainer.graph
+
+    @property
+    def registry(self):
+        """The live SCP cluster registry (read-only by convention)."""
+        return self.maintainer.registry
+
+    @property
+    def current_quantum(self) -> int:
+        """Index of the last completed quantum (-1 before the first)."""
+        return self._quantum
+
+    def _passes_filters(self, event: ReportedEvent) -> bool:
+        """Section 7.2.2 report-time filters: rank floor and noun check."""
+        if event.rank < self._rank_floor:
+            return False
+        if self.config.require_noun and not self.noun_tagger.has_noun(
+            event.keywords
+        ):
+            return False
+        return True
+
+    # ---------------------------------------------------------- ingestion
+
+    def ingest(self, message: Message) -> Optional[QuantumReport]:
+        """Feed one message; returns a report when a quantum completes."""
+        quantum = self.batcher.push(message)
+        if quantum is None:
+            return None
+        return self.process_quantum(quantum)
+
+    def ingest_many(
+        self, messages: Iterable[Message], *, flush: bool = False
+    ) -> Iterator[QuantumReport]:
+        """Feed a message iterable, yielding one report per completed quantum.
+
+        Unlike the legacy ``process_stream``, a trailing partial quantum is
+        *kept buffered* by default so the session (and its checkpoints)
+        composes across calls; pass ``flush=True`` — or call :meth:`flush` —
+        to force-process the remainder as a final short quantum.
+        """
+        for message in messages:
+            report = self.ingest(message)
+            if report is not None:
+                yield report
+        if flush:
+            tail = self.flush()
+            if tail is not None:
+                yield tail
+
+    def flush(self) -> Optional[QuantumReport]:
+        """Process any buffered partial quantum now (end-of-stream)."""
+        tail = self.batcher.flush()
+        if not tail:
+            return None
+        return self.process_quantum(tail)
+
+    def process_quantum(self, messages: Sequence[Message]) -> QuantumReport:
+        """Advance the window by one full quantum of messages."""
+        start = time.perf_counter()
+        self._quantum += 1
+        ctx = QuantumContext(quantum=self._quantum, messages=messages)
+        self.pipeline.run(ctx)
+        report = ctx.report
+        report.messages_processed = len(messages)
+        report.timings = ctx.timings
+        report.changes = len(ctx.batch)
+        report.dirty_clusters = len(ctx.dirty)
+        report.ranked_clusters = self.ranker.stats.ranked
+        report.rank_cache_hits = self.ranker.stats.cache_hits
+        if self.ckg_stats is not None:
+            report.ckg_nodes = self.ckg_stats.ckg_nodes
+            report.ckg_edges = self.ckg_stats.ckg_edges
+        report.elapsed_seconds = time.perf_counter() - start
+        self.total_messages += len(messages)
+        self.total_seconds += report.elapsed_seconds
+        self.total_timings.add(ctx.timings)
+        self._dispatch(report)
+        return report
+
+    # -------------------------------------------------------- subscription
+
+    def subscribe(
+        self,
+        sink: Union[Sink, callable],
+        kinds: Optional[Iterable[EventKind]] = None,
+        top_k: Optional[int] = None,
+    ) -> Subscription:
+        """Attach a sink for lifecycle notifications.
+
+        ``sink`` may be a :class:`~repro.api.sinks.Sink` or a plain callable
+        (wrapped in a :class:`~repro.api.sinks.CallbackSink`).  ``kinds``
+        defaults to all four transitions.  ``top_k`` scopes the subscription
+        to the report index's top-k view: events are announced (as
+        ``EMERGING``) when they first enter the view — including by climbing
+        into it — updated while inside it, and closed by their ``DYING``
+        (see :class:`Subscription`).
+        """
+        if not hasattr(sink, "emit"):
+            sink = CallbackSink(sink)
+        selected = (
+            frozenset(EventKind) if kinds is None else frozenset(kinds)
+        )
+        subscription = Subscription(sink, selected, top_k, self)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def _dispatch(self, report: QuantumReport) -> None:
+        """Diff the report against the notified state; deliver transitions.
+
+        Runs unconditionally (not only when sinks are attached) so the
+        notified state — which is checkpointed — does not depend on who is
+        listening.
+        """
+        notifications: List[SessionEvent] = []
+        reported_ids: Set[int] = set()
+        for event in report.reported:
+            reported_ids.add(event.event_id)
+            prev = self._notified.get(event.event_id)
+            if prev is None:
+                notifications.append(
+                    SessionEvent(
+                        EventKind.EMERGING,
+                        report.quantum,
+                        event.event_id,
+                        event.keywords,
+                        event.rank,
+                        event.size,
+                    )
+                )
+            else:
+                if event.keywords - prev.keywords:
+                    notifications.append(
+                        SessionEvent(
+                            EventKind.GROWING,
+                            report.quantum,
+                            event.event_id,
+                            event.keywords,
+                            event.rank,
+                            event.size,
+                            previous_rank=prev.rank,
+                            previous_size=prev.size,
+                        )
+                    )
+                if event.rank != prev.rank:
+                    notifications.append(
+                        SessionEvent(
+                            EventKind.RANK_CHANGED,
+                            report.quantum,
+                            event.event_id,
+                            event.keywords,
+                            event.rank,
+                            event.size,
+                            previous_rank=prev.rank,
+                            previous_size=prev.size,
+                        )
+                    )
+            self._notified[event.event_id] = _Notified(
+                event.rank, event.size, event.keywords
+            )
+        for event_id in sorted(set(self._notified) - reported_ids):
+            prev = self._notified.pop(event_id)
+            notifications.append(
+                SessionEvent(
+                    EventKind.DYING,
+                    report.quantum,
+                    event_id,
+                    prev.keywords,
+                    prev.rank,
+                    prev.size,
+                )
+            )
+        if not notifications or not self._subscriptions:
+            return
+        top_ids: Dict[int, Set[int]] = {}
+        for subscription in list(self._subscriptions):
+            if subscription.top_k is None:
+                for note in notifications:
+                    if note.kind in subscription.kinds:
+                        subscription.sink.emit(note)
+                continue
+            ids = top_ids.get(subscription.top_k)
+            if ids is None:
+                ids = {
+                    e.event_id
+                    for e in self.report_index.top(subscription.top_k)
+                }
+                top_ids[subscription.top_k] = ids
+            announced = subscription._announced
+            # Announce every event newly inside the view, *whatever* moved
+            # it in — its own emergence, climbing past a faller, or another
+            # event's death vacating a slot.  (Sound to do only on
+            # notification-bearing quanta: an empty batch cannot change the
+            # reported list, hence cannot change the view.)
+            for cid in sorted(ids - announced):
+                entry = self.report_index.entries()[cid]
+                announced.add(cid)
+                if EventKind.EMERGING in subscription.kinds:
+                    subscription.sink.emit(
+                        SessionEvent(
+                            EventKind.EMERGING,
+                            report.quantum,
+                            cid,
+                            entry.keywords,
+                            entry.rank,
+                            entry.size,
+                        )
+                    )
+            for note in notifications:
+                if note.kind is EventKind.DYING:
+                    if note.event_id in announced:
+                        announced.discard(note.event_id)
+                        if EventKind.DYING in subscription.kinds:
+                            subscription.sink.emit(note)
+                    continue
+                if (
+                    note.event_id in ids
+                    and note.kind is not EventKind.EMERGING
+                    and note.kind in subscription.kinds
+                ):
+                    subscription.sink.emit(note)
+
+    # ------------------------------------------------------------ summary
+
+    def throughput(self) -> float:
+        """Messages processed per second of session CPU time so far."""
+        if self.total_seconds == 0.0:
+            return 0.0
+        return self.total_messages / self.total_seconds
+
+    def events(self, include_spurious: bool = True) -> List[EventRecord]:
+        """All events observed so far (optionally post-hoc filtered)."""
+        if include_spurious:
+            return self.tracker.all_events()
+        return self.tracker.real_events()
+
+    # --------------------------------------------------------- checkpoints
+
+    def snapshot(self, path) -> None:
+        """Serialize the full session state to ``path``.
+
+        Callable between any two ``ingest`` calls — a buffered partial
+        quantum is included.  The ranker cache and report index are *not*
+        serialized: both are pure functions of the serialized state and are
+        recomputed bit-identically on restore (DESIGN.md Section 6).
+        """
+        try:
+            maintainer_state = self.maintainer.to_state()
+        except GraphError as exc:
+            raise CheckpointError(str(exc)) from exc
+        state = {
+            "config": self.config.to_dict(),
+            "oracle_akg": self.builder.oracle,
+            "oracle_ranking": self.ranker.oracle,
+            "custom_tokenizer": self._custom_tokenizer,
+            "custom_noun_tagger": self._custom_noun_tagger,
+            "quantum": self._quantum,
+            "total_messages": self.total_messages,
+            "total_seconds": self.total_seconds,
+            "timings": self.total_timings.as_dict(),
+            "pending": [
+                message_to_record(m) for m in self.batcher.pending_messages()
+            ],
+            "maintainer": maintainer_state,
+            "builder": self.builder.to_state(),
+            "tracker": self.tracker.to_state(),
+            "ckg_stats": (
+                self.ckg_stats.to_state() if self.ckg_stats is not None else None
+            ),
+            "notified": [
+                [cid, note.rank, note.size, sorted(note.keywords)]
+                for cid, note in sorted(self._notified.items())
+            ],
+        }
+        save_checkpoint(path, state)
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        *,
+        noun_tagger: Optional[NounTagger] = None,
+        tokenizer=None,
+    ) -> "DetectorSession":
+        """Reconstruct a session from a :meth:`snapshot` file.
+
+        ``noun_tagger`` and ``tokenizer`` are function-valued state the
+        checkpoint cannot carry.  The checkpoint records whether the
+        original session overrode the defaults, and restore refuses a
+        mismatch: resuming with a different tagger or tokenizer would
+        silently break the bit-identical guarantee.  Pass the same objects
+        the original session used.
+        """
+        state = load_checkpoint(path)
+        config = DetectorConfig.from_dict(state["config"])
+        for flag, provided, what in (
+            (state["custom_noun_tagger"], noun_tagger, "noun_tagger"),
+            (state["custom_tokenizer"], tokenizer, "tokenizer"),
+        ):
+            if flag and provided is None:
+                raise CheckpointError(
+                    f"checkpoint was taken with a custom {what}; pass the "
+                    f"same one to open_session(resume=..., {what}=...) or "
+                    f"the resumed stream would diverge"
+                )
+            if not flag and provided is not None:
+                raise CheckpointError(
+                    f"checkpoint was taken with the default {what}; "
+                    f"resuming with a custom one would diverge"
+                )
+        session = cls(
+            config,
+            noun_tagger=noun_tagger,
+            tokenizer=tokenizer,
+            oracle_ranking=state["oracle_ranking"],
+            oracle_akg=state["oracle_akg"],
+        )
+        session.maintainer.from_state(state["maintainer"])
+        session.builder.from_state(state["builder"])
+        session.tracker.from_state(state["tracker"])
+        if session.ckg_stats is not None and state["ckg_stats"] is not None:
+            session.ckg_stats.from_state(state["ckg_stats"])
+        session.batcher.load_pending(
+            message_from_record(record) for record in state["pending"]
+        )
+        session._quantum = state["quantum"]
+        session.total_messages = state["total_messages"]
+        session.total_seconds = state["total_seconds"]
+        session.total_timings = StageTimings(**state["timings"])
+        session._notified = {
+            cid: _Notified(rank, size, frozenset(keywords))
+            for cid, rank, size, keywords in state["notified"]
+        }
+        # Derived state: recompute the rank cache from the restored graph
+        # and window state, then re-seed the report index from it.  Both are
+        # bit-identical to their pre-snapshot values because ranks and
+        # filter verdicts are pure functions of the restored inputs.
+        ranked = session.ranker.rebuild_cache()
+        report_stage = session.pipeline.stage("report")
+        assert isinstance(report_stage, ReportStage)
+        report_stage.seed(ranked)
+        return session
+
+
+def open_session(
+    config: Optional[DetectorConfig] = None,
+    *,
+    resume=None,
+    noun_tagger: Optional[NounTagger] = None,
+    tokenizer=None,
+    oracle_ranking: bool = False,
+    oracle_akg: bool = False,
+) -> DetectorSession:
+    """Open a detector session — fresh, or resumed from a checkpoint.
+
+    With ``resume=path`` the session is reconstructed from the checkpoint
+    (including its configuration; passing ``config`` too is an error to
+    avoid silently ignoring one of them).  Otherwise a fresh session is
+    built from ``config`` (Table 2 nominal when omitted).
+    """
+    if resume is not None:
+        if config is not None:
+            raise CheckpointError(
+                "pass either config or resume, not both: a resumed session "
+                "runs under its checkpoint's configuration"
+            )
+        if oracle_ranking or oracle_akg:
+            raise CheckpointError(
+                "oracle modes are part of the checkpoint: a resumed session "
+                "keeps the modes it was snapshotted with, so the oracle_* "
+                "arguments cannot be combined with resume"
+            )
+        return DetectorSession.restore(
+            resume, noun_tagger=noun_tagger, tokenizer=tokenizer
+        )
+    return DetectorSession(
+        config,
+        noun_tagger=noun_tagger,
+        tokenizer=tokenizer,
+        oracle_ranking=oracle_ranking,
+        oracle_akg=oracle_akg,
+    )
+
+
+__all__ = ["DetectorSession", "Subscription", "open_session"]

@@ -1,0 +1,76 @@
+"""Subscriber sinks: where a session delivers cluster lifecycle events.
+
+A sink is anything with an ``emit(event)`` method (the :class:`Sink`
+protocol).  Two ready-made implementations cover the common consumption
+patterns: :class:`CallbackSink` for push-style handlers invoked inline on
+the ingesting thread, and :class:`QueueSink` for pull-style consumers that
+drain batches at their own pace (a bounded queue drops the *oldest*
+events first, matching a dashboard that only cares about fresh state).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional, Protocol, runtime_checkable
+
+from repro.api.session_events import SessionEvent
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Receiver of :class:`~repro.api.session_events.SessionEvent` objects.
+
+    ``emit`` is called synchronously from the session's ingest path, in
+    deterministic order, once per delivered event; implementations should
+    return quickly (hand off to a queue/executor for slow work).
+    """
+
+    def emit(self, event: SessionEvent) -> None:
+        """Deliver one event."""
+        ...
+
+
+class CallbackSink:
+    """Adapts a plain callable into a sink (``fn(event)`` per delivery)."""
+
+    def __init__(self, fn: Callable[[SessionEvent], None]) -> None:
+        self.fn = fn
+
+    def emit(self, event: SessionEvent) -> None:
+        """Invoke the wrapped callable with the event."""
+        self.fn(event)
+
+
+class QueueSink:
+    """Buffers delivered events for pull-style consumption.
+
+    ``maxlen`` bounds the buffer (oldest events are discarded once full and
+    counted in ``dropped``); ``drain()`` empties it in delivery order.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        self._events: Deque[SessionEvent] = deque()
+        self.maxlen = maxlen
+        self.dropped = 0
+
+    def emit(self, event: SessionEvent) -> None:
+        """Append one event, evicting the oldest when over ``maxlen``."""
+        self._events.append(event)
+        if self.maxlen is not None and len(self._events) > self.maxlen:
+            self._events.popleft()
+            self.dropped += 1
+
+    def drain(self) -> List[SessionEvent]:
+        """Remove and return everything buffered, in delivery order."""
+        out = list(self._events)
+        self._events.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SessionEvent]:
+        return iter(list(self._events))
+
+
+__all__ = ["Sink", "CallbackSink", "QueueSink"]

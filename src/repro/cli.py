@@ -14,6 +14,12 @@ quantum.  Either flag trades the incremental path's churn-proportional cost
 for the obviously-correct O(window x vocabulary) one, so an A/B run over the
 same trace (optionally with ``--timing``) doubles as a live differential
 check and a speedup demo.
+
+``detect`` also rides the session API: ``--checkpoint PATH`` snapshots the
+full detector state after the trace (including a buffered partial quantum),
+and ``--resume-from PATH`` continues a checkpointed session over more data —
+the resumed stream is bit-identical to one that never stopped (DESIGN.md
+Section 6).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.api import open_session
 from repro.config import DetectorConfig
 from repro.core.engine import EventDetector
 from repro.datasets.figure1 import figure1_messages
@@ -33,7 +40,11 @@ from repro.datasets.traces import (
 )
 from repro.eval.reporting import render_grid, render_table
 from repro.eval.runner import evaluate_run, run_detector
-from repro.stream.sources import read_jsonl_trace, write_jsonl_trace
+from repro.stream.sources import (
+    TraceReadStats,
+    read_jsonl_trace,
+    write_jsonl_trace,
+)
 
 _TRACE_BUILDERS = {
     "tw": build_tw_trace,
@@ -65,6 +76,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                              "sketches, dead-node sweep) from scratch each "
                              "quantum instead of applying deltas "
                              "(verification baseline)")
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        help="write a session checkpoint to PATH after the "
+                             "trace is consumed (a trailing partial quantum "
+                             "is saved in the checkpoint, not flushed)")
+    parser.add_argument("--resume-from", metavar="PATH",
+                        help="resume a session from a checkpoint before "
+                             "ingesting the trace; the checkpoint's config "
+                             "overrides the config flags")
 
 
 def _config_from(args: argparse.Namespace) -> DetectorConfig:
@@ -125,12 +144,37 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    detector = EventDetector(_config_from(args))
+    if args.resume_from:
+        if args.oracle_ranking or args.oracle_akg:
+            print(
+                "error: --oracle-ranking/--oracle-akg cannot be combined "
+                "with --resume-from; a resumed session keeps the modes it "
+                "was snapshotted with",
+                file=sys.stderr,
+            )
+            return 2
+        session = open_session(resume=args.resume_from)
+        print(
+            f"-- resumed from {args.resume_from} at quantum "
+            f"{session.current_quantum} "
+            f"({session.batcher.pending} messages buffered); "
+            f"config comes from the checkpoint"
+        )
+    else:
+        session = open_session(_config_from(args))
     printed = 0
     quanta = 0
     cache_hits = 0
     recomputed = 0
-    for report in detector.process_stream(read_jsonl_trace(args.trace)):
+    # With --checkpoint the trailing partial quantum stays buffered (it is
+    # saved in the checkpoint and completed by the resumed run); without it
+    # the legacy batch behaviour of flushing the tail is kept.
+    read_stats = TraceReadStats()
+    stream = session.ingest_many(
+        read_jsonl_trace(args.trace, stats=read_stats),
+        flush=not args.checkpoint,
+    )
+    for report in stream:
         quanta += 1
         cache_hits += report.rank_cache_hits
         recomputed += report.ranked_clusters - report.rank_cache_hits
@@ -143,19 +187,32 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     f"(rank {event.rank:.1f})"
                 )
     print(
-        f"-- {printed} events, {detector.total_messages} messages, "
-        f"{detector.throughput():.0f} msg/s"
+        f"-- {printed} events, {session.total_messages} messages, "
+        f"{session.throughput():.0f} msg/s"
     )
+    if read_stats.malformed:
+        print(
+            f"-- WARNING: skipped {read_stats.malformed} malformed trace "
+            f"line(s) (first: {read_stats.errors[0]})",
+            file=sys.stderr,
+        )
     if args.timing:
-        print(_render_timing(detector, quanta, cache_hits, recomputed))
+        print(_render_timing(session, quanta, cache_hits, recomputed))
+    if args.checkpoint:
+        session.snapshot(args.checkpoint)
+        print(
+            f"-- checkpoint written to {args.checkpoint} "
+            f"(quantum {session.current_quantum}, "
+            f"{session.batcher.pending} messages buffered)"
+        )
     return 0
 
 
 def _render_timing(
-    detector: EventDetector, quanta: int, cache_hits: int, recomputed: int
+    session, quanta: int, cache_hits: int, recomputed: int
 ) -> str:
     """Per-stage breakdown of the staged pipeline's accumulated wall time."""
-    totals = detector.total_timings
+    totals = session.total_timings
     overall = totals.total or 1e-12
     lines = [f"-- per-stage timing over {quanta} quanta:"]
     for stage, seconds in totals.as_dict().items():

@@ -18,8 +18,8 @@ The number of MinHash values kept per keyword follows Section 3.2.2:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Any
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping
 
 from repro.errors import ConfigError
 
@@ -156,6 +156,29 @@ class DetectorConfig:
     def with_overrides(self, **overrides: Any) -> "DetectorConfig":
         """Return a copy with the given fields replaced (validated again)."""
         return replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable mapping of every field.
+
+        The inverse of :meth:`from_dict`; session checkpoints embed this so
+        a resumed stream runs under the identical parameters.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DetectorConfig":
+        """Build a config from :meth:`to_dict` output (validated again).
+
+        Unknown keys raise :class:`~repro.errors.ConfigError` — a checkpoint
+        written by a newer version with new parameters must fail loudly, not
+        silently drop semantics.  Missing keys fall back to the defaults so
+        older checkpoints keep loading.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(f"unknown config fields: {', '.join(unknown)}")
+        return cls(**dict(data))
 
 
 NOMINAL_CONFIG = DetectorConfig()

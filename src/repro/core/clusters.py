@@ -19,7 +19,6 @@ the evolution the paper describes in Section 4.2.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set
 
@@ -85,7 +84,10 @@ class ClusterRegistry:
         self._clusters: Dict[int, Cluster] = {}
         self._edge_to_cluster: Dict[EdgeKey, int] = {}
         self._node_to_clusters: Dict[Node, Set[int]] = {}
-        self._ids = itertools.count(1)
+        # Plain integer id allocator (not itertools.count) so the registry
+        # can be checkpointed and resumed with the identical id sequence —
+        # event identity across a restore depends on it.
+        self._next_id = 1
         self._unclustered_listeners: List[UnclusteredListener] = []
 
     def add_unclustered_listener(self, listener: UnclusteredListener) -> None:
@@ -138,7 +140,11 @@ class ClusterRegistry:
         cluster_id: int | None = None,
     ) -> Cluster:
         """Register a fresh cluster.  Edges must be unowned."""
-        cid = cluster_id if cluster_id is not None else next(self._ids)
+        if cluster_id is not None:
+            cid = cluster_id
+        else:
+            cid = self._next_id
+            self._next_id += 1
         if cid in self._clusters:
             raise ClusterError(f"cluster id already in use: {cid}")
         cluster = Cluster(cid, set(nodes), set(edges), born_quantum)
@@ -275,6 +281,53 @@ class ClusterRegistry:
         for nodes, edges in ordered[1:]:
             out.append(self.new_cluster(nodes, edges, born_quantum=quantum))
         return out
+
+    # ---------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpointable snapshot: clusters (insertion order) + id cursor.
+
+        The edge/node indexes are derivable from the clusters, so only the
+        clusters themselves and the id allocator are recorded; cluster order
+        is preserved so a restored registry iterates identically.
+        """
+        return {
+            "next_id": self._next_id,
+            "clusters": [
+                {
+                    "id": c.cluster_id,
+                    "nodes": sorted(c.nodes, key=repr),
+                    "edges": sorted((list(e) for e in c.edges), key=repr),
+                    "born_quantum": c.born_quantum,
+                }
+                for c in self._clusters.values()
+            ],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Rebuild the registry in place from :meth:`to_state` output.
+
+        Listeners stay subscribed but are not fired — a restore recreates
+        the checkpointed decomposition, it does not transition any node.
+        """
+        self._clusters = {}
+        self._edge_to_cluster = {}
+        self._node_to_clusters = {}
+        self._next_id = state["next_id"]
+        for record in state["clusters"]:
+            cluster = Cluster(
+                record["id"],
+                set(record["nodes"]),
+                {tuple(e) for e in record["edges"]},
+                record["born_quantum"],
+            )
+            self._clusters[cluster.cluster_id] = cluster
+            for e in cluster.edges:
+                self._edge_to_cluster[e] = cluster.cluster_id
+            for n in cluster.nodes:
+                self._node_to_clusters.setdefault(n, set()).add(
+                    cluster.cluster_id
+                )
 
     # ----------------------------------------------------------- integrity
 

@@ -1,13 +1,15 @@
-"""The streaming event detector: the paper's end-to-end pipeline.
+"""The streaming event detector — legacy facade over the session API.
 
-:class:`EventDetector` consumes a microblog message stream, advances the
-sliding window one quantum at a time, maintains the AKG and its SCP cluster
-decomposition incrementally, ranks live clusters from local state, and
-reports emerging events.  Everything is incremental: per quantum the work is
-O(k^2 * N * C) for N status-changing keywords of average degree k in clusters
-of average size C (Section 4.1), never proportional to the full graph.
+.. deprecated::
+    :class:`EventDetector` is kept as a thin, stable facade for existing
+    code, tests and benchmarks.  New code should use
+    :func:`repro.api.open_session`, which exposes the same staged pipeline
+    as a long-lived :class:`~repro.api.session.DetectorSession` with
+    push-based subscription (``subscribe``), incremental ingestion and
+    checkpoint/restore — capabilities this facade does not surface.
 
-Each quantum runs as an explicit staged pipeline::
+Every quantum runs the composable stage pipeline of
+:mod:`repro.pipeline.stages`::
 
     tokenize -> AKG update -> maintain -> propagate -> rank -> report
 
@@ -20,11 +22,12 @@ a :class:`~repro.core.changelog.ChangeBatch` and marks perturbed clusters
 dirty; ``rank`` re-scores only those dirty clusters through the
 :class:`~repro.core.incremental.IncrementalRanker` (a from-scratch oracle
 mode exists for verification); ``report`` applies the Section 7.2.2 filters
+through the incremental :class:`~repro.pipeline.report_index.ThresholdIndex`
 and snapshots event lifecycles.  Per-stage wall times are surfaced on every
 :class:`QuantumReport` as :class:`StageTimings` (and per-stage totals on the
 detector), which ``python -m repro detect --timing`` prints as a breakdown.
 
-Typical use::
+Typical (legacy) use::
 
     from repro import DetectorConfig, EventDetector, Message
 
@@ -38,99 +41,22 @@ Typical use::
 
 from __future__ import annotations
 
-import heapq
-import time
-from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence
 
-from repro.akg.builder import AkgBuilder, AkgQuantumStats
-from repro.akg.ckg_stats import CkgStatsTracker
 from repro.config import DetectorConfig
-from repro.core.clusters import Cluster
-from repro.core.events import EventRecord, EventTracker
-from repro.core.incremental import IncrementalRanker
-from repro.core.maintenance import ClusterMaintainer
-from repro.core.ranking import minimum_rank
+from repro.core.events import EventRecord
+from repro.pipeline.reports import QuantumReport, ReportedEvent, StageTimings
 from repro.stream.messages import Message
-from repro.stream.window import (
-    QuantumBatcher,
-    invert_user_keywords,
-    user_keywords_of_quantum,
-)
 from repro.text.pos import NounTagger
-from repro.text.tokenize import tokenize
-
-
-@dataclass(frozen=True)
-class ReportedEvent:
-    """One cluster as reported to the consumer at the end of a quantum."""
-
-    event_id: int
-    keywords: frozenset[str]
-    rank: float
-    support: float
-    size: int
-    num_edges: int
-    born_quantum: int
-
-
-@dataclass
-class StageTimings:
-    """Wall-clock seconds per pipeline stage of one (or many) quanta."""
-
-    tokenize: float = 0.0
-    akg_update: float = 0.0
-    maintain: float = 0.0
-    propagate: float = 0.0
-    rank: float = 0.0
-    report: float = 0.0
-
-    @property
-    def total(self) -> float:
-        return (
-            self.tokenize
-            + self.akg_update
-            + self.maintain
-            + self.propagate
-            + self.rank
-            + self.report
-        )
-
-    def add(self, other: "StageTimings") -> None:
-        """Accumulate another timing record into this one (for totals)."""
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
-
-    def as_dict(self) -> Dict[str, float]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
-
-@dataclass
-class QuantumReport:
-    """Everything the detector learned in one quantum."""
-
-    quantum: int
-    reported: List[ReportedEvent] = field(default_factory=list)
-    suppressed: List[ReportedEvent] = field(default_factory=list)
-    new_event_ids: Set[int] = field(default_factory=set)
-    dead_event_ids: Set[int] = field(default_factory=set)
-    akg_stats: Optional[AkgQuantumStats] = None
-    ckg_nodes: Optional[int] = None
-    ckg_edges: Optional[int] = None
-    messages_processed: int = 0
-    elapsed_seconds: float = 0.0
-    timings: StageTimings = field(default_factory=StageTimings)
-    changes: int = 0
-    dirty_clusters: int = 0
-    ranked_clusters: int = 0
-    rank_cache_hits: int = 0
-
-    def top(self, k: int) -> List[ReportedEvent]:
-        return heapq.nlargest(k, self.reported, key=lambda e: e.rank)
 
 
 class EventDetector:
-    """Real-time emerging-event detection over a microblog stream."""
+    """Real-time emerging-event detection over a microblog stream.
+
+    Thin facade over :class:`~repro.api.session.DetectorSession` — every
+    attribute below delegates to the owned session, so code holding a
+    detector and code holding a session observe the same live state.
+    """
 
     def __init__(
         self,
@@ -150,186 +76,110 @@ class EventDetector:
         benchmarking baselines (also settable via
         :class:`~repro.config.DetectorConfig`).
         """
-        self.config = config if config is not None else DetectorConfig()
-        self.tokenizer = tokenizer if tokenizer is not None else tokenize
-        self.maintainer = ClusterMaintainer()
-        self.builder = AkgBuilder(
-            self.config,
-            self.maintainer,
-            oracle=oracle_akg or self.config.oracle_akg,
+        # Imported here, not at module level: the facade sits above the api
+        # layer while living in the core package the api layer builds on.
+        from repro.api.session import DetectorSession
+
+        self.session = DetectorSession(
+            config,
+            noun_tagger=noun_tagger,
+            tokenizer=tokenizer,
+            oracle_ranking=oracle_ranking,
+            oracle_akg=oracle_akg,
         )
-        self.ranker = IncrementalRanker(
-            self.maintainer.registry,
-            self.maintainer.graph,
-            self.builder.node_weights,
-            min_cluster_size=self.config.min_cluster_size,
-            oracle=oracle_ranking or self.config.oracle_ranking,
-        )
-        self.tracker = EventTracker()
-        self.noun_tagger = noun_tagger if noun_tagger is not None else NounTagger()
-        self.batcher = QuantumBatcher(self.config.quantum_size)
-        self.ckg_stats = (
-            CkgStatsTracker(self.config.window_quanta)
-            if self.config.track_ckg_stats
-            else None
-        )
-        self._quantum = -1
-        self._rank_floor = self.config.rank_threshold_scale * minimum_rank(
-            self.config.high_state_threshold, self.config.ec_threshold
-        )
-        self.total_messages = 0
-        self.total_seconds = 0.0
-        self.total_timings = StageTimings()
-        self._previously_alive: Set[int] = set()
 
     # ------------------------------------------------------------- access
 
     @property
+    def config(self) -> DetectorConfig:
+        return self.session.config
+
+    @property
+    def tokenizer(self):
+        return self.session.tokenizer
+
+    @property
+    def noun_tagger(self) -> NounTagger:
+        return self.session.noun_tagger
+
+    @property
+    def maintainer(self):
+        return self.session.maintainer
+
+    @property
+    def builder(self):
+        return self.session.builder
+
+    @property
+    def ranker(self):
+        return self.session.ranker
+
+    @property
+    def tracker(self):
+        return self.session.tracker
+
+    @property
+    def batcher(self):
+        return self.session.batcher
+
+    @property
+    def ckg_stats(self):
+        return self.session.ckg_stats
+
+    @property
     def graph(self):
         """The live AKG (read-only by convention)."""
-        return self.maintainer.graph
+        return self.session.graph
 
     @property
     def registry(self):
         """The live SCP cluster registry (read-only by convention)."""
-        return self.maintainer.registry
+        return self.session.registry
 
     @property
     def current_quantum(self) -> int:
-        return self._quantum
+        return self.session.current_quantum
+
+    @property
+    def total_messages(self) -> int:
+        return self.session.total_messages
+
+    @property
+    def total_seconds(self) -> float:
+        return self.session.total_seconds
+
+    @property
+    def total_timings(self) -> StageTimings:
+        return self.session.total_timings
 
     # ---------------------------------------------------------- ingestion
 
     def process_message(self, message: Message) -> Optional[QuantumReport]:
         """Feed one message; returns a report when a quantum completes."""
-        quantum = self.batcher.push(message)
-        if quantum is None:
-            return None
-        return self.process_quantum(quantum)
+        return self.session.ingest(message)
 
     def process_stream(self, messages: Iterable[Message]) -> Iterator[QuantumReport]:
         """Consume a whole stream, yielding one report per quantum.
 
         A trailing partial quantum (fewer than ``quantum_size`` messages) is
-        processed as a final short quantum.
+        processed as a final short quantum — the batch-shaped contract this
+        facade preserves; sessions keep the tail buffered instead.
         """
-        for batch in self.batcher.batches(messages):
-            yield self.process_quantum(batch)
+        return self.session.ingest_many(messages, flush=True)
 
     def process_quantum(self, messages: Sequence[Message]) -> QuantumReport:
         """Advance the window by one quantum of messages (staged pipeline)."""
-        start = time.perf_counter()
-        self._quantum += 1
-        quantum = self._quantum
-        timings = StageTimings()
-
-        # -- stage 1: tokenize -------------------------------------------
-        t = time.perf_counter()
-        user_keywords = user_keywords_of_quantum(
-            messages,
-            self.tokenizer,
-            max_tokens_per_message=self.config.max_tokens_per_message,
-        )
-        keyword_users = invert_user_keywords(user_keywords)
-        if self.ckg_stats is not None:
-            self.ckg_stats.add_quantum(quantum, user_keywords)
-        timings.tokenize = time.perf_counter() - t
-
-        # -- stages 2+3: AKG update / maintain ---------------------------
-        # The builder drives cluster maintenance inline; the maintainer's
-        # clustering clock separates the maintain share from AKG bookkeeping.
-        t = time.perf_counter()
-        maintain_before = self.maintainer.clustering_seconds
-        akg_stats = self.builder.process_quantum(quantum, keyword_users)
-        timings.maintain = self.maintainer.clustering_seconds - maintain_before
-        timings.akg_update = time.perf_counter() - t - timings.maintain
-
-        # -- stage 4: propagate ------------------------------------------
-        t = time.perf_counter()
-        batch = self.maintainer.drain_changes()
-        dirty = self.ranker.apply(batch)
-        timings.propagate = time.perf_counter() - t
-
-        # -- stage 5: rank -----------------------------------------------
-        t = time.perf_counter()
-        ranked = self.ranker.rank_all()
-        timings.rank = time.perf_counter() - t
-
-        # -- stage 6: report ---------------------------------------------
-        t = time.perf_counter()
-        self.tracker.observe_quantum(quantum, ranked, batch)
-        report = self._build_report(quantum, ranked, akg_stats)
-        timings.report = time.perf_counter() - t
-
-        report.messages_processed = len(messages)
-        report.elapsed_seconds = time.perf_counter() - start
-        report.timings = timings
-        report.changes = len(batch)
-        report.dirty_clusters = len(dirty)
-        report.ranked_clusters = self.ranker.stats.ranked
-        report.rank_cache_hits = self.ranker.stats.cache_hits
-        self.total_messages += len(messages)
-        self.total_seconds += report.elapsed_seconds
-        self.total_timings.add(timings)
-        if self.ckg_stats is not None:
-            report.ckg_nodes = self.ckg_stats.ckg_nodes
-            report.ckg_edges = self.ckg_stats.ckg_edges
-        return report
-
-    # ------------------------------------------------------------ ranking
-
-    def _build_report(
-        self,
-        quantum: int,
-        ranked: List[Tuple[Cluster, float, float]],
-        akg_stats: AkgQuantumStats,
-    ) -> QuantumReport:
-        report = QuantumReport(quantum=quantum, akg_stats=akg_stats)
-        alive_now: Set[int] = set()
-        for cluster, rank, support in ranked:
-            alive_now.add(cluster.cluster_id)
-            event = ReportedEvent(
-                event_id=cluster.cluster_id,
-                keywords=frozenset(str(n) for n in cluster.nodes),
-                rank=rank,
-                support=support,
-                size=cluster.size,
-                num_edges=cluster.num_edges,
-                born_quantum=cluster.born_quantum,
-            )
-            if self._passes_filters(event):
-                report.reported.append(event)
-            else:
-                report.suppressed.append(event)
-        report.reported.sort(key=lambda e: e.rank, reverse=True)
-        report.new_event_ids = alive_now - self._previously_alive
-        report.dead_event_ids = self._previously_alive - alive_now
-        self._previously_alive = alive_now
-        return report
-
-    def _passes_filters(self, event: ReportedEvent) -> bool:
-        """Section 7.2.2 report-time filters: rank floor and noun check."""
-        if event.rank < self._rank_floor:
-            return False
-        if self.config.require_noun and not self.noun_tagger.has_noun(
-            event.keywords
-        ):
-            return False
-        return True
+        return self.session.process_quantum(messages)
 
     # ------------------------------------------------------------ summary
 
     def throughput(self) -> float:
         """Messages processed per second of detector CPU time so far."""
-        if self.total_seconds == 0.0:
-            return 0.0
-        return self.total_messages / self.total_seconds
+        return self.session.throughput()
 
     def events(self, include_spurious: bool = True) -> List[EventRecord]:
         """All events observed so far (optionally post-hoc filtered)."""
-        if include_spurious:
-            return self.tracker.all_events()
-        return self.tracker.real_events()
+        return self.session.events(include_spurious)
 
 
 __all__ = [

@@ -153,6 +153,56 @@ class EventTracker:
                 record.died_quantum = quantum
                 record.absorbed_into = absorbed.get(event_id)
 
+    # ---------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpointable snapshot of every event history (insertion order)."""
+        return {
+            "records": [
+                {
+                    "event_id": r.event_id,
+                    "born_quantum": r.born_quantum,
+                    "died_quantum": r.died_quantum,
+                    "absorbed_into": r.absorbed_into,
+                    "snapshots": [
+                        [
+                            s.quantum,
+                            sorted(s.keywords),
+                            s.rank,
+                            s.support,
+                            s.num_edges,
+                        ]
+                        for s in r.snapshots
+                    ],
+                }
+                for r in self._records.values()
+            ]
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Rebuild the tracker in place from :meth:`to_state` output."""
+        self._records = {}
+        for record in state["records"]:
+            out = EventRecord(
+                event_id=record["event_id"],
+                born_quantum=record["born_quantum"],
+                died_quantum=record["died_quantum"],
+                absorbed_into=record["absorbed_into"],
+            )
+            for quantum, keywords, rank, support, num_edges in record[
+                "snapshots"
+            ]:
+                out.snapshots.append(
+                    EventSnapshot(
+                        quantum=quantum,
+                        keywords=frozenset(keywords),
+                        rank=rank,
+                        support=support,
+                        num_edges=num_edges,
+                    )
+                )
+            self._records[out.event_id] = out
+
     # ------------------------------------------------------------- queries
 
     def __len__(self) -> int:

@@ -114,6 +114,14 @@ class IncrementalRanker:
         # events in the past; seed them as dirty so the first rank_all
         # covers them without a registry sweep ever happening again.
         self._dirty: Set[int] = {cluster.cluster_id for cluster in registry}
+        # Per-quantum result-list edit script for the report stage: which
+        # entries the last apply()/rank_all() round recomputed and which it
+        # dropped.  In oracle mode the "delta" is the full ranking, mirroring
+        # the oracle's O(live) cost.
+        self.last_recomputed: Set[int] = set()
+        self.last_removed: Set[int] = set()
+        self._removed_pending: Set[int] = set()
+        self._oracle_results: Dict[int, Tuple[Cluster, float, float]] = {}
 
     # ----------------------------------------------------------- propagation
 
@@ -129,6 +137,7 @@ class IncrementalRanker:
         for cid in batch.retired_ids():
             if self._cache.pop(cid, None) is not None:
                 self.stats.evicted += 1
+                self._removed_pending.add(cid)
             self._dirty.discard(cid)
         dirty = batch.dirty_clusters(self.registry)
         self._dirty |= dirty
@@ -161,6 +170,7 @@ class IncrementalRanker:
         stats.reset()
         if self.oracle:
             out: List[Tuple[Cluster, float, float]] = []
+            results: Dict[int, Tuple[Cluster, float, float]] = {}
             for cluster in self.registry:
                 stats.live += 1
                 if cluster.size < self.min_cluster_size:
@@ -168,12 +178,22 @@ class IncrementalRanker:
                 entry = self._compute(cluster)
                 stats.ranked += 1
                 stats.recomputed += 1
+                results[cluster.cluster_id] = (cluster, entry.rank, entry.support)
                 out.append((cluster, entry.rank, entry.support))
             out.sort(key=lambda item: item[0].cluster_id)
+            # The oracle's "delta" is the full ranking: everything was
+            # recomputed, and whatever ranked last call but not now is gone.
+            self.last_recomputed = set(results)
+            self.last_removed = (
+                set(self._oracle_results) - set(results)
+            ) | self._removed_pending
+            self._removed_pending = set()
+            self._oracle_results = results
             return out
 
         cache = self._cache
         registry = self.registry
+        recomputed: Set[int] = set()
         for cid in self._dirty:
             stats.dirty_processed += 1
             if cid not in registry:
@@ -181,21 +201,68 @@ class IncrementalRanker:
                 # can still die later in the same batch (merge after update).
                 if cache.pop(cid, None) is not None:
                     stats.evicted += 1
+                    self._removed_pending.add(cid)
                 continue
             cluster = registry.get(cid)
             if cluster.size < self.min_cluster_size:
                 if cache.pop(cid, None) is not None:
                     stats.evicted += 1
+                    self._removed_pending.add(cid)
                 continue
             cache[cid] = self._compute(cluster)
+            recomputed.add(cid)
             stats.recomputed += 1
         self._dirty.clear()
+        self.last_recomputed = recomputed
+        self.last_removed = self._removed_pending
+        self._removed_pending = set()
         stats.live = stats.ranked = len(cache)
         stats.cache_hits = stats.ranked - stats.recomputed
         return [
             (entry.cluster, entry.rank, entry.support)
             for _, entry in sorted(cache.items())
         ]
+
+    def result(self, cluster_id: int) -> Tuple[Cluster, float, float]:
+        """The last-computed ``(cluster, rank, support)`` for one id.
+
+        Serves the report stage's delta updates without re-materialising the
+        full result list; valid for any id in :attr:`last_recomputed`.
+        """
+        if self.oracle:
+            return self._oracle_results[cluster_id]
+        entry = self._cache[cluster_id]
+        assert entry.cluster is not None
+        return entry.cluster, entry.rank, entry.support
+
+    def rebuild_cache(self) -> List[Tuple[Cluster, float, float]]:
+        """Recompute every live reportable cluster from current state.
+
+        The checkpoint-restore path: ranks are pure functions of the graph
+        and window state (DESIGN.md Section 2), so recomputing them after
+        restoring that state reproduces the pre-snapshot cache bit for bit —
+        no rank floats ever need to be serialized.  Returns the full ranking
+        in cluster-id order (used to re-seed the report index).
+        """
+        self._cache.clear()
+        self._dirty.clear()
+        self._removed_pending.clear()
+        self.last_recomputed = set()
+        self.last_removed = set()
+        self._oracle_results = {}
+        out: List[Tuple[Cluster, float, float]] = []
+        for cluster in self.registry:
+            if cluster.size < self.min_cluster_size:
+                continue
+            entry = self._compute(cluster)
+            triple = (cluster, entry.rank, entry.support)
+            if self.oracle:
+                self._oracle_results[cluster.cluster_id] = triple
+            else:
+                self._cache[cluster.cluster_id] = entry
+            out.append(triple)
+        out.sort(key=lambda item: item[0].cluster_id)
+        return out
 
     # ------------------------------------------------------------ validation
 

@@ -344,6 +344,38 @@ class ClusterMaintainer:
             self.changelog.record(ClusterUpdated(cluster_id))
         return fragments
 
+    # ---------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpointable snapshot of the graph + decomposition.
+
+        Only callable between quanta: the change log must be fully drained,
+        because pending events are owned by the quantum that produced them
+        and cannot be meaningfully split across a checkpoint.
+        """
+        if self.changelog:
+            raise GraphError(
+                "cannot snapshot a maintainer with undrained change events"
+            )
+        return {
+            "graph": self.graph.to_state(),
+            "registry": self.registry.to_state(),
+            "current_quantum": self.current_quantum,
+            "clustering_seconds": self.clustering_seconds,
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore graph and registry in place from :meth:`to_state` output.
+
+        In-place restoration keeps every wiring intact: the graph's weight
+        listener still routes into this maintainer's change log, and any
+        registry listeners (the builder's unclustered hook) stay subscribed.
+        """
+        self.graph.from_state(state["graph"])
+        self.registry.from_state(state["registry"])
+        self.current_quantum = state["current_quantum"]
+        self.clustering_seconds = state["clustering_seconds"]
+
     # ----------------------------------------------------------- integrity
 
     def check_against_oracle(self) -> None:

@@ -21,6 +21,7 @@ cluster size.
 
 from __future__ import annotations
 
+import math
 from typing import Hashable, Iterable, Mapping, Tuple
 
 import numpy as np
@@ -69,17 +70,26 @@ def rank_and_support(
     next to the rank; computing both together halves the per-cluster work of
     the rank stage, which matters because this is the inner loop of the
     :class:`~repro.core.incremental.IncrementalRanker`.
+
+    Both sums run through :func:`math.fsum`, whose exactly-rounded result is
+    independent of summand order.  That makes the rank a pure function of
+    the cluster's *content* rather than of set-iteration history — float
+    addition is not associative in the last bit, and the checkpoint/restore
+    guarantee (a resumed session ranks bit-identically, DESIGN.md
+    Section 6) needs the same value on both sides, including across
+    processes where hash randomization reorders set iteration.  Each edge
+    term is itself order-safe: float addition and multiplication are
+    commutative, only regrouping changes results.
     """
     node_list = list(nodes)
     if not node_list:
         raise ClusterError("cannot rank an empty cluster")
     try:
-        support = float(sum(node_weights[n] for n in node_list))
-        total = support
-        for u, v in edges:
-            total += edge_correlations[(u, v)] * (
-                node_weights[u] + node_weights[v]
-            )
+        support = math.fsum(node_weights[n] for n in node_list)
+        total = math.fsum(
+            edge_correlations[(u, v)] * (node_weights[u] + node_weights[v])
+            for u, v in edges
+        ) + support
     except KeyError as exc:
         raise ClusterError(f"missing weight/correlation for {exc.args[0]!r}") from exc
     return total / len(node_list), support

@@ -57,3 +57,11 @@ class ClusterError(ReproError):
 
 class StreamError(ReproError):
     """A message stream source produced invalid input."""
+
+
+class PipelineError(ReproError):
+    """A stage pipeline was assembled or driven inconsistently."""
+
+
+class CheckpointError(ReproError):
+    """A session checkpoint could not be written or restored."""

@@ -1,7 +1,7 @@
 """End-to-end run orchestration: trace in, metrics out.
 
-:func:`run_detector` replays a trace through an
-:class:`~repro.core.engine.EventDetector` (optionally with the offline
+:func:`run_detector` replays a trace through a
+:class:`~repro.api.session.DetectorSession` (optionally with the offline
 baseline observing the same AKG) and packages everything the benchmarks
 need; :func:`evaluate_run` turns a run into the paper's numbers.
 """
@@ -12,9 +12,9 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.api import DetectorSession, open_session
 from repro.baselines.offline_bc import OfflineBcObserver
 from repro.config import DetectorConfig
-from repro.core.engine import EventDetector
 from repro.core.events import EventRecord
 from repro.datasets.synthetic import Trace
 from repro.eval.filtering import reported_records
@@ -42,7 +42,7 @@ class RunResult:
     mean_akg_nodes: float = 0.0
     mean_akg_edges: float = 0.0
     baseline: Optional[OfflineBcObserver] = None
-    detector: Optional[EventDetector] = None
+    detector: Optional[DetectorSession] = None
 
     @property
     def throughput(self) -> float:
@@ -75,7 +75,7 @@ def run_detector(
     the clustering method alone.
     """
     tagger = NounTagger(trace.lexicon)
-    detector = EventDetector(config, noun_tagger=tagger)
+    detector = open_session(config, noun_tagger=tagger)
     baseline = (
         OfflineBcObserver(detector) if with_baseline else None
     )
@@ -83,7 +83,7 @@ def run_detector(
     node_sum = edge_sum = 0
     peak_nodes = peak_edges = 0
     quanta = 0
-    for report in detector.process_stream(trace.messages):
+    for report in detector.ingest_many(trace.messages, flush=True):
         quanta += 1
         stats = report.akg_stats
         if stats is not None:

@@ -240,6 +240,33 @@ class DynamicGraph:
         clone._num_edges = self._num_edges
         return clone
 
+    # ---------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpointable snapshot: node list plus weighted edge list.
+
+        Nodes are recorded in adjacency-insertion order and edges in
+        canonical-key first-seen order so a restored graph iterates the same
+        way the live one did (DESIGN.md Section 6).
+        """
+        return {
+            "nodes": list(self._adj),
+            "edges": [[u, v, w] for u, v, w in self.edges()],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Rebuild the graph in place from :meth:`to_state` output.
+
+        The weight listener (if any) is left installed but is *not* fired:
+        restoring is not a mutation of the checkpointed world.
+        """
+        self._adj = {node: {} for node in state["nodes"]}
+        self._num_edges = 0
+        for u, v, w in state["edges"]:
+            self._adj[u][v] = w
+            self._adj[v][u] = w
+            self._num_edges += 1
+
     def adjacency(self) -> Dict[Node, Dict[Node, float]]:
         """The raw adjacency mapping (treat as read-only)."""
         return self._adj

@@ -1,0 +1,89 @@
+"""Pipeline output records: per-quantum reports and stage timings.
+
+These dataclasses are the *products* of one run of the staged quantum
+pipeline (:mod:`repro.pipeline.stages`).  They used to live in
+:mod:`repro.core.engine`; they moved here with the Stage extraction so the
+pipeline package is self-contained, and the engine re-exports them for
+backwards compatibility (``from repro.core.engine import QuantumReport``
+keeps working).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # type-only: keeps this module import-cycle free
+    from repro.akg.builder import AkgQuantumStats
+
+
+@dataclass(frozen=True)
+class ReportedEvent:
+    """One cluster as reported to the consumer at the end of a quantum."""
+
+    event_id: int
+    keywords: frozenset[str]
+    rank: float
+    support: float
+    size: int
+    num_edges: int
+    born_quantum: int
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds per pipeline stage of one (or many) quanta."""
+
+    tokenize: float = 0.0
+    akg_update: float = 0.0
+    maintain: float = 0.0
+    propagate: float = 0.0
+    rank: float = 0.0
+    report: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.tokenize
+            + self.akg_update
+            + self.maintain
+            + self.propagate
+            + self.rank
+            + self.report
+        )
+
+    def add(self, other: "StageTimings") -> None:
+        """Accumulate another timing record into this one (for totals)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class QuantumReport:
+    """Everything the detector learned in one quantum."""
+
+    quantum: int
+    reported: List[ReportedEvent] = field(default_factory=list)
+    suppressed: List[ReportedEvent] = field(default_factory=list)
+    new_event_ids: Set[int] = field(default_factory=set)
+    dead_event_ids: Set[int] = field(default_factory=set)
+    akg_stats: Optional["AkgQuantumStats"] = None
+    ckg_nodes: Optional[int] = None
+    ckg_edges: Optional[int] = None
+    messages_processed: int = 0
+    elapsed_seconds: float = 0.0
+    timings: StageTimings = field(default_factory=StageTimings)
+    changes: int = 0
+    dirty_clusters: int = 0
+    ranked_clusters: int = 0
+    rank_cache_hits: int = 0
+
+    def top(self, k: int) -> List[ReportedEvent]:
+        return heapq.nlargest(k, self.reported, key=lambda e: e.rank)
+
+
+__all__ = ["ReportedEvent", "StageTimings", "QuantumReport"]

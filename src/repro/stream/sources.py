@@ -3,16 +3,74 @@
 One JSON object per line: ``{"u": user_id, "k": [tokens...]}`` with optional
 ``"t"`` (text) and ``"ts"`` (timestamp).  The compact keys keep multi-million
 message traces manageable on disk.
+
+Reading is hardened for unbounded production feeds: a malformed line —
+invalid UTF-8, broken JSON (e.g. a truncated final line), a non-object
+record, or a record failing message validation — is **skipped and counted**
+by default instead of killing the stream mid-iteration.  Callers that want
+the strict behaviour (trusted traces, tests) pass ``on_malformed="raise"``;
+callers that want the tally pass a :class:`TraceReadStats` to fill in.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, List, Optional
 
 from repro.errors import StreamError
 from repro.stream.messages import Message
+
+_ERROR_LOG_CAP = 20
+
+
+def message_to_record(message: Message) -> dict:
+    """The message's compact JSONL record (shared with checkpointing)."""
+    record = {"u": message.user_id}
+    if message.tokens is not None:
+        record["k"] = list(message.tokens)
+    if message.text is not None:
+        record["t"] = message.text
+    if message.timestamp is not None:
+        record["ts"] = message.timestamp
+    return record
+
+
+def message_from_record(record: dict) -> Message:
+    """Inverse of :func:`message_to_record`; raises ``StreamError`` on bad
+    records (missing user id, neither tokens nor text)."""
+    if not isinstance(record, dict):
+        raise StreamError(f"record is not an object: {record!r}")
+    if "u" not in record:
+        raise StreamError("missing user id")
+    tokens = record.get("k")
+    return Message(
+        user_id=record["u"],
+        tokens=tuple(tokens) if tokens is not None else None,
+        text=record.get("t"),
+        timestamp=record.get("ts"),
+    )
+
+
+@dataclass
+class TraceReadStats:
+    """Tally of one :func:`read_jsonl_trace` pass (filled as it streams).
+
+    ``errors`` keeps the first few per-line diagnostics (capped) so a
+    monitoring path can report *why* lines were dropped without retaining an
+    unbounded log.
+    """
+
+    lines: int = 0
+    messages: int = 0
+    malformed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def _record_error(self, path: "str | Path", line_no: int, why: str) -> None:
+        self.malformed += 1
+        if len(self.errors) < _ERROR_LOG_CAP:
+            self.errors.append(f"{path}:{line_no}: {why}")
 
 
 def write_jsonl_trace(path: "str | Path", messages: Iterable[Message]) -> int:
@@ -20,38 +78,62 @@ def write_jsonl_trace(path: "str | Path", messages: Iterable[Message]) -> int:
     count = 0
     with open(path, "w", encoding="utf-8") as fh:
         for message in messages:
-            record = {"u": message.user_id}
-            if message.tokens is not None:
-                record["k"] = list(message.tokens)
-            if message.text is not None:
-                record["t"] = message.text
-            if message.timestamp is not None:
-                record["ts"] = message.timestamp
+            record = message_to_record(message)
             fh.write(json.dumps(record, separators=(",", ":")) + "\n")
             count += 1
     return count
 
 
-def read_jsonl_trace(path: "str | Path") -> Iterator[Message]:
-    """Stream messages back from a JSONL trace file."""
-    with open(path, "r", encoding="utf-8") as fh:
-        for line_no, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
+def read_jsonl_trace(
+    path: "str | Path",
+    on_malformed: str = "skip",
+    stats: Optional[TraceReadStats] = None,
+) -> Iterator[Message]:
+    """Stream messages back from a JSONL trace file.
+
+    ``on_malformed="skip"`` (the default) drops undecodable, unparsable or
+    invalid lines and counts them in ``stats`` (when given);
+    ``on_malformed="raise"`` restores the strict behaviour of raising
+    :class:`~repro.errors.StreamError` with the offending line number.  The
+    file is read in binary and decoded per line so a single corrupt byte
+    sequence costs exactly one line, not the rest of the stream.
+    """
+    if on_malformed not in ("skip", "raise"):
+        raise StreamError(
+            f"on_malformed must be 'skip' or 'raise', got {on_malformed!r}"
+        )
+    tally = stats if stats is not None else TraceReadStats()
+    with open(path, "rb") as fh:
+        for line_no, raw in enumerate(fh, 1):
+            tally.lines += 1
+            why = None
+            message = None
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise StreamError(f"{path}:{line_no}: invalid JSON") from exc
-            if "u" not in record:
-                raise StreamError(f"{path}:{line_no}: missing user id")
-            tokens = record.get("k")
-            yield Message(
-                user_id=record["u"],
-                tokens=tuple(tokens) if tokens is not None else None,
-                text=record.get("t"),
-                timestamp=record.get("ts"),
-            )
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError as exc:
+                why = f"undecodable bytes ({exc.reason})"
+            else:
+                if not line:
+                    continue
+                try:
+                    message = message_from_record(json.loads(line))
+                except json.JSONDecodeError:
+                    why = "invalid JSON"
+                except StreamError as exc:
+                    why = str(exc)
+            if why is not None:
+                if on_malformed == "raise":
+                    raise StreamError(f"{path}:{line_no}: {why}")
+                tally._record_error(path, line_no, why)
+                continue
+            tally.messages += 1
+            yield message
 
 
-__all__ = ["write_jsonl_trace", "read_jsonl_trace"]
+__all__ = [
+    "write_jsonl_trace",
+    "read_jsonl_trace",
+    "TraceReadStats",
+    "message_to_record",
+    "message_from_record",
+]

@@ -48,6 +48,20 @@ class QuantumBatcher:
     def pending(self) -> int:
         return len(self._buffer)
 
+    def pending_messages(self) -> List[Message]:
+        """Copy of the buffered partial quantum (checkpointing support)."""
+        return list(self._buffer)
+
+    def load_pending(self, messages: Iterable[Message]) -> None:
+        """Replace the buffer (checkpoint restore); must not overflow."""
+        buffer = list(messages)
+        if len(buffer) >= self.quantum_size:
+            raise StreamError(
+                f"restored buffer holds {len(buffer)} messages, a full "
+                f"quantum is {self.quantum_size}"
+            )
+        self._buffer = buffer
+
     def batches(self, messages: Iterable[Message]) -> Iterator[List[Message]]:
         """Iterate full quanta from a message iterable (drops the remainder
         only if it is empty; a final partial quantum is yielded)."""

@@ -1,0 +1,399 @@
+"""Checkpoint/restore: codec round trips and the resume differential.
+
+The headline guarantee (DESIGN.md Section 6): a session resumed from a
+mid-stream snapshot emits *bit-identical* ``QuantumReport``s, sink
+notifications and event histories to a session that never stopped.  The
+differential harness below checks that across the three stream regimes of
+the AKG property tests — bursty, uniform, and adversarial window-boundary
+re-entry — with snapshot points deliberately not aligned to quantum
+boundaries so the buffered partial quantum is exercised too.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.api import (
+    CHECKPOINT_VERSION,
+    QueueSink,
+    decode_state,
+    encode_state,
+    open_session,
+)
+from repro.api.checkpoint import CHECKPOINT_FORMAT
+from repro.config import DetectorConfig
+from repro.errors import CheckpointError
+from repro.stream.messages import Message
+
+
+def make_config(**overrides):
+    base = dict(
+        quantum_size=20,
+        window_quanta=3,
+        high_state_threshold=3,
+        ec_threshold=0.2,
+        node_grace_quanta=1,
+        require_noun=False,
+    )
+    base.update(overrides)
+    return DetectorConfig(**base)
+
+
+# ----------------------------------------------------------- stream regimes
+
+
+def bursty_stream(seed, n):
+    """Few keywords, heavy user overlap: dense graphs, merge/split churn."""
+    rng = random.Random(seed)
+    keywords = [f"k{i}" for i in range(6)]
+    return [
+        Message(
+            f"u{rng.randrange(20)}",
+            tokens=tuple(rng.sample(keywords, rng.randint(2, 4))),
+        )
+        for _ in range(n)
+    ]
+
+
+def uniform_stream(seed, n):
+    """Wide shallow vocabulary: staleness expiry and lazy drops dominate."""
+    rng = random.Random(seed)
+    keywords = [f"w{i}" for i in range(40)]
+    return [
+        Message(
+            f"u{rng.randrange(60)}",
+            tokens=tuple(rng.sample(keywords, rng.randint(1, 3))),
+        )
+        for _ in range(n)
+    ]
+
+
+def reentry_stream(seed, n, config):
+    """Keyword groups fall silent for exactly the window length and re-enter
+    in the quantum their last entries expire — the boundary where stale
+    window state would surface after a restore."""
+    rng = random.Random(seed)
+    group_a = [f"a{i}" for i in range(4)]
+    group_b = [f"b{i}" for i in range(4)]
+    period = config.quantum_size * config.window_quanta
+    out = []
+    for i in range(n):
+        group = group_a if (i // period) % 2 == 0 else group_b
+        out.append(
+            Message(
+                f"u{rng.randrange(15)}",
+                tokens=tuple(rng.sample(group, rng.randint(2, 3))),
+            )
+        )
+    return out
+
+
+REGIMES = ["bursty", "uniform", "reentry"]
+
+
+def regime_stream(regime, seed, n, config):
+    if regime == "bursty":
+        return bursty_stream(seed, n)
+    if regime == "uniform":
+        return uniform_stream(seed, n)
+    return reentry_stream(seed, n, config)
+
+
+# ------------------------------------------------------------- comparators
+
+
+def report_key(report):
+    return (
+        report.quantum,
+        report.messages_processed,
+        [
+            (e.event_id, e.keywords, e.rank, e.support, e.size,
+             e.num_edges, e.born_quantum)
+            for e in report.reported
+        ],
+        [
+            (e.event_id, e.keywords, e.rank, e.support)
+            for e in report.suppressed
+        ],
+        report.new_event_ids,
+        report.dead_event_ids,
+        report.changes,
+        report.dirty_clusters,
+        report.ranked_clusters,
+    )
+
+
+def notification_key(event):
+    return (
+        event.kind,
+        event.quantum,
+        event.event_id,
+        event.keywords,
+        event.rank,
+        event.size,
+        event.previous_rank,
+        event.previous_size,
+    )
+
+
+def history_key(record):
+    return (
+        record.event_id,
+        record.born_quantum,
+        record.died_quantum,
+        record.absorbed_into,
+        [
+            (s.quantum, s.keywords, s.rank, s.support, s.num_edges)
+            for s in record.snapshots
+        ],
+    )
+
+
+def run_with_restart(config, messages, split, tmp_path, **session_kwargs):
+    """(reports, notifications, final session) with a snapshot at ``split``."""
+    path = tmp_path / "mid.ckpt"
+    first = open_session(config, **session_kwargs)
+    sink1 = QueueSink()
+    first.subscribe(sink1)
+    reports = [report_key(r) for r in first.ingest_many(messages[:split])]
+    notes = [notification_key(e) for e in sink1.drain()]
+    first.snapshot(path)
+    resumed = open_session(resume=path)
+    sink2 = QueueSink()
+    resumed.subscribe(sink2)
+    reports += [report_key(r) for r in resumed.ingest_many(messages[split:])]
+    notes += [notification_key(e) for e in sink2.drain()]
+    return reports, notes, resumed
+
+
+class TestResumeDifferential:
+    """snapshot → restore → continue == uninterrupted, bit for bit."""
+
+    @pytest.mark.parametrize("regime", REGIMES)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_resumed_run_is_bit_identical(self, regime, seed, tmp_path):
+        config = make_config()
+        messages = regime_stream(regime, seed, 900, config)
+        # split mid-quantum on purpose: the buffered partial quantum must
+        # survive the checkpoint
+        split = 437
+        assert split % config.quantum_size != 0
+
+        whole = open_session(config)
+        sink = QueueSink()
+        whole.subscribe(sink)
+        expected_reports = [report_key(r) for r in whole.ingest_many(messages)]
+        expected_notes = [notification_key(e) for e in sink.drain()]
+
+        reports, notes, resumed = run_with_restart(
+            config, messages, split, tmp_path
+        )
+        assert reports == expected_reports
+        assert notes == expected_notes
+        assert [history_key(r) for r in resumed.events()] == [
+            history_key(r) for r in whole.events()
+        ]
+        assert resumed.total_messages == whole.total_messages
+
+    def test_double_restart(self, tmp_path):
+        """Checkpointing composes: stop/resume twice along one stream."""
+        config = make_config()
+        messages = bursty_stream(5, 900)
+        whole = open_session(config)
+        expected = [report_key(r) for r in whole.ingest_many(messages)]
+
+        actual = []
+        session = open_session(config)
+        for lo, hi in ((0, 301), (301, 650), (650, 900)):
+            actual += [
+                report_key(r) for r in session.ingest_many(messages[lo:hi])
+            ]
+            if hi < len(messages):
+                path = tmp_path / f"ck{hi}.ckpt"
+                session.snapshot(path)
+                session = open_session(resume=path)
+        assert actual == expected
+
+    def test_oracle_modes_are_checkpointable(self, tmp_path):
+        config = make_config()
+        messages = bursty_stream(9, 600)
+        for kwargs in ({"oracle_ranking": True}, {"oracle_akg": True}):
+            whole = open_session(config, **kwargs)
+            expected = [report_key(r) for r in whole.ingest_many(messages)]
+            reports, _, _ = run_with_restart(
+                config, messages, 333, tmp_path, **kwargs
+            )
+            assert reports == expected
+
+    def test_restored_invariants_hold(self, tmp_path):
+        """The restored world passes the same oracle checks as a live one."""
+        config = make_config()
+        messages = bursty_stream(13, 700)
+        session = open_session(config)
+        list(session.ingest_many(messages[:500]))
+        path = tmp_path / "inv.ckpt"
+        session.snapshot(path)
+        resumed = open_session(resume=path)
+        resumed.registry.check_integrity()
+        resumed.maintainer.check_against_oracle()
+        resumed.ranker.verify_against_oracle()
+        list(resumed.ingest_many(messages[500:]))
+        resumed.maintainer.check_against_oracle()
+        resumed.ranker.verify_against_oracle()
+
+    def test_ckg_stats_survive_restore(self, tmp_path):
+        config = make_config(track_ckg_stats=True)
+        messages = uniform_stream(17, 600)
+        whole = open_session(config)
+        expected = [
+            (r.quantum, r.ckg_nodes, r.ckg_edges)
+            for r in whole.ingest_many(messages)
+        ]
+        path = tmp_path / "ckg.ckpt"
+        session = open_session(config)
+        actual = [
+            (r.quantum, r.ckg_nodes, r.ckg_edges)
+            for r in session.ingest_many(messages[:250])
+        ]
+        session.snapshot(path)
+        resumed = open_session(resume=path)
+        actual += [
+            (r.quantum, r.ckg_nodes, r.ckg_edges)
+            for r in resumed.ingest_many(messages[250:])
+        ]
+        assert actual == expected
+
+
+class TestCheckpointFile:
+    def test_config_round_trips_through_checkpoint(self, tmp_path):
+        config = make_config(quantum_size=33, ec_threshold=0.17, seed=99)
+        session = open_session(config)
+        path = tmp_path / "cfg.ckpt"
+        session.snapshot(path)
+        assert open_session(resume=path).config == config
+
+    def test_snapshot_before_first_quantum(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        open_session(make_config()).snapshot(path)
+        resumed = open_session(resume=path)
+        assert resumed.current_quantum == -1
+        assert resumed.total_messages == 0
+
+    def test_snapshot_write_is_atomic(self, tmp_path):
+        """A failed snapshot must never clobber the previous checkpoint."""
+        path = tmp_path / "atomic.ckpt"
+        session = open_session(make_config())
+        list(session.ingest_many(bursty_stream(1, 200)))
+        session.snapshot(path)
+        good = path.read_bytes()
+        bad = open_session(make_config())
+        bad.tracker._records = {0: object()}  # unserializable state
+        with pytest.raises(Exception):
+            bad.snapshot(path)
+        assert path.read_bytes() == good
+        assert not (tmp_path / "atomic.ckpt.tmp").exists()
+
+    def test_custom_tagger_mismatch_rejected(self, tmp_path):
+        from repro.text.pos import NounTagger
+
+        tagger = NounTagger({"quake": "noun"})
+        session = open_session(make_config(), noun_tagger=tagger)
+        path = tmp_path / "tagger.ckpt"
+        session.snapshot(path)
+        with pytest.raises(CheckpointError, match="noun_tagger"):
+            open_session(resume=path)
+        resumed = open_session(resume=path, noun_tagger=tagger)
+        assert resumed.noun_tagger is tagger
+        # and the inverse direction: default recorded, custom offered
+        plain = open_session(make_config())
+        plain.snapshot(path)
+        with pytest.raises(CheckpointError, match="noun_tagger"):
+            open_session(resume=path, noun_tagger=tagger)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(CheckpointError):
+            open_session(resume=path)
+
+    def test_rejects_newer_version(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "version": CHECKPOINT_VERSION + 1,
+                    "state": None,
+                }
+            )
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            open_session(resume=path)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_text("not json")
+        with pytest.raises(CheckpointError):
+            open_session(resume=path)
+        with pytest.raises(CheckpointError):
+            open_session(resume=tmp_path / "missing.ckpt")
+
+    def test_unknown_config_field_rejected(self, tmp_path):
+        """A checkpoint from a build with extra config knobs fails loudly."""
+        session = open_session(make_config())
+        path = tmp_path / "cfg2.ckpt"
+        session.snapshot(path)
+        document = json.loads(path.read_text())
+        state = decode_state(document["state"])
+        state["config"]["hyperdrive"] = True
+        document["state"] = encode_state(state)
+        path.write_text(json.dumps(document))
+        with pytest.raises(Exception, match="hyperdrive"):
+            open_session(resume=path)
+
+
+class TestStateCodec:
+    CASES = [
+        None,
+        True,
+        0,
+        -17,
+        3.141592653589793,
+        "keyword",
+        "",
+        [1, "two", None],
+        (1, 2),
+        {"a": 1, 2: "b", (3, 4): [5]},
+        {1, 2, 3},
+        frozenset({"x", "y"}),
+        {"nested": [{"deep": ({"set": frozenset({(1, 2)})},)}]},
+        {},
+        [],
+        (),
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=repr)
+    def test_round_trip(self, value):
+        encoded = encode_state(value)
+        json.dumps(encoded)  # must be JSON-serializable as-is
+        decoded = decode_state(encoded)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_float_exactness(self):
+        values = [0.1 + 0.2, 1e-300, 61.94370613618281]
+        decoded = decode_state(json.loads(json.dumps(encode_state(values))))
+        for original, restored in zip(values, decoded):
+            assert original == restored
+            assert original.hex() == restored.hex()
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(CheckpointError):
+            encode_state(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CheckpointError):
+            decode_state({"t": "lambda", "v": []})
+        with pytest.raises(CheckpointError):
+            decode_state([1, 2])  # raw JSON array is never valid state

@@ -88,6 +88,60 @@ class TestGenerateAndDetect:
         assert fast_events == oracle_events
 
 
+class TestCheckpointFlags:
+    def test_checkpoint_and_resume_round_trip(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        ckpt_path = str(tmp_path / "session.ckpt")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--gamma", "0.15",
+            "--checkpoint", ckpt_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written to" in out
+        assert (tmp_path / "session.ckpt").exists()
+        assert main([
+            "detect", trace_path, "--resume-from", ckpt_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "msg/s" in out
+
+    def test_resumed_half_equals_uninterrupted_run(self, tmp_path, capsys):
+        """Splitting a trace across a checkpoint reports the same events as
+        one continuous detect run (the CLI face of the parity gate)."""
+        trace_path = tmp_path / "trace.jsonl"
+        ckpt_path = str(tmp_path / "half.ckpt")
+        main(["generate", "tw", str(trace_path), "--messages", "3000"])
+        capsys.readouterr()
+
+        assert main(["detect", str(trace_path), "--gamma", "0.15"]) == 0
+        whole_out = capsys.readouterr().out
+        whole_events = [
+            l for l in whole_out.splitlines() if "NEW event" in l
+        ]
+
+        lines = trace_path.read_text().splitlines(keepends=True)
+        half_a = tmp_path / "a.jsonl"
+        half_b = tmp_path / "b.jsonl"
+        half_a.write_text("".join(lines[:1500]))
+        half_b.write_text("".join(lines[1500:]))
+        assert main([
+            "detect", str(half_a), "--gamma", "0.15",
+            "--checkpoint", ckpt_path,
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "detect", str(half_b), "--resume-from", ckpt_path,
+        ]) == 0
+        second = capsys.readouterr().out
+        split_events = [
+            l for l in (first + second).splitlines() if "NEW event" in l
+        ]
+        assert split_events == whole_events
+
+
 class TestSweep:
     def test_sweep_prints_grids(self, capsys):
         assert main(["sweep", "tw", "--messages", "4000"]) == 0

@@ -1,6 +1,8 @@
 """DetectorConfig validation and derived parameters."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.config import DetectorConfig, NOMINAL_CONFIG
 from repro.errors import ConfigError, ReproError
@@ -68,3 +70,71 @@ class TestDerivedParameters:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             NOMINAL_CONFIG.quantum_size = 10
+
+
+class TestDictRoundTrip:
+    """to_dict/from_dict — the checkpoint serialization path."""
+
+    def test_nominal_round_trip(self):
+        data = NOMINAL_CONFIG.to_dict()
+        assert data["quantum_size"] == 160
+        assert DetectorConfig.from_dict(data) == NOMINAL_CONFIG
+
+    def test_dict_is_json_serializable(self):
+        import json
+
+        restored = DetectorConfig.from_dict(
+            json.loads(json.dumps(NOMINAL_CONFIG.to_dict()))
+        )
+        assert restored == NOMINAL_CONFIG
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="hyperdrive"):
+            DetectorConfig.from_dict({"hyperdrive": True})
+
+    def test_missing_fields_fall_back_to_defaults(self):
+        restored = DetectorConfig.from_dict({"quantum_size": 80})
+        assert restored == DetectorConfig(quantum_size=80)
+
+    def test_out_of_range_values_still_validated(self):
+        with pytest.raises(ConfigError):
+            DetectorConfig.from_dict({"quantum_size": 0})
+
+    @given(
+        overrides=st.fixed_dictionaries(
+            {},
+            optional={
+                "quantum_size": st.integers(1, 5000),
+                "window_quanta": st.integers(1, 100),
+                "high_state_threshold": st.integers(1, 50),
+                "ec_threshold": st.floats(
+                    0.001, 1.0, exclude_min=False, allow_nan=False
+                ),
+                "minhash_size": st.one_of(st.none(), st.integers(1, 64)),
+                "use_minhash_filter": st.booleans(),
+                "min_cluster_size": st.integers(2, 20),
+                "node_grace_quanta": st.integers(0, 10),
+                "rank_threshold_scale": st.floats(
+                    0.0, 100.0, allow_nan=False
+                ),
+                "require_noun": st.booleans(),
+                "max_tokens_per_message": st.integers(1, 200),
+                "track_ckg_stats": st.booleans(),
+                "oracle_akg": st.booleans(),
+                "oracle_ranking": st.booleans(),
+                "seed": st.integers(0, 2**62),
+            },
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_with_overrides_survives_round_trip(self, overrides):
+        """Property: any with_overrides-built config round-trips exactly,
+        including through a JSON encode (the checkpoint path)."""
+        import json
+
+        config = NOMINAL_CONFIG.with_overrides(**overrides)
+        assert DetectorConfig.from_dict(config.to_dict()) == config
+        assert (
+            DetectorConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+            == config
+        )

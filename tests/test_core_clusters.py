@@ -183,3 +183,38 @@ class TestIntegrity:
         snapshot = registry.decomposition()
         assert len(snapshot) == 2
         assert frozenset({("a", "b"), ("b", "c"), ("a", "c")}) in snapshot
+
+
+class TestPersistence:
+    def test_state_round_trip_preserves_everything(self):
+        registry = ClusterRegistry()
+        registry.new_cluster({"a", "b", "c"}, {("a", "b"), ("b", "c"), ("a", "c")},
+                             born_quantum=2)
+        registry.new_cluster({"x", "y", "z"}, {("x", "y"), ("y", "z"), ("x", "z")},
+                             born_quantum=5)
+        restored = ClusterRegistry()
+        restored.from_state(registry.to_state())
+        assert restored.decomposition() == registry.decomposition()
+        assert restored.cluster_ids() == registry.cluster_ids()
+        assert restored.get(1).born_quantum == 2
+        assert restored.clusters_of_node("y") == {2}
+        assert restored.cluster_of_edge("a", "b") == 1
+        restored.check_integrity()
+        # id allocation continues where the original left off
+        assert restored.new_cluster({"p", "q", "r"},
+                                    {("p", "q"), ("q", "r"), ("p", "r")}).cluster_id == 3
+
+    def test_state_handles_mixed_type_nodes(self):
+        """ClusterMaintainer is documented over arbitrary hashable nodes;
+        snapshotting must not assume mutual comparability."""
+        from repro.graph.dynamic_graph import edge_key
+
+        registry = ClusterRegistry()
+        nodes = {1, "a", (2, 3)}
+        edges = {edge_key(1, "a"), edge_key("a", (2, 3)), edge_key(1, (2, 3))}
+        registry.new_cluster(nodes, edges)
+        restored = ClusterRegistry()
+        restored.from_state(registry.to_state())
+        assert restored.get(1).nodes == nodes
+        assert restored.get(1).edges == edges
+        restored.check_integrity()

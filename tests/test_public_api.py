@@ -16,6 +16,8 @@ SUBPACKAGES = [
     "repro.datasets",
     "repro.baselines",
     "repro.eval",
+    "repro.pipeline",
+    "repro.api",
 ]
 
 MODULES = [
@@ -39,6 +41,13 @@ MODULES = [
     "repro.akg.correlation",
     "repro.akg.builder",
     "repro.akg.ckg_stats",
+    "repro.pipeline.reports",
+    "repro.pipeline.report_index",
+    "repro.pipeline.stages",
+    "repro.api.session",
+    "repro.api.session_events",
+    "repro.api.sinks",
+    "repro.api.checkpoint",
     "repro.stream.messages",
     "repro.stream.window",
     "repro.stream.sources",

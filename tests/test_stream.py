@@ -4,7 +4,11 @@ import pytest
 
 from repro.errors import StreamError
 from repro.stream.messages import Message
-from repro.stream.sources import read_jsonl_trace, write_jsonl_trace
+from repro.stream.sources import (
+    TraceReadStats,
+    read_jsonl_trace,
+    write_jsonl_trace,
+)
 from repro.stream.window import (
     QuantumBatcher,
     invert_user_keywords,
@@ -113,19 +117,94 @@ class TestJsonlRoundTrip:
         assert loaded[1].text == "hello world message"
         assert loaded[2].user_id == 3
 
-    def test_invalid_json_raises(self, tmp_path):
+    def test_invalid_json_raises_in_strict_mode(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text("not json\n")
         with pytest.raises(StreamError):
-            list(read_jsonl_trace(path))
+            list(read_jsonl_trace(path, on_malformed="raise"))
 
-    def test_missing_user_raises(self, tmp_path):
+    def test_missing_user_raises_in_strict_mode(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"k": ["a"]}\n')
         with pytest.raises(StreamError):
-            list(read_jsonl_trace(path))
+            list(read_jsonl_trace(path, on_malformed="raise"))
 
     def test_blank_lines_skipped(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         path.write_text('{"u": 1, "k": ["a"]}\n\n{"u": 2, "k": ["b"]}\n')
         assert len(list(read_jsonl_trace(path))) == 2
+
+
+class TestHardenedJsonlReader:
+    """Skip-and-count semantics for malformed lines (production feeds)."""
+
+    def test_malformed_lines_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"u": 1, "k": ["a"]}\n'
+            "not json at all\n"
+            '{"k": ["orphan"]}\n'
+            '{"u": 2, "k": ["b"]}\n'
+            "[1, 2, 3]\n"
+        )
+        stats = TraceReadStats()
+        messages = list(read_jsonl_trace(path, stats=stats))
+        assert [m.user_id for m in messages] == [1, 2]
+        assert stats.lines == 5
+        assert stats.messages == 2
+        assert stats.malformed == 3
+        assert any("invalid JSON" in e for e in stats.errors)
+        assert any("missing user id" in e for e in stats.errors)
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        """A crash mid-write leaves a partial JSON object on the last line;
+        the reader must deliver everything before it."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"u": 1, "k": ["a"]}\n{"u": 2, "k": ["b')
+        stats = TraceReadStats()
+        messages = list(read_jsonl_trace(path, stats=stats))
+        assert [m.user_id for m in messages] == [1]
+        assert stats.malformed == 1
+
+    def test_unicode_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        originals = [
+            Message("üser", tokens=("café", "日本語", "terremoto")),
+            Message("u2", text="séisme à Port-au-Prince 地震"),
+        ]
+        write_jsonl_trace(path, originals)
+        loaded = list(read_jsonl_trace(path, on_malformed="raise"))
+        assert loaded[0].tokens == ("café", "日本語", "terremoto")
+        assert loaded[1].text == "séisme à Port-au-Prince 地震"
+
+    def test_undecodable_bytes_cost_one_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(b'{"u": 1, "k": ["a"]}\n')
+            fh.write(b'{"u": 9, "k": ["\xff\xfe broken"]}\n')
+            fh.write(b'{"u": 2, "k": ["b"]}\n')
+        stats = TraceReadStats()
+        messages = list(read_jsonl_trace(path, stats=stats))
+        assert [m.user_id for m in messages] == [1, 2]
+        assert stats.malformed == 1
+        assert any("undecodable" in e for e in stats.errors)
+
+    def test_strict_mode_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"u": 1, "k": ["a"]}\nbroken\n')
+        with pytest.raises(StreamError, match=":2:"):
+            list(read_jsonl_trace(path, on_malformed="raise"))
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        with pytest.raises(StreamError):
+            list(read_jsonl_trace(path, on_malformed="ignore"))
+
+    def test_error_log_capped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("junk\n" * 100)
+        stats = TraceReadStats()
+        assert list(read_jsonl_trace(path, stats=stats)) == []
+        assert stats.malformed == 100
+        assert len(stats.errors) <= 20
