@@ -65,6 +65,27 @@ def render_metric(sweep: SweepResult, metric: str, title: str) -> str:
     )
 
 
+def write_sweep_json(
+    name: str, sweep: SweepResult, trace: Trace, metric: str, wall_s: float
+) -> None:
+    """Emit one figure bench's machine-readable result (see _results.py)."""
+    from _results import write_json_result
+
+    write_json_result(
+        name,
+        config={
+            "trace": trace.name,
+            "metric": metric,
+            "gammas": GAMMAS,
+            "quantum_sizes": QUANTA,
+            "grid": [[round(v, 4) for v in row] for row in grid_of(sweep, metric)],
+        },
+        wall_s=wall_s,
+        speedup=None,
+        quanta=len(trace.messages) // 160,
+    )
+
+
 def assert_recall_shape(sweep: SweepResult) -> None:
     """Recall rises with the quantum size and falls with gamma (allowing
     small non-monotonic jitter on a finite trace)."""

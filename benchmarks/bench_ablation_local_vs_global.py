@@ -15,6 +15,7 @@ from repro.core.maintenance import ClusterMaintainer, decompose_graph
 from repro.eval.reporting import render_table
 from repro.graph.dynamic_graph import DynamicGraph
 
+from _results import write_json_result
 from conftest import emit
 
 
@@ -89,6 +90,17 @@ def bench_ablation_local_vs_global(benchmark):
             rows,
             title="Ablation — local SCP maintenance vs per-step global recompute",
         ),
+    )
+    write_json_result(
+        "ablation_local_vs_global",
+        config={
+            "sizes": sizes,
+            "steps": steps,
+            "speedup_by_size": {str(row[0]): row[4] for row in rows},
+        },
+        wall_s=sum(row[2] for row in rows) / 1000.0,
+        speedup=rows[-1][4],
+        quanta=steps,
     )
     # the gap must widen with graph size (the point of local processing)
     speedups = [row[4] for row in rows]

@@ -10,6 +10,7 @@ from repro.config import DetectorConfig
 from repro.eval.reporting import render_table
 from repro.eval.runner import evaluate_run, run_detector
 
+from _results import write_json_result
 from conftest import emit
 
 _results = {}
@@ -53,6 +54,22 @@ def bench_ablation_minhash(benchmark, tw_trace):
         ),
     )
 
+    write_json_result(
+        "ablation_minhash",
+        config={
+            "recall_minhash": round(mh_summary.pr.recall, 4),
+            "recall_exact": round(ex_summary.pr.recall, 4),
+            "throughput_minhash": round(mh_result.throughput),
+            "throughput_exact": round(ex_result.throughput),
+        },
+        wall_s=mh_result.detector_seconds,
+        speedup=(
+            mh_result.throughput / ex_result.throughput
+            if ex_result.throughput
+            else None
+        ),
+        quanta=len(tw_trace.messages) // 160,
+    )
     # the filter may cost a little recall (false negatives) but not much
     assert mh_summary.pr.recall >= ex_summary.pr.recall - 0.15
     assert mh_summary.pr.precision >= ex_summary.pr.precision - 0.1

@@ -4,16 +4,28 @@ Paper shape: like Figure 9 on the event-dense trace; precision remains high
 across the whole grid because the spurious population is roughly constant.
 """
 
-from _sweeps import assert_precision_band, render_metric, run_sweep
+import time
+
+from _sweeps import (
+    assert_precision_band,
+    render_metric,
+    run_sweep,
+    write_sweep_json,
+)
 from conftest import emit
 
 
 def bench_fig10_precision_es(benchmark, es_trace):
+    started = time.perf_counter()
     sweep = benchmark.pedantic(run_sweep, args=(es_trace,), rounds=1, iterations=1)
     emit(
         "fig10_precision_es",
         render_metric(
             sweep, "precision", "Figure 10 — Precision for Event Specific Trace"
         ),
+    )
+    write_sweep_json(
+        "fig10_precision_es", sweep, es_trace, "precision",
+        time.perf_counter() - started,
     )
     assert_precision_band(sweep, floor=0.55)

@@ -5,16 +5,23 @@ burstiness threshold) and decreases with gamma (fewer edges survive); TW
 recall spans roughly 0.5–0.85 across the grid.
 """
 
-from _sweeps import assert_recall_shape, render_metric, run_sweep
+import time
+
+from _sweeps import assert_recall_shape, render_metric, run_sweep, write_sweep_json
 from conftest import emit
 
 
 def bench_fig7_recall_tw(benchmark, tw_trace):
+    started = time.perf_counter()
     sweep = benchmark.pedantic(run_sweep, args=(tw_trace,), rounds=1, iterations=1)
     emit(
         "fig7_recall_tw",
         render_metric(
             sweep, "recall", "Figure 7 — Recall for Time Window Based Trace"
         ),
+    )
+    write_sweep_json(
+        "fig7_recall_tw", sweep, tw_trace, "recall",
+        time.perf_counter() - started,
     )
     assert_recall_shape(sweep)

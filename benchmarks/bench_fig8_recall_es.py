@@ -4,17 +4,32 @@ Paper shape: same monotonic trends as Figure 7 on the event-dense trace;
 with relaxed parameters recall reaches ~0.95.
 """
 
-from _sweeps import GAMMAS, QUANTA, assert_recall_shape, grid_of, render_metric, run_sweep
+import time
+
+from _sweeps import (
+    GAMMAS,
+    QUANTA,
+    assert_recall_shape,
+    grid_of,
+    render_metric,
+    run_sweep,
+    write_sweep_json,
+)
 from conftest import emit
 
 
 def bench_fig8_recall_es(benchmark, es_trace):
+    started = time.perf_counter()
     sweep = benchmark.pedantic(run_sweep, args=(es_trace,), rounds=1, iterations=1)
     emit(
         "fig8_recall_es",
         render_metric(
             sweep, "recall", "Figure 8 — Recall for Event Specific Trace"
         ),
+    )
+    write_sweep_json(
+        "fig8_recall_es", sweep, es_trace, "recall",
+        time.perf_counter() - started,
     )
     assert_recall_shape(sweep)
     # relaxed corner (small gamma, large quantum) reaches high recall

@@ -5,16 +5,28 @@ relaxed parameters, because spurious events burst regardless of tuning while
 additional discovered events are mostly real.
 """
 
-from _sweeps import assert_precision_band, render_metric, run_sweep
+import time
+
+from _sweeps import (
+    assert_precision_band,
+    render_metric,
+    run_sweep,
+    write_sweep_json,
+)
 from conftest import emit
 
 
 def bench_fig9_precision_tw(benchmark, tw_trace):
+    started = time.perf_counter()
     sweep = benchmark.pedantic(run_sweep, args=(tw_trace,), rounds=1, iterations=1)
     emit(
         "fig9_precision_tw",
         render_metric(
             sweep, "precision", "Figure 9 — Precision for Time Window Based Trace"
         ),
+    )
+    write_sweep_json(
+        "fig9_precision_tw", sweep, tw_trace, "precision",
+        time.perf_counter() - started,
     )
     assert_precision_band(sweep, floor=0.55)

@@ -22,9 +22,15 @@ Run under pytest with the bench options, or standalone:
 
 from __future__ import annotations
 
+import sys
 import time
 from collections import Counter
+from pathlib import Path
 from typing import Dict, List, Set, Tuple
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _results import write_json_result  # noqa: E402
 
 from repro.akg.builder import AkgBuilder
 from repro.config import DetectorConfig
@@ -144,11 +150,13 @@ def measure_churn_rate(churn: float, rounds: int = ROUNDS) -> Tuple[float, float
 def run_bench() -> Tuple[str, Dict[float, float]]:
     rows: List[List[object]] = []
     speedups: Dict[float, float] = {}
+    fast_walls: Dict[float, float] = {}
     vocabulary = N_GROUPS * GROUP_SIZE + WINDOW * NOISE_PER_QUANTUM
     for churn in CHURN_RATES:
         fast_s, oracle_s, touched = measure_churn_rate(churn)
         speedup = oracle_s / fast_s if fast_s else float("inf")
         speedups[churn] = speedup
+        fast_walls[churn] = fast_s
         rows.append(
             [
                 f"{churn:.0%}",
@@ -171,6 +179,18 @@ def run_bench() -> Tuple[str, Dict[float, float]]:
             f"AKG stage: delta-driven vs from-scratch "
             f"({N_GROUPS} keyword groups of {GROUP_SIZE}, window {WINDOW})"
         ),
+    )
+    write_json_result(
+        "incremental_akg",
+        config={
+            "churn_rates": CHURN_RATES,
+            "rounds": ROUNDS,
+            "window": WINDOW,
+            "speedups": {f"{c:.2f}": round(s, 2) for c, s in speedups.items()},
+        },
+        wall_s=sum(fast_walls.values()),
+        speedup=speedups[0.10],
+        quanta=ROUNDS * len(CHURN_RATES),
     )
     return table, speedups
 

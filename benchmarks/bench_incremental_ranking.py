@@ -21,8 +21,14 @@ Run under pytest with the bench options, or standalone:
 from __future__ import annotations
 
 import random
+import sys
 import time
+from pathlib import Path
 from typing import Dict, List, Tuple
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _results import write_json_result  # noqa: E402
 
 from repro.core.changelog import NodeWeightChanged
 from repro.core.incremental import IncrementalRanker
@@ -100,10 +106,12 @@ def measure_churn_rate(
 def run_bench() -> Tuple[str, Dict[float, float]]:
     rows: List[List[object]] = []
     speedups: Dict[float, float] = {}
+    inc_walls: Dict[float, float] = {}
     for churn in CHURN_RATES:
         inc_s, ora_s, k = measure_churn_rate(churn)
         speedup = ora_s / inc_s if inc_s else float("inf")
         speedups[churn] = speedup
+        inc_walls[churn] = inc_s
         rows.append(
             [
                 f"{churn:.0%}",
@@ -126,6 +134,18 @@ def run_bench() -> Tuple[str, Dict[float, float]]:
             f"Rank stage: incremental vs from-scratch "
             f"({N_CLUSTERS} clusters of {CLUSTER_SIZE} keywords)"
         ),
+    )
+    write_json_result(
+        "incremental_ranking",
+        config={
+            "churn_rates": CHURN_RATES,
+            "rounds": ROUNDS,
+            "clusters": N_CLUSTERS,
+            "speedups": {f"{c:.2f}": round(s, 2) for c, s in speedups.items()},
+        },
+        wall_s=sum(inc_walls.values()),
+        speedup=speedups[0.10],
+        quanta=ROUNDS * len(CHURN_RATES),
     )
     return table, speedups
 

@@ -6,6 +6,9 @@ rank falls 20–30% from its peak as parameters are relaxed, because the extra
 events found are mostly low-rank.
 """
 
+import time
+
+from _results import write_json_result
 from _sweeps import GAMMAS, QUANTA, render_metric, run_sweep
 from conftest import emit
 from repro.eval.reporting import render_table
@@ -15,7 +18,9 @@ def bench_quality_events(benchmark, tw_trace, es_trace):
     def both():
         return run_sweep(tw_trace), run_sweep(es_trace)
 
+    started = time.perf_counter()
     tw_sweep, es_sweep = benchmark.pedantic(both, rounds=1, iterations=1)
+    wall_s = time.perf_counter() - started
 
     sections = []
     for name, sweep in (("TW", tw_sweep), ("ES", es_sweep)):
@@ -50,6 +55,17 @@ def bench_quality_events(benchmark, tw_trace, es_trace):
         )
     )
     emit("quality_events_7_2_4", "\n\n".join(sections))
+    write_json_result(
+        "quality_events_7_2_4",
+        config={
+            "size_inflation_pct": {row[0]: row[3] for row in size_rows},
+            "gammas": GAMMAS,
+            "quantum_sizes": QUANTA,
+        },
+        wall_s=wall_s,
+        speedup=None,
+        quanta=(len(tw_trace.messages) + len(es_trace.messages)) // 160,
+    )
 
     # shape: clusters are bigger at the loosest gamma than the tightest
     for sweep in (tw_sweep, es_sweep):

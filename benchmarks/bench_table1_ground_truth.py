@@ -15,6 +15,7 @@ from repro.datasets.headlines import PAPER_STREAM_RATE, headlines_for_trace
 from repro.eval.reporting import render_table
 from repro.eval.runner import evaluate_run, run_detector
 
+from _results import write_json_result
 from conftest import emit
 
 
@@ -68,6 +69,19 @@ def bench_table1_ground_truth(benchmark, ground_truth_trace):
         ),
     )
 
+    write_json_result(
+        "table1_ground_truth",
+        config={
+            "discoverable": len(discoverable),
+            "found_headline": len(found_headline),
+            "local_found": len(local_found),
+            "recall": round(summary.pr.recall, 4),
+            "precision": round(summary.pr.precision, 4),
+        },
+        wall_s=result.detector_seconds,
+        speedup=None,
+        quanta=len(trace.messages) // config.quantum_size,
+    )
     # shape assertions: most discoverable headline events found; extra
     # local events discovered; no sub-threshold event counted as a miss
     assert len(found_headline) >= 0.8 * len(discoverable)

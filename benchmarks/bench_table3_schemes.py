@@ -13,10 +13,13 @@ contains a short cycle, SCP clustering ~46% faster than the per-quantum
 global recomputation.
 """
 
+import time
+
 from repro.config import DetectorConfig
 from repro.eval.comparison import compare_schemes
 from repro.eval.reporting import render_table
 
+from _results import write_json_result
 from conftest import emit
 
 PAPER = {
@@ -28,9 +31,11 @@ PAPER = {
 
 def bench_table3_schemes(benchmark, ground_truth_trace):
     trace = ground_truth_trace
+    started = time.perf_counter()
     comparison = benchmark.pedantic(
         compare_schemes, args=(trace, DetectorConfig()), rounds=1, iterations=1
     )
+    wall_s = time.perf_counter() - started
 
     rows = []
     for row in comparison.rows:
@@ -64,6 +69,22 @@ def bench_table3_schemes(benchmark, ground_truth_trace):
     ) + "\n\n" + render_table(["statistic", "measured", "paper"], extra)
     emit("table3_schemes", text)
 
+    write_json_result(
+        "table3_schemes",
+        config={
+            "scp_clustering_s": round(comparison.scp_clustering_seconds, 4),
+            "bc_clustering_s": round(comparison.bc_clustering_seconds, 4),
+            "scp_speedup_pct": round(comparison.scp_speedup_pct, 2),
+        },
+        wall_s=wall_s,
+        speedup=(
+            comparison.bc_clustering_seconds
+            / comparison.scp_clustering_seconds
+            if comparison.scp_clustering_seconds
+            else None
+        ),
+        quanta=len(trace.messages) // 160,
+    )
     scp = comparison.row("SCP Clusters")
     bc = comparison.row("Bi-connected Clusters")
     bc_edges = comparison.row("Bi-connected clusters +Edges")

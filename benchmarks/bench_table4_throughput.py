@@ -21,6 +21,7 @@ from repro.config import DetectorConfig
 from repro.eval.reporting import render_table
 from repro.eval.runner import run_detector
 
+from _results import write_json_result
 from conftest import emit
 
 PAPER_RATES = {
@@ -85,6 +86,17 @@ def bench_table4_throughput(benchmark, trace_name, quantum, tw_trace, es_trace):
         # bench asserts only that neither trace collapses.
         tw_rate = _results[("TW", 160)].throughput
         es_rate = _results[("ES", 160)].throughput
+        write_json_result(
+            "table4_throughput",
+            config={
+                f"{name}_q{q}_msg_s": round(_results[(name, q)].throughput)
+                for name in ("TW", "ES")
+                for q in (120, 160, 200)
+            },
+            wall_s=_results[("TW", 160)].detector_seconds,
+            speedup=None,
+            quanta=len(tw_trace.messages) // 160,
+        )
         assert min(tw_rate, es_rate) > 0.3 * max(tw_rate, es_rate)
 
     # real-time headroom: the paper needs ~2300 msg/s (Twitter's 2012 rate)

@@ -1,0 +1,112 @@
+"""CI perf gate: compare fresh bench JSON against the committed baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py \\
+        --baseline /tmp/perf-baseline --current benchmarks/results \\
+        --tolerance 0.25 parallel_akg incremental_akg incremental_ranking
+
+For every named bench the script loads ``<dir>/<name>.json`` (schema of
+``_results.py``) from both directories and fails (exit 1) when the current
+``speedup`` ratio has regressed by more than ``--tolerance`` relative to the
+baseline.  Ratios — not wall seconds — are compared because they transfer
+across machines; wall times are printed for context only.
+
+Comparisons are skipped (with a notice, not a failure) when:
+
+* the baseline records no ``speedup`` (ratio-free benches);
+* either side's ``config.cores`` is below the bench's declared
+  ``config.speedup_cores_required`` — a single-core container cannot
+  produce a meaningful parallel-speedup baseline, so such baselines gate
+  nothing until regenerated on capable hardware (the in-bench asserts
+  still enforce the absolute floors there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(directory: Path, name: str) -> dict:
+    path = directory / f"{name}.json"
+    if not path.exists():
+        raise SystemExit(f"FAIL: missing result file {path}")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def comparable(entry: dict) -> bool:
+    config = entry.get("config", {})
+    required = config.get("speedup_cores_required")
+    if required is None:
+        return True
+    return config.get("cores", 0) >= required
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup drop (default 0.25)")
+    parser.add_argument("benches", nargs="+")
+    args = parser.parse_args(argv)
+
+    failures = []
+    for name in args.benches:
+        base = load(args.baseline, name)
+        cur = load(args.current, name)
+        base_speedup = base.get("speedup")
+        cur_speedup = cur.get("speedup")
+        context = (
+            f"wall {base.get('wall_s')}s -> {cur.get('wall_s')}s, "
+            f"quanta {base.get('quanta')} -> {cur.get('quanta')}"
+        )
+        if base_speedup is None:
+            print(f"SKIP {name}: baseline records no speedup ({context})")
+            continue
+        if not (comparable(base) and comparable(cur)):
+            print(
+                f"SKIP {name}: core count below the bench's requirement on "
+                f"one side (baseline cores="
+                f"{base.get('config', {}).get('cores')}, current cores="
+                f"{cur.get('config', {}).get('cores')}); the in-bench "
+                f"asserts keep gating the absolute floors"
+            )
+            if comparable(cur) and not comparable(base):
+                print(
+                    f"NOTE {name}: this machine CAN produce a comparable "
+                    f"baseline — commit the fresh "
+                    f"benchmarks/results/{name}.json to arm the "
+                    f"regression gate for future runs"
+                )
+            continue
+        if cur_speedup is None:
+            failures.append(f"{name}: current run recorded no speedup")
+            continue
+        floor = base_speedup * (1.0 - args.tolerance)
+        verdict = "OK" if cur_speedup >= floor else "REGRESSION"
+        print(
+            f"{verdict} {name}: speedup {base_speedup:.2f} -> "
+            f"{cur_speedup:.2f} (floor {floor:.2f}; {context})"
+        )
+        if cur_speedup < floor:
+            failures.append(
+                f"{name}: speedup {cur_speedup:.2f} fell below "
+                f"{floor:.2f} (baseline {base_speedup:.2f}, tolerance "
+                f"{args.tolerance:.0%})"
+            )
+    if failures:
+        print("\nperf-smoke gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf-smoke gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,173 @@ Keyword = str
 UserId = Hashable
 
 
+# --------------------------------------------------------------------------
+# Shared update primitives.
+#
+# Every cross-keyword step of the per-quantum update — candidate pairing,
+# new-edge qualification, incident-edge refresh, the dead-node predicate —
+# is a pure function of (graph, thresholds) plus two keyword-indexed
+# oracles: a sketch lookup and an exact-EC lookup.  The serial builder binds
+# them to its own window indexes; the keyword-range-sharded front-end
+# (:mod:`repro.parallel`) binds them to data gathered from its shard
+# workers.  Both paths therefore execute *identical* candidate, insertion,
+# refresh and removal sequences, which is what makes the sharded pipeline
+# bit-identical to the serial one for any worker count (DESIGN.md S7).
+
+
+def minhash_candidate_pairs(
+    bursty: List[Keyword], sketch_of
+) -> List[Tuple[Keyword, Keyword]]:
+    """Pairs of bursty keywords whose sketches share a hash value.
+
+    Bucketing by sketch value finds exactly the colliding pairs without
+    comparing all O(B^2) combinations.  Output is sorted, so it depends only
+    on the sketches, not on bucket iteration order.
+    """
+    sketches: Dict[Keyword, Sketch] = {kw: sketch_of(kw) for kw in bursty}
+    buckets: Dict[int, List[Keyword]] = {}
+    for kw, sketch in sketches.items():
+        for value in sketch:
+            buckets.setdefault(value, []).append(kw)
+    seen: Set[Tuple[Keyword, Keyword]] = set()
+    for members in buckets.values():
+        if len(members) < 2:
+            continue
+        members.sort()
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                seen.add((members[i], members[j]))
+    return sorted(seen)
+
+
+def candidate_edge_pairs(
+    bursty: List[Keyword], use_minhash: bool, sketch_of
+) -> Iterable[Tuple[Keyword, Keyword]]:
+    """The quantum's new-edge candidate pairs, in deterministic order.
+
+    ``bursty`` must be sorted; the exact (non-MinHash) variant enumerates
+    every pair in that order, matching the paper's ablation baseline.
+    """
+    if use_minhash:
+        return minhash_candidate_pairs(bursty, sketch_of)
+    return (
+        (bursty[i], bursty[j])
+        for i in range(len(bursty))
+        for j in range(i + 1, len(bursty))
+    )
+
+
+def qualify_new_edges(
+    pairs: Iterable[Tuple[Keyword, Keyword]],
+    graph,
+    gamma: float,
+    jaccard,
+    stats: "AkgQuantumStats",
+) -> List[Tuple[Keyword, Keyword, float]]:
+    """EC-qualify candidate pairs against the live graph (paper set (1))."""
+    out: List[Tuple[Keyword, Keyword, float]] = []
+    for kw1, kw2 in pairs:
+        stats.candidate_pairs += 1
+        if graph.has_edge(kw1, kw2):
+            continue
+        stats.ec_computations += 1
+        ec = jaccard(kw1, kw2)
+        if ec >= gamma:
+            out.append((kw1, kw2, ec))
+    return out
+
+
+def refresh_incident_edges(
+    active_keywords: Iterable[Keyword],
+    maintainer: ClusterMaintainer,
+    gamma: float,
+    jaccard,
+    stats: "AkgQuantumStats",
+) -> None:
+    """Recompute EC of edges touching keywords seen this quantum.
+
+    This is the paper's set (2): only nodes occurring in the current
+    quantum (and, through these edges, their neighbours) can change
+    correlation, so no other edge needs to be revisited.
+    """
+    graph = maintainer.graph
+    to_check: Set[Tuple[Keyword, Keyword]] = set()
+    for kw in active_keywords:
+        if not graph.has_node(kw):
+            continue
+        for nbr in graph.neighbors(kw):
+            to_check.add((kw, nbr) if kw <= nbr else (nbr, kw))
+    to_remove: List[Tuple[Keyword, Keyword]] = []
+    for kw1, kw2 in sorted(to_check):
+        stats.ec_computations += 1
+        ec = jaccard(kw1, kw2)
+        if ec < gamma:
+            to_remove.append((kw1, kw2))
+            stats.edges_removed += 1
+        else:
+            maintainer.set_edge_weight(kw1, kw2, ec)
+            stats.edges_refreshed += 1
+    if to_remove:
+        maintainer.remove_edges(to_remove)
+
+
+def drain_removal_candidates(
+    quantum: int,
+    emptied: Iterable[Keyword],
+    grace_deadlines: Dict[int, Set[Keyword]],
+) -> Set[Keyword]:
+    """The delta-sized pool of nodes that *could* die this quantum.
+
+    Completeness argument (DESIGN.md Section 5): a node is removed when
+    (a) its window support is zero — support reaches zero exactly in the
+    slide that expires its last entry, so ``emptied`` covers it; or (b) it
+    is unclustered and its last burst aged past the grace period — which
+    first becomes true either at the burst's scheduled deadline (popped
+    from ``grace_deadlines`` here, due entries consumed) or, if it was
+    clustered then, at the later quantum where it loses its last membership
+    (the registry listener pool, which the caller unions in).  Any node
+    outside these pools fails the removal predicate for the same reason it
+    did last quantum.  Shared by the serial builder and the sharded
+    front-end so both drain the identical pool.
+    """
+    due: Set[Keyword] = set(emptied)
+    for deadline in [q for q in grace_deadlines if q <= quantum]:
+        due |= grace_deadlines.pop(deadline)
+    return due
+
+
+def select_dead_nodes(
+    candidates: Iterable[Keyword],
+    maintainer: ClusterMaintainer,
+    support_of,
+    aged_out,
+    stats: "AkgQuantumStats",
+) -> Tuple[List[Keyword], List[Keyword]]:
+    """Evaluate the Section 3.1 removal predicate over a candidate pool.
+
+    Returns ``(stale, lazy)`` in the deterministic sorted-candidate order
+    the maintainer will apply them in.  ``support_of``/``aged_out`` are the
+    two window queries of the predicate; the serial builder answers them
+    from its own indexes, the sharded front-end from its mirrors.
+    """
+    graph = maintainer.graph
+    registry = maintainer.registry
+    stale: List[Keyword] = []
+    lazy: List[Keyword] = []
+    for kw in sorted(candidates):
+        if not graph.has_node(kw):
+            continue
+        stats.removal_candidates += 1
+        if support_of(kw) == 0:
+            stale.append(kw)
+            continue
+        if registry.clusters_of_node(kw):
+            continue
+        if aged_out(kw):
+            lazy.append(kw)
+    return stale, lazy
+
+
 @dataclass
 class AkgQuantumStats:
     """Work and size counters for one quantum (feeds Section 7.4)."""
@@ -128,6 +295,11 @@ class AkgBuilder:
         self.maintainer.current_quantum = quantum
 
         delta = self.idsets.add_quantum(quantum, keyword_users)
+        # Users whose last window occurrence just expired can never be
+        # re-hashed from cache state alone — drop their memo entries so the
+        # MinHasher cache tracks the live window population (bounded memo).
+        if delta.vanished_users:
+            self.minhasher.evict(delta.vanished_users)
         # Node-weight deltas feed the incremental ranker.  Only nodes already
         # in the AKG matter: a keyword entering the graph (and a cluster)
         # later this quantum is covered by that cluster's structural event.
@@ -174,103 +346,39 @@ class AkgBuilder:
         self, bursty: List[Keyword], stats: AkgQuantumStats
     ) -> List[Tuple[Keyword, Keyword, float]]:
         """EC-qualified new edges among the quantum's bursty keywords."""
-        graph = self.maintainer.graph
-        gamma = self.config.ec_threshold
-        pairs: Iterable[Tuple[Keyword, Keyword]]
-        if self.config.use_minhash_filter:
-            pairs = self._minhash_candidates(bursty)
-        else:
-            pairs = (
-                (bursty[i], bursty[j])
-                for i in range(len(bursty))
-                for j in range(i + 1, len(bursty))
-            )
-        out: List[Tuple[Keyword, Keyword, float]] = []
-        for kw1, kw2 in pairs:
-            stats.candidate_pairs += 1
-            if graph.has_edge(kw1, kw2):
-                continue
-            stats.ec_computations += 1
-            ec = self.idsets.jaccard(kw1, kw2)
-            if ec >= gamma:
-                out.append((kw1, kw2, ec))
-        return out
-
-    def _minhash_candidates(
-        self, bursty: List[Keyword]
-    ) -> List[Tuple[Keyword, Keyword]]:
-        """Pairs of bursty keywords whose sketches share a hash value.
-
-        Bucketing by sketch value finds exactly the colliding pairs without
-        comparing all O(B^2) combinations.
-        """
-        sketches: Dict[Keyword, Sketch] = {
-            kw: self.sketches.sketch(kw) for kw in bursty
-        }
-        buckets: Dict[int, List[Keyword]] = {}
-        for kw, sketch in sketches.items():
-            for value in sketch:
-                buckets.setdefault(value, []).append(kw)
-        seen: Set[Tuple[Keyword, Keyword]] = set()
-        for members in buckets.values():
-            if len(members) < 2:
-                continue
-            members.sort()
-            for i in range(len(members)):
-                for j in range(i + 1, len(members)):
-                    seen.add((members[i], members[j]))
-        return sorted(seen)
+        pairs = candidate_edge_pairs(
+            bursty, self.config.use_minhash_filter, self.sketches.sketch
+        )
+        return qualify_new_edges(
+            pairs,
+            self.maintainer.graph,
+            self.config.ec_threshold,
+            self.idsets.jaccard,
+            stats,
+        )
 
     def _refresh_incident_edges(
         self, active_keywords: Iterable[Keyword], stats: AkgQuantumStats
     ) -> None:
-        """Recompute EC of edges touching keywords seen this quantum.
-
-        This is the paper's set (2): only nodes occurring in the current
-        quantum (and, through these edges, their neighbours) can change
-        correlation, so no other edge needs to be revisited.
-        """
-        graph = self.maintainer.graph
-        gamma = self.config.ec_threshold
-        to_check: Set[Tuple[Keyword, Keyword]] = set()
-        for kw in active_keywords:
-            if not graph.has_node(kw):
-                continue
-            for nbr in graph.neighbors(kw):
-                to_check.add((kw, nbr) if kw <= nbr else (nbr, kw))
-        to_remove: List[Tuple[Keyword, Keyword]] = []
-        for kw1, kw2 in sorted(to_check):
-            stats.ec_computations += 1
-            ec = self.idsets.jaccard(kw1, kw2)
-            if ec < gamma:
-                to_remove.append((kw1, kw2))
-                stats.edges_removed += 1
-            else:
-                self.maintainer.set_edge_weight(kw1, kw2, ec)
-                stats.edges_refreshed += 1
-        if to_remove:
-            self.maintainer.remove_edges(to_remove)
+        """Recompute EC of edges touching keywords seen this quantum."""
+        refresh_incident_edges(
+            active_keywords,
+            self.maintainer,
+            self.config.ec_threshold,
+            self.idsets.jaccard,
+            stats,
+        )
 
     # ------------------------------------------------------- dead-node pass
 
     def _removal_candidates(
         self, quantum: int, delta: SlideDelta
     ) -> Iterable[Keyword]:
-        """The delta-sized pool of nodes that *could* die this quantum.
-
-        Completeness argument (DESIGN.md Section 5): a node is removed when
-        (a) its window support is zero — support reaches zero exactly in the
-        slide that expires its last entry, so ``delta.emptied`` covers it; or
-        (b) it is unclustered and its last burst aged past the grace period —
-        which first becomes true either at the burst's scheduled deadline
-        (armed in :meth:`process_quantum`) or, if it was clustered then, at
-        the later quantum where it loses its last membership (registry
-        listener).  Any node outside these pools fails the removal predicate
-        for the same reason it did last quantum.
-        """
-        due: Set[Keyword] = set(delta.emptied)
-        for deadline in [q for q in self._grace_deadlines if q <= quantum]:
-            due |= self._grace_deadlines.pop(deadline)
+        """The delta-sized candidate pool (see :func:`drain_removal_candidates`)
+        plus the registry's newly-unclustered hints."""
+        due = drain_removal_candidates(
+            quantum, delta.emptied, self._grace_deadlines
+        )
         due |= self._newly_unclustered
         self._newly_unclustered = set()
         return due
@@ -288,26 +396,18 @@ class AkgBuilder:
         The oracle sweeps every graph node; the fast path evaluates the same
         predicate over the delta-sized candidate pool only.
         """
-        graph = self.maintainer.graph
-        registry = self.maintainer.registry
         grace = self.config.node_grace_quanta
         if self.oracle:
-            candidates: Iterable[Keyword] = graph.nodes()
+            candidates: Iterable[Keyword] = self.maintainer.graph.nodes()
         else:
             candidates = self._removal_candidates(quantum, delta)
-        stale: List[Keyword] = []
-        lazy: List[Keyword] = []
-        for kw in sorted(candidates):
-            if not graph.has_node(kw):
-                continue
-            stats.removal_candidates += 1
-            if self.idsets.support(kw) == 0:
-                stale.append(kw)
-                continue
-            if registry.clusters_of_node(kw):
-                continue
-            if self.burstiness.aged_out(kw, quantum, grace):
-                lazy.append(kw)
+        stale, lazy = select_dead_nodes(
+            candidates,
+            self.maintainer,
+            self.idsets.support,
+            lambda kw: self.burstiness.aged_out(kw, quantum, grace),
+            stats,
+        )
         stats.nodes_removed_stale = len(stale)
         stats.nodes_removed_lazy = len(lazy)
         if stale or lazy:
@@ -363,4 +463,13 @@ class AkgBuilder:
         return {kw: self.idsets.support(kw) for kw in nodes}
 
 
-__all__ = ["AkgBuilder", "AkgQuantumStats"]
+__all__ = [
+    "AkgBuilder",
+    "AkgQuantumStats",
+    "candidate_edge_pairs",
+    "drain_removal_candidates",
+    "minhash_candidate_pairs",
+    "qualify_new_edges",
+    "refresh_incident_edges",
+    "select_dead_nodes",
+]

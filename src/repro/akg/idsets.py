@@ -45,6 +45,11 @@ class SlideDelta:
         keywords whose support dropped to zero this slide — the complete set
         of stale-node candidates, because a keyword's support can only reach
         zero in the slide that expires its last entry.
+    ``vanished_users``
+        user ids that left *every* keyword's window id set this slide — the
+        complete eviction pool for per-user memo caches (the MinHasher's
+        hash memo), because a user's last window occurrence can only expire
+        in one slide.
 
     Every field is computable in O(appeared + expired); nothing here is ever
     proportional to the window vocabulary.
@@ -57,6 +62,7 @@ class SlideDelta:
         default_factory=dict
     )
     emptied: FrozenSet[Keyword] = frozenset()
+    vanished_users: FrozenSet[UserId] = frozenset()
 
     @property
     def touched(self) -> FrozenSet[Keyword]:
@@ -76,6 +82,10 @@ class IdSetIndex:
         # expiry schedule: (quantum, keywords that appeared then), oldest first
         self._schedule: Deque[Tuple[int, Tuple[Keyword, ...]]] = deque()
         self._counts: Dict[Keyword, Counter] = {}
+        # user -> total multiplicity across every live (keyword, quantum)
+        # entry; a user whose count reaches zero has left the whole window,
+        # which is what feeds SlideDelta.vanished_users.
+        self._user_counts: Counter = Counter()
         self._last_quantum: int | None = None
 
     # ------------------------------------------------------------- updates
@@ -113,6 +123,7 @@ class IdSetIndex:
             for kw in touched
         }
 
+        user_counts = self._user_counts
         for kw, users in frozen.items():
             entries = self._entries.get(kw)
             if entries is None:
@@ -122,9 +133,11 @@ class IdSetIndex:
             if counter is None:
                 counter = counts[kw] = Counter()
             counter.update(users)
+            user_counts.update(users)
         if frozen:
             self._schedule.append((quantum, tuple(frozen)))
 
+        vanished: Set[UserId] = set()
         for kw in expired:
             entries = self._entries.get(kw)
             if entries is None:
@@ -138,6 +151,12 @@ class IdSetIndex:
                         counter[user] = remaining
                     else:
                         del counter[user]
+                    total = user_counts[user] - 1
+                    if total:
+                        user_counts[user] = total
+                    else:
+                        del user_counts[user]
+                        vanished.add(user)
             if not entries:
                 del self._entries[kw]
             if not counter:
@@ -164,6 +183,7 @@ class IdSetIndex:
             expired=frozenset(expired),
             support_deltas=support_deltas,
             emptied=emptied,
+            vanished_users=frozenset(vanished),
         )
 
     # ---------------------------------------------------------- persistence
@@ -173,13 +193,17 @@ class IdSetIndex:
 
         The multiplicity counters and the expiry schedule are derivable from
         the entries, so only the entries (plus the slide cursor) are stored;
-        :meth:`from_state` rebuilds the rest deterministically.
+        :meth:`from_state` rebuilds the rest deterministically.  Entries are
+        emitted in sorted keyword order so the snapshot is a pure function of
+        the window *contents* — the keyword-range-sharded front-end relies on
+        this to make its merged checkpoint byte-identical to a serial one
+        (DESIGN.md Section 7).
         """
         return {
             "last_quantum": self._last_quantum,
             "entries": [
                 [kw, [[q, sorted(users, key=repr)] for q, users in entries]]
-                for kw, entries in self._entries.items()
+                for kw, entries in sorted(self._entries.items())
             ],
         }
 
@@ -188,6 +212,7 @@ class IdSetIndex:
         self._last_quantum = state["last_quantum"]
         self._entries = {}
         self._counts = {}
+        self._user_counts = Counter()
         by_quantum: Dict[int, list] = {}
         for kw, entries in state["entries"]:
             deque_entries: Deque[Tuple[int, FrozenSet[UserId]]] = deque()
@@ -196,6 +221,7 @@ class IdSetIndex:
                 frozen = frozenset(users)
                 deque_entries.append((q, frozen))
                 counter.update(frozen)
+                self._user_counts.update(frozen)
                 by_quantum.setdefault(q, []).append(kw)
             self._entries[kw] = deque_entries
             self._counts[kw] = counter
@@ -229,10 +255,27 @@ class IdSetIndex:
         counter = self._counts.get(keyword)
         return set(counter) if counter else set()
 
+    def id_set(self, keyword: Keyword) -> FrozenSet[UserId]:
+        """The id set as an immutable, shippable frozenset (one copy).
+
+        The sharded front-end's exchange uses this instead of
+        ``frozenset(users(kw))``, which would copy twice.
+        """
+        counter = self._counts.get(keyword)
+        return frozenset(counter) if counter else frozenset()
+
     def support(self, keyword: Keyword) -> int:
         """|id set| — the node weight ``w_i`` of the ranking function."""
         counter = self._counts.get(keyword)
         return len(counter) if counter else 0
+
+    def window_users(self) -> Set[UserId]:
+        """Every user present in at least one keyword's window id set.
+
+        The exact live set behind ``SlideDelta.vanished_users``; the MinHash
+        cache-bound tests assert the hash memo never outgrows it.
+        """
+        return set(self._user_counts)
 
     def jaccard(self, kw1: Keyword, kw2: Keyword) -> float:
         """Exact edge correlation |U1 n U2| / |U1 u U2| (Section 3.2)."""

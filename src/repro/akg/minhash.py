@@ -9,7 +9,10 @@ per the paper.
 
 Hashing uses a salted 64-bit blake2b digest so results are stable across
 processes and independent of ``PYTHONHASHSEED``; per-user hashes are memoised
-because the same users recur across quanta.
+because the same users recur across quanta.  The memo is *bounded*: the
+AKG builder evicts users reported by ``SlideDelta.vanished_users`` — users
+whose last window occurrence just expired — so the cache tracks the live
+window population instead of every user id ever seen.
 """
 
 from __future__ import annotations
@@ -46,6 +49,30 @@ class MinHasher:
         value = int.from_bytes(digest, "big")
         self._cache[user] = value
         return value
+
+    def evict(self, users: Iterable[UserId]) -> int:
+        """Drop memoised hashes for users that left the window entirely.
+
+        Fed from ``SlideDelta.vanished_users`` on every slide; hashes are a
+        pure salted function of the user id, so a user who later returns is
+        simply re-memoised.  Returns the number of entries removed.
+        """
+        removed = 0
+        cache = self._cache
+        for user in users:
+            if cache.pop(user, None) is not None:
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Drop the whole memo (checkpoint restore: hashes re-warm on
+        demand, being pure salted functions of the user id)."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Current number of memoised user hashes (cache-bound tests)."""
+        return len(self._cache)
 
     def sketch(self, users: Iterable[UserId]) -> Sketch:
         """The p smallest *distinct* user hashes, ascending (may be < p).
@@ -136,11 +163,14 @@ class WindowedSketchIndex:
         :meth:`from_state` rebuilds the schedule and marks every keyword
         dirty — the first post-restore query recomputes a merge identical to
         the pre-snapshot one (the merge is exact, DESIGN.md Section 5).
+        Mini-sketches are emitted in sorted keyword order so the snapshot is
+        a pure function of the window contents, which makes the sharded
+        front-end's merged checkpoint byte-identical to a serial one.
         """
         return {
             "minis": [
                 [kw, [[q, list(mini)] for q, mini in minis]]
-                for kw, minis in self._minis.items()
+                for kw, minis in sorted(self._minis.items())
             ],
         }
 

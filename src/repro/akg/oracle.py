@@ -54,6 +54,9 @@ class OracleIdSetIndex:
             )
         self._last_quantum = quantum
         old_support = {kw: len(users) for kw, users in self._sets.items()}
+        old_users: Set[UserId] = set()
+        for users in self._sets.values():
+            old_users |= users
         frozen = {
             kw: frozenset(users) for kw, users in keyword_users.items() if users
         }
@@ -80,13 +83,24 @@ class OracleIdSetIndex:
         emptied = frozenset(
             kw for kw, (_, new) in support_deltas.items() if new == 0
         )
+        new_users: Set[UserId] = set()
+        for users in sets.values():
+            new_users |= users
         return SlideDelta(
             quantum=quantum,
             appeared=frozenset(frozen),
             expired=frozenset(expired),
             support_deltas=support_deltas,
             emptied=emptied,
+            vanished_users=frozenset(old_users - new_users),
         )
+
+    def window_users(self) -> Set[UserId]:
+        """Every user present in at least one window id set (from scratch)."""
+        out: Set[UserId] = set()
+        for users in self._sets.values():
+            out |= users
+        return out
 
     # ---------------------------------------------------------- persistence
 

@@ -17,6 +17,15 @@ trip exact, which the bit-identical resume guarantee relies on.
 Forward compatibility is handled loudly: an unknown format, a newer
 ``version``, or an unknown tag raises :class:`~repro.errors.CheckpointError`
 instead of best-effort loading a state the code cannot honour.
+
+Checkpoints are **execution-agnostic and history-independent**: the session
+strips the execution-only config fields (``workers``/``shard_count``), the
+sharded front-end writes its window state merged into the serial layout,
+and every stateful layer serializes in content-sorted order — so the same
+stream position produces the same checkpoint bytes whether the session ran
+serially or sharded, uninterrupted or through any number of earlier
+snapshot/restore cycles, and any checkpoint resumes under any worker count
+(DESIGN.md Section 7).
 """
 
 from __future__ import annotations
@@ -29,9 +38,12 @@ from typing import Any
 from repro.errors import CheckpointError
 
 CHECKPOINT_FORMAT = "repro-session-checkpoint"
-CHECKPOINT_VERSION = 1
-"""Bump on any change to the state tree layout; loaders reject newer
-versions and migrate older ones explicitly (none exist yet)."""
+CHECKPOINT_VERSION = 2
+"""Bump on any change to the state tree layout; loaders reject other
+versions loudly instead of best-effort decoding (no migrations exist yet).
+Version history: 1 — PR 3 layout; 2 — event histories are change-point
+encoded (``EventTracker`` state gained ``last_quantum`` and per-record
+``gaps``) and execution-only config fields are stripped."""
 
 _SCALARS = (bool, int, float, str)
 

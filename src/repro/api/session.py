@@ -60,7 +60,7 @@ from repro.core.events import EventRecord, EventTracker
 from repro.core.incremental import IncrementalRanker
 from repro.core.maintenance import ClusterMaintainer
 from repro.core.ranking import minimum_rank
-from repro.errors import CheckpointError, GraphError
+from repro.errors import CheckpointError, ConfigError, GraphError
 from repro.pipeline.report_index import ThresholdIndex
 from repro.pipeline.reports import QuantumReport, ReportedEvent, StageTimings
 from repro.pipeline.stages import (
@@ -124,13 +124,19 @@ class DetectorSession:
         tokenizer=None,
         oracle_ranking: bool = False,
         oracle_akg: bool = False,
+        worker_backend: Optional[str] = None,
     ) -> None:
         """Build a fresh session (use :func:`open_session` in client code).
 
         Parameters mirror the legacy ``EventDetector``: ``tokenizer``
         overrides text tokenisation, ``noun_tagger`` the report-time noun
         filter, and the ``oracle_*`` flags swap in the from-scratch
-        verification baselines for the AKG and rank stages.
+        verification baselines for the AKG and rank stages.  With
+        ``config.workers > 1`` (or an explicit ``shard_count``) the
+        tokenize/AKG stages run on the keyword-range-sharded front-end
+        (:mod:`repro.parallel`); ``worker_backend`` forces its execution
+        backend (``process``/``thread``/``serial``, default auto) — an
+        execution knob only, results are bit-identical either way.
         """
         self.config = config if config is not None else DetectorConfig()
         # Function-valued state cannot be checkpointed; remember whether the
@@ -143,11 +149,23 @@ class DetectorSession:
             noun_tagger if noun_tagger is not None else NounTagger()
         )
         self.maintainer = ClusterMaintainer()
-        self.builder = AkgBuilder(
-            self.config,
-            self.maintainer,
-            oracle=oracle_akg or self.config.oracle_akg,
-        )
+        if self.config.sharded and (oracle_akg or self.config.oracle_akg):
+            raise ConfigError(
+                "oracle_akg is a serial verification baseline; it cannot "
+                "run on the sharded front-end (workers/shard_count)"
+            )
+        if self.config.sharded:
+            from repro.parallel import ShardedAkgFrontend
+
+            self.builder = ShardedAkgFrontend(
+                self.config, self.maintainer, backend=worker_backend
+            )
+        else:
+            self.builder = AkgBuilder(
+                self.config,
+                self.maintainer,
+                oracle=oracle_akg or self.config.oracle_akg,
+            )
         self.ranker = IncrementalRanker(
             self.maintainer.registry,
             self.maintainer.graph,
@@ -166,18 +184,37 @@ class DetectorSession:
             self.config.high_state_threshold, self.config.ec_threshold
         )
         self.report_index = ThresholdIndex(self._passes_filters)
-        self.pipeline = Pipeline(
-            build_stages(
-                self.tokenizer,
-                self.maintainer,
-                self.builder,
-                self.ranker,
-                self.tracker,
-                self.report_index,
-                self.config.max_tokens_per_message,
-                self.ckg_stats,
-            )
+        stages = build_stages(
+            self.tokenizer,
+            self.maintainer,
+            self.builder,
+            self.ranker,
+            self.tracker,
+            self.report_index,
+            self.config.max_tokens_per_message,
+            self.ckg_stats,
         )
+        if self.config.sharded:
+            from repro.parallel import (
+                ShardedAkgUpdateStage,
+                ShardedTokenizeStage,
+            )
+
+            stages[1] = ShardedAkgUpdateStage(self.builder, self.maintainer)
+            # Parallel tokenize requires the importable default tokenizer
+            # (worker processes resolve it by name) and no CKG-stats tracker
+            # (its user->keywords view is not materialised worker-side);
+            # otherwise the serial stage stays, losing only the tokenize
+            # fan-out.
+            if (
+                not self._custom_tokenizer
+                and self.ckg_stats is None
+                and self.builder.pool.workers > 1
+            ):
+                stages[0] = ShardedTokenizeStage(
+                    self.builder, self.config.max_tokens_per_message
+                )
+        self.pipeline = Pipeline(stages)
         self._quantum = -1
         self.total_messages = 0
         self.total_seconds = 0.0
@@ -420,6 +457,25 @@ class DetectorSession:
             return 0.0
         return self.total_messages / self.total_seconds
 
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Release session resources (the sharded front-end's worker pool).
+
+        Serial sessions hold no external resources and close() is a no-op;
+        sharded sessions should be closed (or used as a context manager) so
+        worker processes shut down promptly rather than at GC.
+        """
+        close = getattr(self.builder, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "DetectorSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def events(self, include_spurious: bool = True) -> List[EventRecord]:
         """All events observed so far (optionally post-hoc filtered)."""
         if include_spurious:
@@ -435,13 +491,25 @@ class DetectorSession:
         quantum is included.  The ranker cache and report index are *not*
         serialized: both are pure functions of the serialized state and are
         recomputed bit-identically on restore (DESIGN.md Section 6).
+
+        Execution-only config fields (``workers``/``shard_count``) are
+        stripped: results do not depend on them, the sharded front-end
+        writes its window state in the merged serial layout, and so the
+        same stream position produces the same checkpoint bytes under any
+        worker count — and resumes under any other (pass ``workers=`` to
+        ``open_session``).
         """
         try:
             maintainer_state = self.maintainer.to_state()
         except GraphError as exc:
             raise CheckpointError(str(exc)) from exc
+        config_dict = {
+            key: value
+            for key, value in self.config.to_dict().items()
+            if key not in DetectorConfig.EXECUTION_FIELDS
+        }
         state = {
-            "config": self.config.to_dict(),
+            "config": config_dict,
             "oracle_akg": self.builder.oracle,
             "oracle_ranking": self.ranker.oracle,
             "custom_tokenizer": self._custom_tokenizer,
@@ -473,6 +541,9 @@ class DetectorSession:
         *,
         noun_tagger: Optional[NounTagger] = None,
         tokenizer=None,
+        workers: Optional[int] = None,
+        shard_count: Optional[int] = None,
+        worker_backend: Optional[str] = None,
     ) -> "DetectorSession":
         """Reconstruct a session from a :meth:`snapshot` file.
 
@@ -482,9 +553,25 @@ class DetectorSession:
         mismatch: resuming with a different tagger or tokenizer would
         silently break the bit-identical guarantee.  Pass the same objects
         the original session used.
+
+        ``workers``/``shard_count``/``worker_backend`` choose the *resumed*
+        session's execution mode — checkpoints are execution-agnostic, so a
+        stream snapshotted serially can resume under 4 workers and vice
+        versa, continuing bit-identically either way.
         """
         state = load_checkpoint(path)
         config = DetectorConfig.from_dict(state["config"])
+        if workers is not None or shard_count is not None:
+            config = config.with_overrides(
+                **(
+                    {"workers": workers} if workers is not None else {}
+                ),
+                **(
+                    {"shard_count": shard_count}
+                    if shard_count is not None
+                    else {}
+                ),
+            )
         for flag, provided, what in (
             (state["custom_noun_tagger"], noun_tagger, "noun_tagger"),
             (state["custom_tokenizer"], tokenizer, "tokenizer"),
@@ -506,6 +593,7 @@ class DetectorSession:
             tokenizer=tokenizer,
             oracle_ranking=state["oracle_ranking"],
             oracle_akg=state["oracle_akg"],
+            worker_backend=worker_backend,
         )
         session.maintainer.from_state(state["maintainer"])
         session.builder.from_state(state["builder"])
@@ -542,6 +630,9 @@ def open_session(
     tokenizer=None,
     oracle_ranking: bool = False,
     oracle_akg: bool = False,
+    workers: Optional[int] = None,
+    shard_count: Optional[int] = None,
+    worker_backend: Optional[str] = None,
 ) -> DetectorSession:
     """Open a detector session — fresh, or resumed from a checkpoint.
 
@@ -549,6 +640,11 @@ def open_session(
     (including its configuration; passing ``config`` too is an error to
     avoid silently ignoring one of them).  Otherwise a fresh session is
     built from ``config`` (Table 2 nominal when omitted).
+
+    ``workers``/``shard_count`` select the execution mode; on a fresh
+    session they override the config fields of the same name, on resume
+    they choose how the execution-agnostic checkpoint continues (results
+    are bit-identical for any values, DESIGN.md Section 7).
     """
     if resume is not None:
         if config is not None:
@@ -563,7 +659,20 @@ def open_session(
                 "arguments cannot be combined with resume"
             )
         return DetectorSession.restore(
-            resume, noun_tagger=noun_tagger, tokenizer=tokenizer
+            resume,
+            noun_tagger=noun_tagger,
+            tokenizer=tokenizer,
+            workers=workers,
+            shard_count=shard_count,
+            worker_backend=worker_backend,
+        )
+    if workers is not None or shard_count is not None:
+        base = config if config is not None else DetectorConfig()
+        config = base.with_overrides(
+            **({"workers": workers} if workers is not None else {}),
+            **(
+                {"shard_count": shard_count} if shard_count is not None else {}
+            ),
         )
     return DetectorSession(
         config,
@@ -571,6 +680,7 @@ def open_session(
         tokenizer=tokenizer,
         oracle_ranking=oracle_ranking,
         oracle_akg=oracle_akg,
+        worker_backend=worker_backend,
     )
 
 

@@ -64,6 +64,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="edge-correlation threshold (nominal: 0.20)")
     parser.add_argument("--exact-ec", action="store_true",
                         help="disable the MinHash candidate filter")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="parallel workers for the tokenize/AKG stages "
+                             "(keyword-range sharding; results are "
+                             "bit-identical for any N, default 1 = serial)")
+    parser.add_argument("--shard-count", type=int, default=None, metavar="S",
+                        help="keyword hash ranges to partition into "
+                             "(default: one per worker)")
     parser.add_argument("--timing", action="store_true",
                         help="print a per-stage timing breakdown "
                              "(tokenize/akg/maintain/propagate/rank/report)")
@@ -95,6 +102,8 @@ def _config_from(args: argparse.Namespace) -> DetectorConfig:
         use_minhash_filter=not args.exact_ec,
         oracle_akg=args.oracle_akg,
         oracle_ranking=args.oracle_ranking,
+        workers=args.workers,
+        shard_count=args.shard_count,
     )
 
 
@@ -153,7 +162,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        session = open_session(resume=args.resume_from)
+        # Checkpoints are execution-agnostic: --workers picks how the
+        # resumed stream runs, results are bit-identical either way.
+        session = open_session(
+            resume=args.resume_from,
+            workers=args.workers,
+            shard_count=args.shard_count,
+        )
         print(
             f"-- resumed from {args.resume_from} at quantum "
             f"{session.current_quantum} "
@@ -166,45 +181,49 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     quanta = 0
     cache_hits = 0
     recomputed = 0
-    # With --checkpoint the trailing partial quantum stays buffered (it is
-    # saved in the checkpoint and completed by the resumed run); without it
-    # the legacy batch behaviour of flushing the tail is kept.
-    read_stats = TraceReadStats()
-    stream = session.ingest_many(
-        read_jsonl_trace(args.trace, stats=read_stats),
-        flush=not args.checkpoint,
-    )
-    for report in stream:
-        quanta += 1
-        cache_hits += report.rank_cache_hits
-        recomputed += report.ranked_clusters - report.rank_cache_hits
-        for event in report.reported:
-            if event.event_id in report.new_event_ids:
-                printed += 1
-                print(
-                    f"q{report.quantum:<5} NEW event #{event.event_id}: "
-                    f"{', '.join(sorted(event.keywords))} "
-                    f"(rank {event.rank:.1f})"
-                )
-    print(
-        f"-- {printed} events, {session.total_messages} messages, "
-        f"{session.throughput():.0f} msg/s"
-    )
-    if read_stats.malformed:
-        print(
-            f"-- WARNING: skipped {read_stats.malformed} malformed trace "
-            f"line(s) (first: {read_stats.errors[0]})",
-            file=sys.stderr,
+    # The context manager guarantees worker-pool shutdown (--workers) even
+    # when the trace raises mid-stream.
+    with session:
+        # With --checkpoint the trailing partial quantum stays buffered (it
+        # is saved in the checkpoint and completed by the resumed run);
+        # without it the legacy batch behaviour of flushing the tail is
+        # kept.
+        read_stats = TraceReadStats()
+        stream = session.ingest_many(
+            read_jsonl_trace(args.trace, stats=read_stats),
+            flush=not args.checkpoint,
         )
-    if args.timing:
-        print(_render_timing(session, quanta, cache_hits, recomputed))
-    if args.checkpoint:
-        session.snapshot(args.checkpoint)
+        for report in stream:
+            quanta += 1
+            cache_hits += report.rank_cache_hits
+            recomputed += report.ranked_clusters - report.rank_cache_hits
+            for event in report.reported:
+                if event.event_id in report.new_event_ids:
+                    printed += 1
+                    print(
+                        f"q{report.quantum:<5} NEW event #{event.event_id}: "
+                        f"{', '.join(sorted(event.keywords))} "
+                        f"(rank {event.rank:.1f})"
+                    )
         print(
-            f"-- checkpoint written to {args.checkpoint} "
-            f"(quantum {session.current_quantum}, "
-            f"{session.batcher.pending} messages buffered)"
+            f"-- {printed} events, {session.total_messages} messages, "
+            f"{session.throughput():.0f} msg/s"
         )
+        if read_stats.malformed:
+            print(
+                f"-- WARNING: skipped {read_stats.malformed} malformed "
+                f"trace line(s) (first: {read_stats.errors[0]})",
+                file=sys.stderr,
+            )
+        if args.timing:
+            print(_render_timing(session, quanta, cache_hits, recomputed))
+        if args.checkpoint:
+            session.snapshot(args.checkpoint)
+            print(
+                f"-- checkpoint written to {args.checkpoint} "
+                f"(quantum {session.current_quantum}, "
+                f"{session.batcher.pending} messages buffered)"
+            )
     return 0
 
 

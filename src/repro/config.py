@@ -84,6 +84,18 @@ class DetectorConfig:
         (``detect --oracle-ranking``).
     seed:
         Seed for the MinHash hash-function salt; fixed for reproducibility.
+    workers:
+        Number of parallel workers for the tokenize and AKG-update stages
+        (:mod:`repro.parallel`).  ``1`` (default) runs the classic serial
+        pipeline.  Workers are an *execution* parameter: results are
+        bit-identical for any value, and checkpoints neither record it nor
+        depend on it (resume with any worker count).
+    shard_count:
+        Number of contiguous keyword hash ranges the window state is
+        partitioned into.  ``None`` derives one shard per worker.  Like
+        ``workers`` this is execution-only: any shard count produces
+        bit-identical results, because every cross-keyword computation
+        happens in the deterministic merge (DESIGN.md Section 7).
     """
 
     quantum_size: int = 160
@@ -101,6 +113,8 @@ class DetectorConfig:
     oracle_akg: bool = False
     oracle_ranking: bool = False
     seed: int = 0x5C9C1E
+    workers: int = 1
+    shard_count: int | None = None
 
     def __post_init__(self) -> None:
         if self.quantum_size < 1:
@@ -136,6 +150,17 @@ class DetectorConfig:
                 "max_tokens_per_message must be >= 1, got "
                 f"{self.max_tokens_per_message}"
             )
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.shard_count is not None and self.shard_count < 1:
+            raise ConfigError(
+                f"shard_count must be >= 1, got {self.shard_count}"
+            )
+        if self.oracle_akg and (self.workers > 1 or self.shard_count is not None):
+            raise ConfigError(
+                "oracle_akg is a serial verification baseline; it cannot be "
+                "combined with workers/shard_count"
+            )
 
     @property
     def effective_minhash_size(self) -> int:
@@ -152,6 +177,22 @@ class DetectorConfig:
     def window_messages(self) -> int:
         """Total messages covered by the sliding window."""
         return self.quantum_size * self.window_quanta
+
+    @property
+    def effective_shard_count(self) -> int:
+        """Keyword hash ranges the sharded front-end partitions into."""
+        return self.shard_count if self.shard_count is not None else self.workers
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the session runs the keyword-range-sharded front-end."""
+        return self.workers > 1 or self.shard_count is not None
+
+    EXECUTION_FIELDS = ("workers", "shard_count")
+    """Fields that select *how* the pipeline executes, not *what* it
+    computes.  Session checkpoints strip them (results are bit-identical for
+    any value), so a stream snapshotted under 4 workers resumes under any
+    worker count — see ``DetectorSession.snapshot``."""
 
     def with_overrides(self, **overrides: Any) -> "DetectorConfig":
         """Return a copy with the given fields replaced (validated again)."""

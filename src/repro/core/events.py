@@ -9,12 +9,25 @@ The tracker also implements the paper's post-hoc spurious-event analysis
 (Section 7.2.2): real events have a build-up and wind-down phase, so their
 clusters evolve and their rank varies non-monotonically; spurious events
 burst once and then decay monotonically without evolving.
+
+Churn proportionality: snapshots are *change points*, not per-quantum rows.
+:meth:`EventTracker.observe_edits` consumes the incremental ranker's
+``last_recomputed`` / ``last_removed`` edit script and appends a snapshot
+only when an event's reportable state actually changed (or it was born or
+reopened), so per-quantum tracking work scales with churn instead of the
+live-event count.  Between two snapshots an event's state is constant by
+construction, which is what lets :meth:`EventRecord.iter_quanta` expand the
+run-length-encoded history back into the dense per-quantum view the eval
+layer consumes.  :meth:`EventTracker.observe_quantum` remains as the
+from-scratch path — it diffs a full ranking by value and produces records
+*identical* to the edit-script path (the oracle assertion in
+``tests/test_core_events_incremental.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.changelog import ChangeBatch, ChangeEvent, ClusterMerged
 from repro.core.clusters import Cluster
@@ -22,7 +35,7 @@ from repro.core.clusters import Cluster
 
 @dataclass
 class EventSnapshot:
-    """State of one event at the end of one quantum."""
+    """State of one event from ``quantum`` until its next change point."""
 
     quantum: int
     keywords: FrozenSet[str]
@@ -33,13 +46,24 @@ class EventSnapshot:
 
 @dataclass
 class EventRecord:
-    """Full history of one event (one cluster identity)."""
+    """Full history of one event (one cluster identity).
+
+    ``snapshots`` holds one entry per *change point*; ``gaps`` records the
+    ``(died, reborn)`` quantum pairs of any mid-life disappearances (a
+    cluster dropping below the reportable size and recovering later), so
+    the dense per-quantum view remains reconstructible.
+    ``_observed_until`` is stamped by the tracker's accessors with the last
+    quantum the event was known alive — for a live record the snapshots
+    alone cannot tell "unchanged since" from "gone since".
+    """
 
     event_id: int
     born_quantum: int
     snapshots: List[EventSnapshot] = field(default_factory=list)
     died_quantum: Optional[int] = None
     absorbed_into: Optional[int] = None
+    gaps: List[Tuple[int, int]] = field(default_factory=list)
+    _observed_until: Optional[int] = field(default=None, repr=False)
 
     @property
     def alive(self) -> bool:
@@ -66,10 +90,60 @@ class EventRecord:
         return max((s.rank for s in self.snapshots), default=0.0)
 
     @property
+    def first_quantum(self) -> int:
+        """First quantum the event was observed in."""
+        return self.snapshots[0].quantum if self.snapshots else self.born_quantum
+
+    @property
+    def last_quantum(self) -> int:
+        """Last quantum the event was (known to be) alive.
+
+        A dead record ended the quantum before its recorded death; a live
+        record extends to the tracker-stamped observation horizon, falling
+        back to its last change point for hand-built (dense) records.
+        """
+        if self.died_quantum is not None:
+            return self.died_quantum - 1
+        last_change = self.snapshots[-1].quantum if self.snapshots else self.born_quantum
+        if self._observed_until is not None:
+            return max(self._observed_until, last_change)
+        return last_change
+
+    @property
     def lifetime_quanta(self) -> int:
         if not self.snapshots:
             return 0
-        return self.snapshots[-1].quantum - self.snapshots[0].quantum + 1
+        return self.last_quantum - self.first_quantum + 1
+
+    @property
+    def observed_quanta(self) -> int:
+        """Quanta the event was actually alive — the span minus any
+        recorded absence gaps (what ``len(snapshots)`` counted when
+        histories were materialised densely)."""
+        if not self.snapshots:
+            return 0
+        span = self.last_quantum - self.first_quantum + 1
+        return span - sum(reborn - died for died, reborn in self.gaps)
+
+    def iter_quanta(self) -> Iterator[Tuple[int, EventSnapshot]]:
+        """Dense per-quantum expansion: yield ``(quantum, state)`` pairs.
+
+        Expands the change-point encoding over the event's observed span,
+        skipping any recorded absence gaps — exactly the rows the old
+        per-quantum tracker materialised eagerly.
+        """
+        if not self.snapshots:
+            return
+        absent = set()
+        for died, reborn in self.gaps:
+            absent.update(range(died, reborn))
+        snaps = self.snapshots
+        end = self.last_quantum
+        for i, snap in enumerate(snaps):
+            until = snaps[i + 1].quantum - 1 if i + 1 < len(snaps) else end
+            for quantum in range(snap.quantum, until + 1):
+                if quantum not in absent:
+                    yield quantum, snap
 
     def evolved(self) -> bool:
         """True iff the keyword set changed at least once during the event."""
@@ -77,7 +151,12 @@ class EventRecord:
         return len(keyword_sets) > 1
 
     def rank_monotonically_decreasing(self) -> bool:
-        """True iff every rank is <= the previous one (strictly a decay)."""
+        """True iff every rank is <= the previous one (strictly a decay).
+
+        Change-point encoding preserves the verdict: between snapshots the
+        rank is constant, and a constant run satisfies ``b <= a`` exactly as
+        its collapsed single entry does.
+        """
         ranks = [s.rank for s in self.snapshots]
         return all(b <= a for a, b in zip(ranks, ranks[1:]))
 
@@ -87,9 +166,11 @@ class EventRecord:
         An event is spurious when it never evolved *and* its rank decayed
         monotonically after its initial burst.  Events observed for fewer
         than ``min_lifetime`` quanta keep the benefit of the doubt only if
-        they evolved; single-burst one-shot clusters are spurious.
+        they evolved; single-burst one-shot clusters are spurious.  The
+        guard counts quanta the event was *alive* (absence gaps excluded),
+        matching the dense encoding's ``len(snapshots)``.
         """
-        if len(self.snapshots) < min_lifetime:
+        if self.observed_quanta < min_lifetime:
             return not self.evolved()
         return (not self.evolved()) and self.rank_monotonically_decreasing()
 
@@ -99,8 +180,99 @@ class EventTracker:
 
     def __init__(self) -> None:
         self._records: Dict[int, EventRecord] = {}
+        self._last_quantum: Optional[int] = None
 
     # ------------------------------------------------------------- updates
+
+    @staticmethod
+    def _absorption_map(
+        changes: "ChangeBatch | Iterable[ChangeEvent]",
+    ) -> Dict[int, int]:
+        if isinstance(changes, ChangeBatch):
+            return changes.absorbed_into()
+        absorbed: Dict[int, int] = {}
+        for change in changes:
+            if isinstance(change, ClusterMerged):
+                for cid in change.absorbed:
+                    absorbed[cid] = change.survivor
+        return absorbed
+
+    def _touch(
+        self,
+        event_id: int,
+        quantum: int,
+        keywords: FrozenSet[str],
+        rank: float,
+        support: float,
+        num_edges: int,
+    ) -> None:
+        """Observe one live event; append a snapshot only on a change point."""
+        record = self._records.get(event_id)
+        reopened = False
+        if record is None:
+            record = EventRecord(event_id, quantum)
+            self._records[event_id] = record
+        elif record.died_quantum is not None:
+            # A retired id re-appeared (id reuse after a dissolve is
+            # impossible; after a split the id survives) — reopen it and
+            # remember the absence interval for the dense expansion.
+            record.gaps.append((record.died_quantum, quantum))
+            record.died_quantum = None
+            record.absorbed_into = None
+            reopened = True
+        if not reopened and record.snapshots:
+            last = record.snapshots[-1]
+            if (
+                last.keywords == keywords
+                and last.rank == rank
+                and last.support == support
+                and last.num_edges == num_edges
+            ):
+                return
+        record.snapshots.append(
+            EventSnapshot(
+                quantum=quantum,
+                keywords=keywords,
+                rank=rank,
+                support=support,
+                num_edges=num_edges,
+            )
+        )
+
+    def observe_edits(
+        self,
+        quantum: int,
+        ranker,
+        changes: "ChangeBatch | Iterable[ChangeEvent]" = (),
+    ) -> None:
+        """Record one quantum from the ranker's result-list edit script.
+
+        The churn-proportional path: only ``ranker.last_recomputed`` (ids
+        whose ranked state was rebuilt this quantum) and
+        ``ranker.last_removed`` (ids dropped from the result list) are
+        touched — never the full live-event population.  Sound because an
+        event's reportable state cannot change without its cluster being
+        recomputed, and an event cannot die without leaving the result list
+        (DESIGN.md Section 3).  Produces records identical to the
+        from-scratch :meth:`observe_quantum` diff.
+        """
+        absorbed = self._absorption_map(changes)
+        for event_id in sorted(ranker.last_removed):
+            record = self._records.get(event_id)
+            if record is not None and record.alive:
+                record.died_quantum = quantum
+                record.absorbed_into = absorbed.get(event_id)
+        for event_id in sorted(ranker.last_recomputed):
+            cluster, rank, support = ranker.result(event_id)
+            self._touch(
+                event_id,
+                quantum,
+                frozenset(str(n) for n in cluster.nodes),
+                rank,
+                support,
+                cluster.num_edges,
+            )
+        self._last_quantum = quantum
 
     def observe_quantum(
         self,
@@ -108,7 +280,12 @@ class EventTracker:
         ranked_clusters: Iterable[Tuple[Cluster, float, float]],
         changes: "ChangeBatch | Iterable[ChangeEvent]" = (),
     ) -> None:
-        """Record the end-of-quantum state.
+        """Record the end-of-quantum state from a *full* ranking.
+
+        The from-scratch path (and the oracle for :meth:`observe_edits`):
+        every live cluster is visited and diffed by value, so the appended
+        change points — and hence the resulting records — are identical to
+        the edit-script path's.
 
         Parameters
         ----------
@@ -119,51 +296,49 @@ class EventTracker:
             typed change events); used to attribute deaths to merges
             (``absorbed_into``).
         """
-        if isinstance(changes, ChangeBatch):
-            absorbed = changes.absorbed_into()
-        else:
-            absorbed = {}
-            for change in changes:
-                if isinstance(change, ClusterMerged):
-                    for cid in change.absorbed:
-                        absorbed[cid] = change.survivor
+        absorbed = self._absorption_map(changes)
         seen: set = set()
         for cluster, rank, support in ranked_clusters:
             seen.add(cluster.cluster_id)
-            record = self._records.get(cluster.cluster_id)
-            if record is None:
-                record = EventRecord(cluster.cluster_id, quantum)
-                self._records[cluster.cluster_id] = record
-            elif record.died_quantum is not None:
-                # A retired id re-appeared (id reuse after a dissolve is
-                # impossible; after a split the id survives) — reopen it.
-                record.died_quantum = None
-                record.absorbed_into = None
-            record.snapshots.append(
-                EventSnapshot(
-                    quantum=quantum,
-                    keywords=frozenset(str(n) for n in cluster.nodes),
-                    rank=rank,
-                    support=support,
-                    num_edges=cluster.num_edges,
-                )
+            self._touch(
+                cluster.cluster_id,
+                quantum,
+                frozenset(str(n) for n in cluster.nodes),
+                rank,
+                support,
+                cluster.num_edges,
             )
         for event_id, record in self._records.items():
             if record.alive and event_id not in seen:
                 record.died_quantum = quantum
                 record.absorbed_into = absorbed.get(event_id)
+        self._last_quantum = quantum
+
+    def _stamp(self, records: List[EventRecord]) -> List[EventRecord]:
+        """Stamp live records with the observation horizon before hand-out."""
+        for record in records:
+            if record.alive:
+                record._observed_until = self._last_quantum
+        return records
 
     # ---------------------------------------------------------- persistence
 
     def to_state(self) -> dict:
-        """Checkpointable snapshot of every event history (insertion order)."""
+        """Checkpointable snapshot of every event history (insertion order).
+
+        ``last_quantum`` (the observation horizon) travels with the records:
+        live records' spans extend to it, and the change-point encoding
+        cannot reconstruct it from the snapshots alone.
+        """
         return {
+            "last_quantum": self._last_quantum,
             "records": [
                 {
                     "event_id": r.event_id,
                     "born_quantum": r.born_quantum,
                     "died_quantum": r.died_quantum,
                     "absorbed_into": r.absorbed_into,
+                    "gaps": [list(gap) for gap in r.gaps],
                     "snapshots": [
                         [
                             s.quantum,
@@ -176,18 +351,20 @@ class EventTracker:
                     ],
                 }
                 for r in self._records.values()
-            ]
+            ],
         }
 
     def from_state(self, state: dict) -> None:
         """Rebuild the tracker in place from :meth:`to_state` output."""
         self._records = {}
+        self._last_quantum = state["last_quantum"]
         for record in state["records"]:
             out = EventRecord(
                 event_id=record["event_id"],
                 born_quantum=record["born_quantum"],
                 died_quantum=record["died_quantum"],
                 absorbed_into=record["absorbed_into"],
+                gaps=[tuple(gap) for gap in record["gaps"]],
             )
             for quantum, keywords, rank, support, num_edges in record[
                 "snapshots"
@@ -209,19 +386,21 @@ class EventTracker:
         return len(self._records)
 
     def get(self, event_id: int) -> EventRecord:
-        return self._records[event_id]
+        record = self._records[event_id]
+        self._stamp([record])
+        return record
 
     def alive_events(self) -> List[EventRecord]:
-        return [r for r in self._records.values() if r.alive]
+        return self._stamp([r for r in self._records.values() if r.alive])
 
     def all_events(self) -> List[EventRecord]:
-        return list(self._records.values())
+        return self._stamp(list(self._records.values()))
 
     def real_events(self, min_lifetime: int = 2) -> List[EventRecord]:
         """Events that survive the post-hoc spurious filter."""
         return [
             r
-            for r in self._records.values()
+            for r in self.all_events()
             if not r.is_spurious(min_lifetime=min_lifetime)
         ]
 
@@ -229,9 +408,7 @@ class EventTracker:
         """The k currently-alive events with the highest latest rank."""
         candidates = [r for r in self.alive_events() if r.snapshots]
         if quantum is not None:
-            candidates = [
-                r for r in candidates if r.snapshots[-1].quantum == quantum
-            ]
+            candidates = [r for r in candidates if r.last_quantum == quantum]
         candidates.sort(key=lambda r: r.snapshots[-1].rank, reverse=True)
         return candidates[:k]
 

@@ -62,7 +62,7 @@ class CorrelatedEventGroup:
 def _interval(record: EventRecord) -> Tuple[int, int]:
     if not record.snapshots:
         return (record.born_quantum, record.born_quantum)
-    return (record.snapshots[0].quantum, record.snapshots[-1].quantum)
+    return (record.first_quantum, record.last_quantum)
 
 
 def _intervals_correlated(

@@ -83,8 +83,8 @@ def _per_quantum_scp_keyword_sets(result: RunResult) -> Dict[int, Set[FrozenSet[
     """quantum -> node sets of live SCP clusters, rebuilt from the tracker."""
     out: Dict[int, Set[FrozenSet[str]]] = {}
     for record in result.records:
-        for snapshot in record.snapshots:
-            out.setdefault(snapshot.quantum, set()).add(snapshot.keywords)
+        for quantum, snapshot in record.iter_quanta():
+            out.setdefault(quantum, set()).add(snapshot.keywords)
     return out
 
 

@@ -77,8 +77,8 @@ def _intervals_overlap(
     """Did the detected event live while the planted event was in-window?"""
     if not record.snapshots:
         return False
-    first = record.snapshots[0].quantum * quantum_size
-    last = (record.snapshots[-1].quantum + 1) * quantum_size
+    first = record.first_quantum * quantum_size
+    last = (record.last_quantum + 1) * quantum_size
     slack = window_quanta * quantum_size
     return first < truth.end_message + slack and last > truth.start_message
 
@@ -112,7 +112,7 @@ def match_events(
         result.truth_to_detected.setdefault(best.event_id, []).append(
             record.event_id
         )
-        first_quantum = record.snapshots[0].quantum
+        first_quantum = record.first_quantum
         known = result.first_detection_quantum.get(best.event_id)
         if known is None or first_quantum < known:
             result.first_detection_quantum[best.event_id] = first_quantum

@@ -33,8 +33,11 @@ class QualityStats:
 def quality_stats(records: Sequence[EventRecord]) -> QualityStats:
     """Mean per-event size/rank statistics.
 
-    Each event contributes the mean over its own snapshots (so long-lived
-    events do not dominate), then events are averaged uniformly.
+    Each event contributes the mean over its own per-quantum history (so
+    long-lived events do not dominate), then events are averaged uniformly.
+    The per-quantum view is expanded from the tracker's change-point
+    encoding (``iter_quanta``), so an event's quiet quanta weigh in exactly
+    as they did when snapshots were materialised densely.
     """
     sizes = []
     ranks = []
@@ -43,8 +46,9 @@ def quality_stats(records: Sequence[EventRecord]) -> QualityStats:
     for record in records:
         if not record.snapshots:
             continue
-        sizes.append(mean(len(s.keywords) for s in record.snapshots))
-        ranks.append(mean(s.rank for s in record.snapshots))
+        states = [s for _, s in record.iter_quanta()]
+        sizes.append(mean(len(s.keywords) for s in states))
+        ranks.append(mean(s.rank for s in states))
         peaks.append(record.peak_rank)
         lifetimes.append(record.lifetime_quanta)
     if not sizes:

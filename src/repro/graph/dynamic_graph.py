@@ -245,13 +245,20 @@ class DynamicGraph:
     def to_state(self) -> dict:
         """Checkpointable snapshot: node list plus weighted edge list.
 
-        Nodes are recorded in adjacency-insertion order and edges in
-        canonical-key first-seen order so a restored graph iterates the same
-        way the live one did (DESIGN.md Section 6).
+        Nodes and edges are recorded in sorted order, making the snapshot a
+        pure function of the graph *contents*: two graphs holding the same
+        nodes/edges/weights serialize identically no matter how their
+        adjacency was built (insertion history, a prior restore, or the
+        sharded front-end).  No engine semantics depend on adjacency
+        iteration order — every consumer sorts before acting (DESIGN.md
+        Sections 6–7) — so restoring in sorted order is behaviour-neutral.
         """
         return {
-            "nodes": list(self._adj),
-            "edges": [[u, v, w] for u, v, w in self.edges()],
+            "nodes": sorted(self._adj, key=repr),
+            "edges": sorted(
+                ([u, v, w] for u, v, w in self.edges()),
+                key=lambda edge: (repr(edge[0]), repr(edge[1])),
+            ),
         }
 
     def from_state(self, state: dict) -> None:

@@ -10,6 +10,7 @@ short-cycle property, which the test suite verifies with these predicates.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Sized
 from typing import Dict, Hashable, Iterable, Mapping, Optional
 
 from repro.graph.dynamic_graph import DynamicGraph
@@ -24,6 +25,18 @@ def _as_adjacency(graph: "DynamicGraph | Adjacency") -> Adjacency:
     return graph
 
 
+def _degree(nbrs: Iterable[Node]) -> int:
+    """Neighbour count without materialising a copy.
+
+    ``DynamicGraph.adjacency()`` values are dicts and most ad-hoc test
+    adjacencies are sets/lists — all ``Sized`` — so the common case is O(1);
+    only a genuine one-shot iterator pays a consuming count.
+    """
+    if isinstance(nbrs, Sized):
+        return len(nbrs)
+    return sum(1 for _ in nbrs)
+
+
 def gamma_density(graph: "DynamicGraph | Adjacency") -> float:
     """The largest gamma for which the graph is a gamma-quasi clique.
 
@@ -33,7 +46,7 @@ def gamma_density(graph: "DynamicGraph | Adjacency") -> float:
     n = len(adj)
     if n < 2:
         return 0.0
-    min_degree = min(len(list(nbrs)) for nbrs in adj.values())
+    min_degree = min(_degree(nbrs) for nbrs in adj.values())
     return min_degree / (n - 1)
 
 
@@ -44,7 +57,7 @@ def is_quasi_clique(graph: "DynamicGraph | Adjacency", gamma: float) -> bool:
     if n < 2:
         return False
     need = gamma * (n - 1)
-    return all(len(list(nbrs)) >= need for nbrs in adj.values())
+    return all(_degree(nbrs) >= need for nbrs in adj.values())
 
 
 def is_majority_quasi_clique(graph: "DynamicGraph | Adjacency") -> bool:

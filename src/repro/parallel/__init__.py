@@ -1,0 +1,45 @@
+"""Keyword-range sharded front-end for the tokenize + AKG-update stages.
+
+The per-quantum keyword work — id-set slides, sketch hashing, burst
+transition tests — is embarrassingly parallel *per keyword*: every window
+index keyed by keyword decomposes into independent partitions.  This package
+exploits that (the ROADMAP scale-out item):
+
+* :class:`~repro.parallel.router.ShardRouter` splits the keyword space into
+  ``shard_count`` contiguous 64-bit hash ranges (stable blake2b, so the
+  partition is identical across processes and runs);
+* each shard owns a shard-local ``IdSetIndex`` + ``WindowedSketchIndex``
+  (:mod:`repro.parallel.shard_state`), hosted by a worker — a forked
+  process, a thread, or the caller itself (:mod:`repro.parallel.pool`);
+* a deterministic merge (:mod:`repro.parallel.frontend`) combines the
+  per-shard outputs in global sorted-keyword order and applies every graph
+  and cluster mutation to the single authoritative
+  ``DynamicGraph``/``ClusterMaintainer`` — including the *cross-shard*
+  candidate edges, whose sketch collisions and exact ECs are evaluated on
+  data the workers shipped up (the exchange protocol of DESIGN.md S7);
+* :class:`~repro.parallel.stages.ShardedTokenizeStage` and
+  :class:`~repro.parallel.stages.ShardedAkgUpdateStage` slot the whole
+  thing behind the existing :class:`repro.pipeline.stages.Stage` protocol.
+
+The headline invariant: **results are bit-identical for any worker count
+and any shard count** — reports, sink events, histories, and checkpoints
+(checkpoints use the serial layout, merged across shards), proven by
+``tests/test_parallel_shard_invariance.py``.
+"""
+
+from repro.parallel.frontend import ShardedAkgFrontend
+from repro.parallel.pool import WorkerPool, make_pool
+from repro.parallel.router import ShardRouter
+from repro.parallel.shard_state import ShardState, ShardUpdate
+from repro.parallel.stages import ShardedAkgUpdateStage, ShardedTokenizeStage
+
+__all__ = [
+    "ShardRouter",
+    "ShardState",
+    "ShardUpdate",
+    "ShardedAkgFrontend",
+    "ShardedAkgUpdateStage",
+    "ShardedTokenizeStage",
+    "WorkerPool",
+    "make_pool",
+]

@@ -1,0 +1,312 @@
+"""The merge side of the sharded AKG stage: deterministic, shard-order fusion.
+
+:class:`ShardedAkgFrontend` is the sharded counterpart of
+:class:`~repro.akg.builder.AkgBuilder` — same constructor role, same
+``process_quantum`` / ``node_weights`` / ``to_state`` / ``from_state``
+surface, so the session and the pipeline stages cannot tell them apart.
+Per quantum it:
+
+1. partitions the quantum's ``keyword -> users`` mapping by shard and
+   computes, per shard, the *exchange request*: window id sets the merge
+   will need for cross-shard exact ECs (graph neighbours of this quantum's
+   active keywords — new-edge partners are bursty and therefore already in
+   the slice);
+2. fans the slices out to the shard workers (:mod:`repro.parallel.pool`),
+   which do the keyword-local heavy lifting in parallel;
+3. merges the returned :class:`~repro.parallel.shard_state.ShardUpdate`\\ s
+   in global sorted-keyword order and drives the *identical* update
+   sequence the serial builder drives — the shared primitives of
+   :mod:`repro.akg.builder` (candidate pairing, EC qualification, incident
+   refresh, the dead-node predicate) are called with lookups over the
+   gathered data instead of over live indexes.
+
+Because every mutation applied to the authoritative
+``DynamicGraph``/``ClusterMaintainer`` is ordered by keyword (never by
+shard arrival, set iteration, or worker count), the resulting graph,
+clusters, change events, reports and checkpoints are bit-identical for any
+``workers``/``shard_count`` — including ``W=1`` against the serial builder
+itself (DESIGN.md Section 7).
+
+Merge-side mirrors: the frontend keeps two parent-side derived maps — the
+window support per keyword (fed by the merged support deltas) and the burst
+automaton (fed by the merged bursty sets).  Both are O(churn) to maintain
+and let the rank stage's ``node_weights`` and the dead-node predicate run
+without a worker round-trip; both are reconstructed exactly on restore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set
+
+from repro.akg.builder import (
+    AkgQuantumStats,
+    candidate_edge_pairs,
+    drain_removal_candidates,
+    qualify_new_edges,
+    refresh_incident_edges,
+    select_dead_nodes,
+)
+from repro.akg.burstiness import BurstinessTracker
+from repro.config import DetectorConfig
+from repro.core.changelog import NodeWeightChanged
+from repro.core.maintenance import ClusterMaintainer
+from repro.errors import GraphError
+from repro.parallel.pool import WorkerPool, make_pool
+from repro.parallel.router import ShardRouter
+from repro.parallel.shard_state import ShardParams, ShardUpdate
+
+Keyword = str
+UserId = Hashable
+
+
+class ShardedAkgFrontend:
+    """Keyword-range-sharded drop-in for the serial ``AkgBuilder``."""
+
+    #: duck-typed parity with ``AkgBuilder`` — the sharded front-end has no
+    #: oracle mode (the oracle is the *serial* verification baseline).
+    oracle = False
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        maintainer: ClusterMaintainer,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.config = config
+        self.maintainer = maintainer
+        self.router = ShardRouter(config.effective_shard_count)
+        self.pool: WorkerPool = make_pool(
+            config.effective_shard_count,
+            config.workers,
+            ShardParams(
+                window_quanta=config.window_quanta,
+                minhash_size=config.effective_minhash_size,
+                seed=config.seed,
+                theta=config.high_state_threshold,
+                use_minhash=config.use_minhash_filter,
+            ),
+            backend=backend,
+        )
+        self.burstiness = BurstinessTracker(config.high_state_threshold)
+        # Parent-side support mirror: keyword -> window support, maintained
+        # from the merged support deltas (exactly IdSetIndex.support).
+        self._support: Dict[Keyword, int] = {}
+        self._grace_deadlines: Dict[int, Set[Keyword]] = {}
+        self._newly_unclustered: Set[Keyword] = set()
+        self._last_quantum: Optional[int] = None
+        maintainer.registry.add_unclustered_listener(self._on_node_unclustered)
+
+    def _on_node_unclustered(self, node: Keyword) -> None:
+        self._newly_unclustered.add(node)
+
+    # ----------------------------------------------------------- main loop
+
+    def process_quantum(
+        self,
+        quantum: int,
+        keyword_users: Mapping[Keyword, Set[UserId]],
+        slices: Optional[List[Dict[Keyword, Set[UserId]]]] = None,
+    ) -> AkgQuantumStats:
+        """One quantum: scatter to shards, merge deterministically, apply.
+
+        ``slices`` may carry the quantum's mapping already partitioned by
+        shard (the sharded tokenize stage routes worker-side); otherwise it
+        is partitioned here.
+        """
+        stats = AkgQuantumStats(quantum=quantum)
+        graph = self.maintainer.graph
+        self.maintainer.current_quantum = quantum
+        self._last_quantum = quantum
+
+        # -- scatter ------------------------------------------------------
+        # The EC exchange request: id sets the merge will read are those of
+        # this quantum's active graph keywords, their current neighbours
+        # (the refresh set), and the bursty candidates (added shard-side).
+        if slices is None:
+            slices = self.router.partition(keyword_users)
+        extras: List[Set[Keyword]] = [
+            set() for _ in range(self.router.shard_count)
+        ]
+        shard_of = self.router.shard_of
+        for kw in keyword_users:
+            if graph.has_node(kw):
+                extras[shard_of(kw)].add(kw)
+                for nbr in graph.neighbors(kw):
+                    extras[shard_of(nbr)].add(nbr)
+        updates = self.pool.ingest(quantum, slices, extras)
+
+        # -- merge the keyword-disjoint shard outputs ---------------------
+        support_deltas: Dict[Keyword, tuple] = {}
+        emptied: Set[Keyword] = set()
+        bursty: Set[Keyword] = set()
+        sketches: Dict[Keyword, tuple] = {}
+        id_sets: Dict[Keyword, FrozenSet[UserId]] = {}
+        for update in updates:  # shard order; keys disjoint across shards
+            support_deltas.update(update.support_deltas)
+            emptied |= update.emptied
+            bursty |= update.bursty
+            sketches.update(update.sketches)
+            id_sets.update(update.id_sets)
+
+        # Iteration order here is shard-then-slice order: deterministic for
+        # a fixed shard count, and changelog event *order* is semantically
+        # free (consumers build sets/maps; the property tests compare event
+        # multisets) — so no canonical re-sort is spent on the hot path.
+        changelog = self.maintainer.changelog
+        support = self._support
+        for kw, (old, new) in support_deltas.items():
+            if new:
+                support[kw] = new
+            else:
+                support.pop(kw, None)
+            if graph.has_node(kw):
+                changelog.record(NodeWeightChanged(kw, old, new))
+                stats.node_weight_deltas += 1
+
+        self.burstiness.observe_bursty(quantum, bursty)
+        stats.bursty_keywords = len(bursty)
+
+        # -- nodes: newly bursty keywords enter the AKG -------------------
+        grace = self.config.node_grace_quanta
+        deadline = quantum + grace + 1  # == first_droppable after a burst
+        for kw in sorted(bursty):
+            if not graph.has_node(kw):
+                self.maintainer.add_node(kw)
+                stats.nodes_added += 1
+            self._grace_deadlines.setdefault(deadline, set()).add(kw)
+
+        # -- edges: candidates + refresh over the gathered exchange data --
+        def jaccard(kw1: Keyword, kw2: Keyword) -> float:
+            set1 = id_sets.get(kw1)
+            set2 = id_sets.get(kw2)
+            if not set1 or not set2:
+                return 0.0
+            intersection = len(set1 & set2)
+            union = len(set1) + len(set2) - intersection
+            return intersection / union if union else 0.0
+
+        pairs = candidate_edge_pairs(
+            sorted(bursty),
+            self.config.use_minhash_filter,
+            lambda kw: sketches.get(kw, ()),
+        )
+        new_edges = qualify_new_edges(
+            pairs, graph, self.config.ec_threshold, jaccard, stats
+        )
+        for kw1, kw2, ec in new_edges:
+            self.maintainer.add_edge(kw1, kw2, ec)
+            stats.edges_added += 1
+
+        refresh_incident_edges(
+            keyword_users.keys(),
+            self.maintainer,
+            self.config.ec_threshold,
+            jaccard,
+            stats,
+        )
+
+        # -- nodes: stale and lazy removal --------------------------------
+        due = drain_removal_candidates(quantum, emptied, self._grace_deadlines)
+        due |= self._newly_unclustered
+        self._newly_unclustered = set()
+        stale, lazy = select_dead_nodes(
+            due,
+            self.maintainer,
+            lambda kw: self._support.get(kw, 0),
+            lambda kw: self.burstiness.aged_out(kw, quantum, grace),
+            stats,
+        )
+        stats.nodes_removed_stale = len(stale)
+        stats.nodes_removed_lazy = len(lazy)
+        if stale or lazy:
+            self.maintainer.remove_nodes(stale + lazy)
+            self.burstiness.forget(stale + lazy)
+
+        stats.akg_nodes = graph.num_nodes
+        stats.akg_edges = graph.num_edges
+        return stats
+
+    # ---------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Serial-layout checkpoint state, merged across shards.
+
+        The shards' id-set/sketch states are keyword-disjoint and each is
+        already sorted, so concatenating them in shard-range order and
+        re-sorting globally reproduces the serial indexes' sorted snapshots
+        byte for byte — a checkpoint written under any ``workers`` /
+        ``shard_count`` is indistinguishable from a serial one, and restores
+        under any other (DESIGN.md Section 7).
+        """
+        entries: list = []
+        minis: list = []
+        for _, idsets_state, sketches_state in self.pool.export_states():
+            entries.extend(idsets_state["entries"])
+            minis.extend(sketches_state["minis"])
+        entries.sort(key=lambda item: item[0])
+        minis.sort(key=lambda item: item[0])
+        return {
+            "oracle": False,
+            "idsets": {"last_quantum": self._last_quantum, "entries": entries},
+            "sketches": {"minis": minis},
+            "burstiness": self.burstiness.to_state(),
+            "grace_deadlines": [
+                [deadline, sorted(kws)]
+                for deadline, kws in sorted(self._grace_deadlines.items())
+            ],
+            "newly_unclustered": sorted(self._newly_unclustered),
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore from a serial-layout snapshot (any origin W/S)."""
+        if state["oracle"]:
+            raise GraphError(
+                "checkpoint was taken with oracle=True; the sharded "
+                "front-end has no oracle mode — resume a serial session"
+            )
+        self._last_quantum = state["idsets"]["last_quantum"]
+        shard_entries: List[list] = [
+            [] for _ in range(self.router.shard_count)
+        ]
+        support: Dict[Keyword, int] = {}
+        for kw, kw_entries in state["idsets"]["entries"]:
+            shard_entries[self.router.shard_of(kw)].append([kw, kw_entries])
+            users: Set[UserId] = set()
+            for _, entry_users in kw_entries:
+                users.update(entry_users)
+            support[kw] = len(users)
+        shard_minis: List[list] = [[] for _ in range(self.router.shard_count)]
+        for kw, kw_minis in state["sketches"]["minis"]:
+            shard_minis[self.router.shard_of(kw)].append([kw, kw_minis])
+        self.pool.load_states(
+            [
+                (
+                    shard,
+                    {
+                        "last_quantum": self._last_quantum,
+                        "entries": shard_entries[shard],
+                    },
+                    {"minis": shard_minis[shard]},
+                )
+                for shard in range(self.router.shard_count)
+            ]
+        )
+        self._support = support
+        self.burstiness.from_state(state["burstiness"])
+        self._grace_deadlines = {
+            deadline: set(kws) for deadline, kws in state["grace_deadlines"]
+        }
+        self._newly_unclustered = set(state["newly_unclustered"])
+
+    # ------------------------------------------------------------- access
+
+    def node_weights(self, nodes: Iterable[Keyword]) -> Dict[Keyword, int]:
+        """Window support per node, served from the merge-side mirror."""
+        return {kw: self._support.get(kw, 0) for kw in nodes}
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self.pool.close()
+
+
+__all__ = ["ShardedAkgFrontend"]

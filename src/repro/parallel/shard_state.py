@@ -1,0 +1,145 @@
+"""Shard-local window state and the per-quantum shard update message.
+
+A :class:`ShardState` owns, for one keyword hash range, exactly the window
+indexes the serial :class:`~repro.akg.builder.AkgBuilder` owns globally: an
+:class:`~repro.akg.idsets.IdSetIndex` (with its bounded per-shard MinHash
+memo) and a :class:`~repro.akg.minhash.WindowedSketchIndex`.  Because every
+index is keyed by keyword and keywords never move between shards, running
+the same slice sequence through a shard produces byte-for-byte the state the
+serial index would hold restricted to that range — which is what makes the
+merged checkpoint identical to a serial one.
+
+Per quantum a shard performs the *keyword-local* work — the id-set slide,
+hash-memo eviction, mini-sketch hashing, the ``count >= theta`` burst test —
+and ships a :class:`ShardUpdate` up to the merge: its slice of the
+:class:`~repro.akg.idsets.SlideDelta`, its bursty keywords with their
+merged sketches, and the window id sets the merge requested (the
+cross-shard exchange: active keywords, their graph neighbours, and burst
+candidates, so the parent can evaluate exact ECs that span shard
+boundaries).  Everything cross-keyword — candidate pairing, EC thresholds,
+graph mutation, cluster maintenance — happens in the deterministic merge
+(:mod:`repro.parallel.frontend`), never here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+from repro.akg.idsets import IdSetIndex
+from repro.akg.minhash import MinHasher, Sketch, WindowedSketchIndex
+
+Keyword = str
+UserId = Hashable
+
+
+@dataclass(frozen=True)
+class ShardParams:
+    """Constructor bundle shipped to workers at pool start (picklable)."""
+
+    window_quanta: int
+    minhash_size: int
+    seed: int
+    theta: int
+    use_minhash: bool
+
+
+@dataclass
+class ShardUpdate:
+    """One shard's contribution to one quantum's merge (picklable).
+
+    ``support_deltas``/``appeared``/``expired``/``emptied`` are the shard's
+    slice of the global ``SlideDelta`` (keyword-disjoint across shards, so
+    the merged delta is their plain union).  ``bursty`` are the slice
+    keywords that cleared theta this quantum; ``sketches`` their merged
+    window sketches; ``id_sets`` the requested window id sets for the
+    cross-shard EC exchange.
+    """
+
+    shard: int
+    appeared: FrozenSet[Keyword] = frozenset()
+    expired: FrozenSet[Keyword] = frozenset()
+    emptied: FrozenSet[Keyword] = frozenset()
+    support_deltas: Dict[Keyword, Tuple[int, int]] = field(default_factory=dict)
+    bursty: FrozenSet[Keyword] = frozenset()
+    sketches: Dict[Keyword, Sketch] = field(default_factory=dict)
+    id_sets: Dict[Keyword, FrozenSet[UserId]] = field(default_factory=dict)
+
+
+class ShardState:
+    """The window state of one keyword hash range."""
+
+    def __init__(self, shard: int, params: ShardParams) -> None:
+        self.shard = shard
+        self.params = params
+        self.idsets = IdSetIndex(params.window_quanta)
+        self.hasher = MinHasher(params.minhash_size, seed=params.seed)
+        self.sketches = WindowedSketchIndex(self.hasher, params.window_quanta)
+
+    def ingest(
+        self,
+        quantum: int,
+        keyword_users: Mapping[Keyword, Set[UserId]],
+        extra_ids: Iterable[Keyword],
+    ) -> ShardUpdate:
+        """Apply one quantum's shard slice; return the merge contribution.
+
+        ``extra_ids`` are the keywords (already routed to this shard) whose
+        window id sets the merge's exact-EC evaluations will read: the
+        quantum's active *graph* keywords and their graph neighbours (the
+        incident-edge refresh).  Bursty keywords (new-edge candidates) are
+        added shard-side.  Restricting the exchange to this set matters: a
+        quantum's long-tail vocabulary is mostly sub-threshold non-graph
+        keywords whose id sets no EC will ever read — shipping them would
+        dominate the scatter/gather cost for nothing.
+        """
+        params = self.params
+        delta = self.idsets.add_quantum(quantum, keyword_users)
+        if delta.vanished_users:
+            self.hasher.evict(delta.vanished_users)
+        if params.use_minhash:
+            self.sketches.add_quantum(quantum, keyword_users)
+        bursty = frozenset(
+            kw
+            for kw, users in keyword_users.items()
+            if len(users) >= params.theta
+        )
+        sketches: Dict[Keyword, Sketch] = {}
+        if params.use_minhash:
+            sketches = {kw: self.sketches.sketch(kw) for kw in bursty}
+        id_sets: Dict[Keyword, FrozenSet[UserId]] = {}
+        wanted = (
+            extra_ids | bursty
+            if isinstance(extra_ids, (set, frozenset))
+            else set(extra_ids) | bursty
+        )
+        for kw in wanted:
+            users = self.idsets.id_set(kw)
+            if users:
+                id_sets[kw] = users
+        return ShardUpdate(
+            shard=self.shard,
+            appeared=delta.appeared,
+            expired=delta.expired,
+            emptied=delta.emptied,
+            support_deltas=dict(delta.support_deltas),
+            bursty=bursty,
+            sketches=sketches,
+            id_sets=id_sets,
+        )
+
+    # ---------------------------------------------------------- persistence
+
+    def export_state(self) -> Tuple[int, dict, dict]:
+        """``(shard, idsets_state, sketches_state)`` — this shard's slice of
+        the serial checkpoint layout (each already in sorted keyword
+        order)."""
+        return (self.shard, self.idsets.to_state(), self.sketches.to_state())
+
+    def load_state(self, idsets_state: dict, sketches_state: dict) -> None:
+        self.idsets.from_state(idsets_state)
+        self.sketches.from_state(sketches_state)
+        self.hasher.clear()
+
+
+__all__ = ["ShardParams", "ShardState", "ShardUpdate"]

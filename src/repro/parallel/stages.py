@@ -1,0 +1,112 @@
+"""Sharded stage objects behind the :class:`repro.pipeline.stages.Stage`
+protocol.
+
+These are the drop-in replacements the session installs when
+``config.sharded`` — same stage ``name``\\ s, same ``QuantumContext``
+traffic, same timing slots, so everything downstream (maintain accounting,
+propagate, rank, report, ``detect --timing``) is untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from repro.parallel.frontend import ShardedAkgFrontend
+from repro.pipeline.stages import AkgUpdateStage, QuantumContext
+
+
+class ShardedTokenizeStage:
+    """Stage 1, fanned out: contiguous message chunks tokenize in parallel.
+
+    Workers return per-shard ``keyword -> users`` partials — tokenisation,
+    per-message truncation, inversion *and* shard routing all happen
+    worker-side — so the parent's merge is a union over distinct keywords,
+    not per-token work.  Chunks are contiguous and merged in stream order,
+    and a user's id lands in a keyword's set exactly once per quantum
+    regardless of chunking, so the merged mapping is identical to the
+    serial stage's (set semantics; nothing downstream depends on set
+    iteration order, DESIGN.md Section 6).
+
+    The merged per-shard slices ride ``ctx.scratch`` to
+    :class:`ShardedAkgUpdateStage`, which hands them to the front-end
+    pre-partitioned.  ``ctx.user_keywords`` (the user -> keywords view) is
+    not materialised — its only consumer is the optional CKG-stats tracker,
+    and the session keeps the serial tokenize stage when that is enabled.
+    Likewise custom tokenizers keep the serial stage (worker processes
+    import the default tokenizer by name; callables neither pickle nor
+    checkpoint).
+    """
+
+    name = "tokenize"
+
+    def __init__(
+        self,
+        frontend: ShardedAkgFrontend,
+        max_tokens_per_message: int,
+    ) -> None:
+        self.frontend = frontend
+        self.max_tokens_per_message = max_tokens_per_message
+
+    def _chunks(self, messages: Sequence) -> List[Sequence]:
+        workers = max(1, self.frontend.pool.workers)
+        if workers == 1 or len(messages) < 2 * workers:
+            return [messages]
+        size = -(-len(messages) // workers)
+        return [
+            messages[i : i + size] for i in range(0, len(messages), size)
+        ]
+
+    def run(self, ctx: QuantumContext) -> None:
+        t = time.perf_counter()
+        partials = self.frontend.pool.tokenize_chunks(
+            self._chunks(ctx.messages), self.max_tokens_per_message
+        )
+        shard_count = self.frontend.router.shard_count
+        slices: List[dict] = list(partials[0])
+        for partial in partials[1:]:  # chunk order == stream order
+            for shard in range(shard_count):
+                target = slices[shard]
+                for kw, users in partial[shard].items():
+                    existing = target.get(kw)
+                    if existing is None:
+                        target[kw] = users
+                    else:
+                        existing |= users
+        merged: dict = {}
+        for piece in slices:  # shard keys are disjoint: plain dict unions
+            merged.update(piece)
+        ctx.keyword_users = merged
+        ctx.user_keywords = None
+        ctx.scratch["shard_slices"] = slices
+        ctx.timings.tokenize = time.perf_counter() - t
+
+
+class ShardedAkgUpdateStage(AkgUpdateStage):
+    """Stages 2+3 over the sharded front-end.
+
+    Inherits the fused-execution accounting of
+    :class:`~repro.pipeline.stages.AkgUpdateStage`; additionally forwards
+    the pre-partitioned shard slices the sharded tokenize stage left in
+    ``ctx.scratch`` so the front-end skips re-routing the quantum's
+    keywords.
+    """
+
+    def __init__(self, frontend: ShardedAkgFrontend, maintainer) -> None:
+        super().__init__(frontend, maintainer)
+        self.frontend = frontend
+
+    def run(self, ctx: QuantumContext) -> None:
+        t = time.perf_counter()
+        maintain_before = self.maintainer.clustering_seconds
+        slices = ctx.scratch.pop("shard_slices", None)
+        ctx.akg_stats = self.frontend.process_quantum(
+            ctx.quantum, ctx.keyword_users, slices=slices
+        )
+        ctx.scratch["maintain_seconds"] = (
+            self.maintainer.clustering_seconds - maintain_before
+        )
+        ctx.timings.akg_update = time.perf_counter() - t
+
+
+__all__ = ["ShardedAkgUpdateStage", "ShardedTokenizeStage"]

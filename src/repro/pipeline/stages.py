@@ -3,9 +3,14 @@
 The engine used to run its six per-quantum stages — ``tokenize → AKG update
 → maintain → propagate → rank → report`` — as inline blocks of
 ``EventDetector.process_quantum``.  This module extracts each stage into a
-small object behind the :class:`Stage` protocol so stages can be swapped,
-wrapped (e.g. with extra instrumentation), or later sharded per the
-ROADMAP's keyword-range sharding item, without touching the engine.
+small object behind the :class:`Stage` protocol so stages can be swapped or
+wrapped (e.g. with extra instrumentation) without touching the engine.
+The intended-seam promise has been cashed in: with ``config.workers > 1``
+the session swaps stages 1–2 for the keyword-range-sharded
+:class:`~repro.parallel.stages.ShardedTokenizeStage` /
+:class:`~repro.parallel.stages.ShardedAkgUpdateStage`, which fan the
+keyword-local work across a worker pool and merge deterministically —
+bit-identical results for any worker count (DESIGN.md Section 7).
 
 Data flows between stages through a mutable :class:`QuantumContext`: each
 stage consumes the typed products of its predecessors (the per-quantum
@@ -31,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Any,
     Dict,
     List,
     Optional,
@@ -78,7 +84,7 @@ class QuantumContext:
     dirty: Optional[Set[int]] = None
     ranked: Optional[List[Tuple[Cluster, float, float]]] = None
     report: Optional[QuantumReport] = None
-    scratch: Dict[str, float] = field(default_factory=dict)
+    scratch: Dict[str, Any] = field(default_factory=dict)
 
 
 @runtime_checkable
@@ -262,7 +268,9 @@ class ReportStage:
 
     def run(self, ctx: QuantumContext) -> None:
         t = time.perf_counter()
-        self.tracker.observe_quantum(ctx.quantum, ctx.ranked, ctx.batch)
+        # Histories ride the same edit script as the threshold index: only
+        # recomputed/removed events are touched (never the live population).
+        self.tracker.observe_edits(ctx.quantum, self.ranker, ctx.batch)
         new_ids: Set[int] = set()
         dead_ids: Set[int] = set()
         for cid in self.ranker.last_removed:

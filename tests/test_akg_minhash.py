@@ -173,3 +173,69 @@ class TestWindowedSketchIndex:
         index.add_quantum(2, {})  # quantum-0 mini expires -> dirties
         assert index.sketch("kw") == hasher.sketch({4, 5})
         assert s0 == hasher.sketch({1, 2, 3})
+
+
+class TestCacheBound:
+    """The per-user hash memo must track the live window, not all history."""
+
+    def test_evict_removes_only_named_users(self):
+        hasher = MinHasher(2, seed=3)
+        for user in range(10):
+            hasher.hash_user(user)
+        assert hasher.cache_size == 10
+        assert hasher.evict([3, 4, 99]) == 2  # 99 was never cached
+        assert hasher.cache_size == 8
+        # evicted users re-memoise to the identical value
+        before = MinHasher(2, seed=3).hash_user(3)
+        assert hasher.hash_user(3) == before
+        assert hasher.cache_size == 9
+
+    def test_builder_cache_bounded_by_window_population(self):
+        """Replaying a stream of one-shot users must not grow the memo
+        beyond the users actually present in the window."""
+        from repro.akg.builder import AkgBuilder
+        from repro.config import DetectorConfig
+        from repro.core.maintenance import ClusterMaintainer
+
+        config = DetectorConfig(
+            quantum_size=8,
+            window_quanta=3,
+            high_state_threshold=2,
+            ec_threshold=0.3,
+        )
+        builder = AkgBuilder(config, ClusterMaintainer())
+        for quantum in range(40):
+            # Fresh user cohort every quantum: after the window slides past
+            # a cohort, its hashes must leave the cache.
+            users = {quantum * 100 + u for u in range(4)}
+            content = {
+                f"kw{quantum % 5}": set(users),
+                f"noise{quantum}": {quantum * 100 + 50},
+            }
+            builder.process_quantum(quantum, content)
+            live = builder.idsets.window_users()
+            assert set(builder.minhasher._cache) <= live | set(users), (
+                f"cache leaked beyond the window at quantum {quantum}"
+            )
+        # after 40 quanta only ~3 quanta of users are live
+        assert builder.minhasher.cache_size <= 3 * 5
+        assert builder.minhasher.cache_size < 40
+
+    def test_oracle_reports_vanished_users_identically(self):
+        """The from-scratch index must agree on the eviction pool."""
+        from repro.akg.idsets import IdSetIndex
+        from repro.akg.oracle import OracleIdSetIndex
+
+        fast, oracle = IdSetIndex(2), OracleIdSetIndex(2)
+        stream = [
+            {"a": {1, 2}, "b": {2, 3}},
+            {"a": {2}},
+            {"c": {4}},
+            {},
+            {"a": {1}},
+        ]
+        for quantum, content in enumerate(stream):
+            fd = fast.add_quantum(quantum, content)
+            od = oracle.add_quantum(quantum, content)
+            assert fd.vanished_users == od.vanished_users
+            assert fast.window_users() == oracle.window_users()
