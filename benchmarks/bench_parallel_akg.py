@@ -130,11 +130,11 @@ def report_fingerprint(reports) -> list:
 
 
 def run_mode(stream, **session_kwargs) -> Tuple[float, float, list]:
-    """Returns (tokenize+akg seconds, total seconds, report fingerprint)."""
+    """Returns (extract+akg seconds, total seconds, report fingerprint)."""
     session = open_session(CONFIG, **session_kwargs)
     reports = list(session.ingest_many(stream))
     front = (
-        session.total_timings.tokenize + session.total_timings.akg_update
+        session.total_timings.extract + session.total_timings.akg_update
     )
     total = session.total_seconds
     fingerprint = report_fingerprint(reports)

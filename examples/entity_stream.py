@@ -1,0 +1,87 @@
+"""A non-text workload end to end: dense clusters in a co-purchase stream.
+
+The engine is entity-agnostic (DESIGN.md Section 8): this example runs the
+*identical* detection pipeline the microblog examples use — windowed actor
+id sets, burstiness, MinHash-filtered edge correlation, SCP cluster
+maintenance, incremental ranking — over a stream of raw actor–entity
+interaction records ("buyer X purchased {A, B, C}").  The
+``edges`` extractor passes each record's entity list straight through; no
+tokenisation, no stop words, and the noun filter stands down automatically
+(product ids have no part of speech).
+
+The script:
+
+1. generates a co-purchase stream with planted "bundle" events — fresh
+   product sets a cohort of buyers co-purchases over a bounded interval —
+   on top of Zipf-popular catalog background traffic;
+2. streams it through a session with a queue subscription, printing bundle
+   clusters as they EMERGE and DIE;
+3. snapshots mid-stream, resumes from the checkpoint (the extractor
+   identity rides in the checkpoint) and finishes the stream;
+4. scores discovered clusters against the planted ground truth.
+
+Run:  python examples/entity_stream.py
+"""
+
+import os
+import tempfile
+
+from repro import DetectorConfig, EventKind, QueueSink, open_session
+from repro.datasets.entity_streams import build_edge_stream_trace
+
+CONFIG = DetectorConfig(
+    quantum_size=80,
+    window_quanta=10,
+    high_state_threshold=3,
+    extractor="edges",          # fields={"entities": [...]} pass-through
+    require_noun=False,         # noun filter is meaningless off text
+)
+
+
+def main() -> None:
+    print("generating co-purchase workload ...")
+    trace = build_edge_stream_trace(
+        total_messages=12_000, n_events=6, seed=21
+    )
+    sample = trace.messages[0]
+    print(f"  e.g. actor {sample.user_id!r} -> {sample.fields}")
+
+    print("\nstreaming first half through the session ...")
+    inbox = QueueSink()
+    split = len(trace.messages) // 2
+    session = open_session(CONFIG)
+    session.subscribe(inbox, kinds={EventKind.EMERGING, EventKind.DYING})
+    for _ in session.ingest_many(trace.messages[:split]):
+        for note in inbox.drain():
+            print(f"  q{note.quantum:<4} {note.kind.value:>8}  "
+                  f"{sorted(note.keywords)} (rank {note.rank:.1f})")
+    ckpt = os.path.join(tempfile.mkdtemp(), "entity_stream.ckpt")
+    session.snapshot(ckpt)
+    print(f"-- checkpoint at quantum {session.current_quantum} "
+          f"({session.batcher.pending} records buffered)")
+
+    print("\nresuming from the checkpoint for the second half ...")
+    resumed = open_session(resume=ckpt)
+    assert resumed.extractor.name == "edges"  # identity rode the checkpoint
+    resumed.subscribe(inbox, kinds={EventKind.EMERGING, EventKind.DYING})
+    for _ in resumed.ingest_many(trace.messages[split:], flush=True):
+        for note in inbox.drain():
+            print(f"  q{note.quantum:<4} {note.kind.value:>8}  "
+                  f"{sorted(note.keywords)} (rank {note.rank:.1f})")
+
+    discovered = set()
+    for record in resumed.events():
+        discovered |= set(record.all_keywords)
+    hits = [
+        truth.event_id
+        for truth in trace.ground_truth
+        if len(set(truth.keywords) & discovered) >= 3
+    ]
+    print(f"\n{len(hits)}/{len(trace.ground_truth)} planted bundles "
+          f"discovered: {', '.join(hits)}")
+    print(f"throughput: {resumed.throughput():.0f} records/s "
+          f"({resumed.total_messages} records)")
+
+
+if __name__ == "__main__":
+    main()

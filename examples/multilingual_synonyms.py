@@ -3,7 +3,11 @@
 Section 1.1 of the paper discusses two clusters failing to merge because
 users chose synonymous keywords or posted in different languages, and
 proposes dictionary pre-processing plus post-hoc temporal correlation.  This
-example exercises both extension hooks:
+example exercises both extension hooks on the **session API**: the synonym
+normaliser rides in as a custom tokenizer (a custom
+``KeywordExtractor`` under the hood — the same seam a fully custom
+``EntityExtractor`` would use), and the tracked event histories feed the
+post-correlation pass.
 
 1. a stream where users split across "earthquake" / "quake" / "terremoto" —
    without the normaliser the synonyms appear as three separate nodes, each
@@ -15,7 +19,7 @@ example exercises both extension hooks:
 Run:  python examples/multilingual_synonyms.py
 """
 
-from repro import DetectorConfig, EventDetector, Message
+from repro import DetectorConfig, Message, open_session
 from repro.core.postprocess import CorrelationPolicy, correlate_events
 from repro.text.synonyms import SynonymNormalizer
 from repro.text.tokenize import tokenize
@@ -44,50 +48,52 @@ def synonym_stream():
 
 def main() -> None:
     print("=== 1. synonym pre-processing ===")
-    plain = EventDetector(demo_config())
-    report = plain.process_quantum(synonym_stream())
-    print("without normaliser (synonyms are separate, diluted nodes):")
-    for event in report.reported:
-        print(f"  {sorted(event.keywords)} rank={event.rank:.1f}")
+    with open_session(demo_config()) as plain:
+        report = plain.process_quantum(synonym_stream())
+        print("without normaliser (synonyms are separate, diluted nodes):")
+        for event in report.reported:
+            print(f"  {sorted(event.keywords)} rank={event.rank:.1f}")
 
     normalizer = SynonymNormalizer([["earthquake", "quake", "terremoto"]])
-    merged = EventDetector(
+    with open_session(
         demo_config(), tokenizer=normalizer.wrap_tokenizer(tokenize)
-    )
-    report = merged.process_quantum(synonym_stream())
-    print("with normaliser (one canonical keyword, triple support):")
-    for event in report.reported:
-        print(f"  {sorted(event.keywords)} rank={event.rank:.1f} "
-              f"support={event.support:.0f}")
+    ) as merged:
+        report = merged.process_quantum(synonym_stream())
+        print("with normaliser (one canonical keyword, triple support):")
+        for event in report.reported:
+            print(f"  {sorted(event.keywords)} rank={event.rank:.1f} "
+                  f"support={event.support:.0f}")
 
     print("\n=== 2. post-correlation of story facets ===")
-    detector = EventDetector(demo_config())
-    # facet A: the disaster itself; facet B: the relief response — disjoint
-    # keyword sets, concurrent in time
-    for _ in range(3):
-        quantum = []
-        for u in range(3):
-            quantum.append(Message(f"a{u}", text="earthquake struck turkey"))
-        for u in range(3):
-            quantum.append(
-                Message(f"b{u}", text="rescue teams mobilised ankara")
-            )
-        for u in range(6, 12):
-            quantum.append(Message(f"n{u}", text=f"filler{u} chatter{u}"))
-        detector.process_quantum(quantum[:12])
+    with open_session(demo_config()) as session:
+        # facet A: the disaster itself; facet B: the relief response —
+        # disjoint keyword sets, concurrent in time
+        for _ in range(3):
+            quantum = []
+            for u in range(3):
+                quantum.append(
+                    Message(f"a{u}", text="earthquake struck turkey")
+                )
+            for u in range(3):
+                quantum.append(
+                    Message(f"b{u}", text="rescue teams mobilised ankara")
+                )
+            for u in range(6, 12):
+                quantum.append(Message(f"n{u}", text=f"filler{u} chatter{u}"))
+            session.process_quantum(quantum[:12])
 
-    records = detector.tracker.all_events()
-    print(f"{len(records)} separate clusters tracked:")
-    for record in records:
-        print(f"  #{record.event_id}: {sorted(record.all_keywords)}")
+        records = session.events()
+        print(f"{len(records)} separate clusters tracked:")
+        for record in records:
+            print(f"  #{record.event_id}: {sorted(record.all_keywords)}")
 
-    groups = correlate_events(
-        records,
-        CorrelationPolicy(min_interval_overlap=0.5, min_keyword_overlap=0),
-    )
-    print(f"\n{len(groups)} correlated stories after post-processing:")
-    for group in groups:
-        print(f"  events {group.event_ids}: {sorted(group.keywords)}")
+        groups = correlate_events(
+            records,
+            CorrelationPolicy(min_interval_overlap=0.5, min_keyword_overlap=0),
+        )
+        print(f"\n{len(groups)} correlated stories after post-processing:")
+        for group in groups:
+            print(f"  events {group.event_ids}: {sorted(group.keywords)}")
 
 
 if __name__ == "__main__":

@@ -4,6 +4,13 @@ Runs both methods over the identical AKG and prints the Table 3 comparison:
 events discovered, precision, recall, average rank and cluster size — plus
 the offline method's extra clusters and the clustering-time comparison.
 
+The detection pass rides the session API end to end:
+:func:`repro.eval.comparison.compare_schemes` opens a
+:class:`~repro.api.session.DetectorSession` via the eval runner, attaches
+the offline observer to the session's live AKG after every quantum, and
+evaluates all three schemes from the session's tracked event histories
+(``session.events()``) — no ``EventDetector`` facade involved.
+
 Run:  python examples/offline_vs_online.py
 """
 

@@ -5,6 +5,13 @@ edge-correlation threshold over a fixed TW-style trace and prints the
 resulting precision/recall grids, plus the Section 7.2.4 quality statistics
 (average cluster size and rank).
 
+Each sweep cell replays the trace through a fresh
+:class:`~repro.api.session.DetectorSession`
+(:func:`repro.eval.runner.run_detector` wraps ``open_session`` +
+``ingest_many``) — the trace is generated once in message-index space and
+re-quantised per cell, exactly how the paper sweeps quantum size over fixed
+Twitter captures.
+
 Run:  python examples/parameter_sweep.py
 """
 

@@ -15,6 +15,8 @@ Public entry points
 :class:`EventDetector`     legacy batch-shaped facade over the session
 :class:`DetectorConfig`    Table 2 parameters
 :class:`Message`           stream record
+``repro.extract``          pluggable entity extractors: keyword text,
+                           structured fields, raw actor–entity edges
 :class:`ClusterMaintainer` incremental SCP clustering over any dynamic graph
 :class:`DynamicGraph`      the graph substrate
 ``repro.pipeline``         the composable per-quantum Stage pipeline
@@ -33,6 +35,15 @@ from repro.api import (
 )
 from repro.config import DetectorConfig, NOMINAL_CONFIG
 from repro.core.changelog import ChangeBatch, ChangeEvent, ChangeLog
+from repro.extract import (
+    EdgeStreamAdapter,
+    EntityExtractor,
+    FieldExtractor,
+    KeywordExtractor,
+    extractor_names,
+    make_extractor,
+    register_extractor,
+)
 from repro.core.engine import EventDetector, QuantumReport, ReportedEvent, StageTimings
 from repro.core.incremental import IncrementalRanker
 from repro.core.maintenance import ClusterMaintainer, decompose_graph
@@ -62,6 +73,13 @@ __all__ = [
     "QueueSink",
     "DetectorConfig",
     "NOMINAL_CONFIG",
+    "EntityExtractor",
+    "KeywordExtractor",
+    "FieldExtractor",
+    "EdgeStreamAdapter",
+    "register_extractor",
+    "extractor_names",
+    "make_extractor",
     "EventDetector",
     "QuantumReport",
     "ReportedEvent",

@@ -14,9 +14,14 @@ pairs) — and scalars (``None``, ``bool``, ``int``, ``float``, ``str``) pass
 through untouched.  Python's shortest-roundtrip float repr makes the float
 trip exact, which the bit-identical resume guarantee relies on.
 
-Forward compatibility is handled loudly: an unknown format, a newer
-``version``, or an unknown tag raises :class:`~repro.errors.CheckpointError`
-instead of best-effort loading a state the code cannot honour.
+Compatibility is handled loudly and explicitly: an unknown format, a newer
+``version``, an unmigratable older ``version``, or an unknown tag raises
+:class:`~repro.errors.CheckpointError` instead of best-effort loading a
+state the code cannot honour.  Supported older versions are upgraded
+in-memory through the ``_MIGRATIONS`` table — one pure ``state -> state``
+step per version hop, chained until the current layout is reached — so a
+v2 snapshot (pre-extractor) loads under the v3 reader without ever
+rewriting the file on disk.
 
 Checkpoints are **execution-agnostic and history-independent**: the session
 strips the execution-only config fields (``workers``/``shard_count``), the
@@ -38,14 +43,45 @@ from typing import Any
 from repro.errors import CheckpointError
 
 CHECKPOINT_FORMAT = "repro-session-checkpoint"
-CHECKPOINT_VERSION = 2
-"""Bump on any change to the state tree layout; loaders reject other
-versions loudly instead of best-effort decoding (no migrations exist yet).
-Version history: 1 — PR 3 layout; 2 — event histories are change-point
-encoded (``EventTracker`` state gained ``last_quantum`` and per-record
-``gaps``) and execution-only config fields are stripped."""
+CHECKPOINT_VERSION = 3
+"""Bump on any change to the state tree layout, and add a migration step
+below so supported older snapshots keep loading.
+Version history: 1 — PR 3 layout (no longer readable); 2 — event histories
+are change-point encoded (``EventTracker`` state gained ``last_quantum``
+and per-record ``gaps``) and execution-only config fields are stripped;
+3 — extractor identity recorded (``extractor`` spec + ``custom_extractor``
+flag replacing ``custom_tokenizer``) and the first timing slot renamed
+``tokenize`` → ``extract`` with the stage."""
 
 _SCALARS = (bool, int, float, str)
+
+
+def _migrate_v2_to_v3(state: dict) -> dict:
+    """v2 (pre-extractor) → v3: the keyword path was the only path.
+
+    A v2 session tokenized text, full stop — so its extractor identity is
+    the default ``keyword`` spec (or a custom tokenizer, which v2 recorded
+    as ``custom_tokenizer`` and v3 generalises to ``custom_extractor``),
+    and its ``tokenize`` timing slot is v3's ``extract``.  The embedded
+    config predates the ``extractor``/``extractor_options`` fields and
+    falls back to their keyword defaults on ``from_dict``.
+    """
+    state = dict(state)
+    custom = state.pop("custom_tokenizer")
+    state["custom_extractor"] = custom
+    state["extractor"] = (
+        None if custom else {"name": "keyword", "options": {}}
+    )
+    timings = dict(state["timings"])
+    timings["extract"] = timings.pop("tokenize")
+    state["timings"] = timings
+    return state
+
+
+_MIGRATIONS = {2: _migrate_v2_to_v3}
+"""``version -> state migration`` steps; each maps a decoded state tree one
+version forward.  :func:`load_checkpoint` chains them until
+``CHECKPOINT_VERSION`` is reached."""
 
 
 def encode_state(obj: Any) -> Any:
@@ -137,12 +173,18 @@ def load_checkpoint(path: "str | Path") -> dict:
     ):
         raise CheckpointError(f"{path} is not a repro session checkpoint")
     version = document.get("version")
-    if version != CHECKPOINT_VERSION:
+    readable = sorted({CHECKPOINT_VERSION, *_MIGRATIONS})
+    if version not in readable:
         raise CheckpointError(
             f"{path} has checkpoint version {version!r}; this build reads "
-            f"version {CHECKPOINT_VERSION}"
+            f"version {CHECKPOINT_VERSION} and can migrate versions "
+            f"{', '.join(str(v) for v in sorted(_MIGRATIONS))}"
         )
-    return decode_state(document["state"])
+    state = decode_state(document["state"])
+    while version < CHECKPOINT_VERSION:
+        state = _MIGRATIONS[version](state)
+        version += 1
+    return state
 
 
 __all__ = [

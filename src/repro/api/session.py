@@ -61,6 +61,13 @@ from repro.core.incremental import IncrementalRanker
 from repro.core.maintenance import ClusterMaintainer
 from repro.core.ranking import minimum_rank
 from repro.errors import CheckpointError, ConfigError, GraphError
+from repro.extract import (
+    EntityExtractor,
+    KeywordExtractor,
+    extractor_spec,
+    is_reconstructible,
+    make_extractor,
+)
 from repro.pipeline.report_index import ThresholdIndex
 from repro.pipeline.reports import QuantumReport, ReportedEvent, StageTimings
 from repro.pipeline.stages import (
@@ -73,7 +80,6 @@ from repro.stream.messages import Message
 from repro.stream.sources import message_from_record, message_to_record
 from repro.stream.window import QuantumBatcher
 from repro.text.pos import NounTagger
-from repro.text.tokenize import tokenize
 
 
 class _Notified(NamedTuple):
@@ -122,29 +128,48 @@ class DetectorSession:
         *,
         noun_tagger: Optional[NounTagger] = None,
         tokenizer=None,
+        extractor: Optional[EntityExtractor] = None,
         oracle_ranking: bool = False,
         oracle_akg: bool = False,
         worker_backend: Optional[str] = None,
     ) -> None:
         """Build a fresh session (use :func:`open_session` in client code).
 
-        Parameters mirror the legacy ``EventDetector``: ``tokenizer``
-        overrides text tokenisation, ``noun_tagger`` the report-time noun
-        filter, and the ``oracle_*`` flags swap in the from-scratch
-        verification baselines for the AKG and rank stages.  With
-        ``config.workers > 1`` (or an explicit ``shard_count``) the
-        tokenize/AKG stages run on the keyword-range-sharded front-end
-        (:mod:`repro.parallel`); ``worker_backend`` forces its execution
-        backend (``process``/``thread``/``serial``, default auto) — an
-        execution knob only, results are bit-identical either way.
+        The ingestion extractor comes from ``config.extractor`` /
+        ``config.extractor_options`` (the registry path — checkpointable,
+        shardable); ``extractor`` overrides it with an explicit
+        :class:`~repro.extract.base.EntityExtractor` instance, and
+        ``tokenizer`` is the legacy shorthand for a
+        :class:`~repro.extract.keyword.KeywordExtractor` around a custom
+        text tokenizer.  ``noun_tagger`` overrides the report-time noun
+        filter (applied only when the extractor is ``textual``), and the
+        ``oracle_*`` flags swap in the from-scratch verification baselines
+        for the AKG and rank stages.  With ``config.workers > 1`` (or an
+        explicit ``shard_count``) the extract/AKG stages run on the
+        entity-range-sharded front-end (:mod:`repro.parallel`);
+        ``worker_backend`` forces its execution backend
+        (``process``/``thread``/``serial``, default auto) — an execution
+        knob only, results are bit-identical either way.
         """
         self.config = config if config is not None else DetectorConfig()
+        if extractor is not None and tokenizer is not None:
+            raise ConfigError(
+                "pass either extractor or tokenizer, not both: a custom "
+                "tokenizer is shorthand for KeywordExtractor(tokenizer=...)"
+            )
         # Function-valued state cannot be checkpointed; remember whether the
         # defaults were overridden so restore() can demand the same objects
         # back instead of silently diverging (DESIGN.md Section 6).
-        self._custom_tokenizer = tokenizer is not None
+        if extractor is not None:
+            self.extractor = extractor
+        elif tokenizer is not None:
+            self.extractor = KeywordExtractor(tokenizer=tokenizer)
+        else:
+            self.extractor = make_extractor(
+                self.config.extractor, self.config.extractor_options
+            )
+        self._custom_extractor = not is_reconstructible(self.extractor)
         self._custom_noun_tagger = noun_tagger is not None
-        self.tokenizer = tokenizer if tokenizer is not None else tokenize
         self.noun_tagger = (
             noun_tagger if noun_tagger is not None else NounTagger()
         )
@@ -185,7 +210,7 @@ class DetectorSession:
         )
         self.report_index = ThresholdIndex(self._passes_filters)
         stages = build_stages(
-            self.tokenizer,
+            self.extractor,
             self.maintainer,
             self.builder,
             self.ranker,
@@ -197,22 +222,24 @@ class DetectorSession:
         if self.config.sharded:
             from repro.parallel import (
                 ShardedAkgUpdateStage,
-                ShardedTokenizeStage,
+                ShardedExtractStage,
             )
 
             stages[1] = ShardedAkgUpdateStage(self.builder, self.maintainer)
-            # Parallel tokenize requires the importable default tokenizer
-            # (worker processes resolve it by name) and no CKG-stats tracker
-            # (its user->keywords view is not materialised worker-side);
-            # otherwise the serial stage stays, losing only the tokenize
-            # fan-out.
+            # Parallel extraction requires a registry-reconstructible
+            # extractor (worker processes rebuild it from its spec) and no
+            # CKG-stats tracker (its actor->entities view is not
+            # materialised worker-side); otherwise the serial stage stays,
+            # losing only the extract fan-out.
             if (
-                not self._custom_tokenizer
+                not self._custom_extractor
                 and self.ckg_stats is None
                 and self.builder.pool.workers > 1
             ):
-                stages[0] = ShardedTokenizeStage(
-                    self.builder, self.config.max_tokens_per_message
+                stages[0] = ShardedExtractStage(
+                    self.builder,
+                    self.config.max_tokens_per_message,
+                    extractor_spec(self.extractor),
                 )
         self.pipeline = Pipeline(stages)
         self._quantum = -1
@@ -239,12 +266,26 @@ class DetectorSession:
         """Index of the last completed quantum (-1 before the first)."""
         return self._quantum
 
+    @property
+    def tokenizer(self):
+        """The keyword extractor's text tokenizer (legacy accessor; None
+        for non-text extractors, which never tokenize)."""
+        return getattr(self.extractor, "tokenizer", None)
+
     def _passes_filters(self, event: ReportedEvent) -> bool:
-        """Section 7.2.2 report-time filters: rank floor and noun check."""
+        """Section 7.2.2 report-time filters: rank floor and noun check.
+
+        The noun filter is a *textual* heuristic ("a real-world event
+        mentions at least one noun") — it only applies when the extractor
+        produces natural-language entities; product ids or tagged field
+        values have no part of speech to test.
+        """
         if event.rank < self._rank_floor:
             return False
-        if self.config.require_noun and not self.noun_tagger.has_noun(
-            event.keywords
+        if (
+            self.config.require_noun
+            and self.extractor.textual
+            and not self.noun_tagger.has_noun(event.keywords)
         ):
             return False
         return True
@@ -512,7 +553,16 @@ class DetectorSession:
             "config": config_dict,
             "oracle_akg": self.builder.oracle,
             "oracle_ranking": self.ranker.oracle,
-            "custom_tokenizer": self._custom_tokenizer,
+            # Extractor identity: the registry spec that rebuilds the
+            # ingestion stage on resume (None when function-valued state
+            # makes the extractor non-reconstructible — the caller must
+            # then pass the same object back, like custom noun taggers).
+            "extractor": (
+                None
+                if self._custom_extractor
+                else extractor_spec(self.extractor)
+            ),
+            "custom_extractor": self._custom_extractor,
             "custom_noun_tagger": self._custom_noun_tagger,
             "quantum": self._quantum,
             "total_messages": self.total_messages,
@@ -541,18 +591,21 @@ class DetectorSession:
         *,
         noun_tagger: Optional[NounTagger] = None,
         tokenizer=None,
+        extractor: Optional[EntityExtractor] = None,
         workers: Optional[int] = None,
         shard_count: Optional[int] = None,
         worker_backend: Optional[str] = None,
     ) -> "DetectorSession":
         """Reconstruct a session from a :meth:`snapshot` file.
 
-        ``noun_tagger`` and ``tokenizer`` are function-valued state the
-        checkpoint cannot carry.  The checkpoint records whether the
-        original session overrode the defaults, and restore refuses a
-        mismatch: resuming with a different tagger or tokenizer would
-        silently break the bit-identical guarantee.  Pass the same objects
-        the original session used.
+        Registered extractors are rebuilt by value from the spec the
+        checkpoint records.  ``noun_tagger``, ``tokenizer`` and custom
+        ``extractor`` instances are function-valued state the checkpoint
+        cannot carry: it records whether the original session overrode the
+        defaults, and restore refuses a mismatch — resuming with a
+        different tagger or extractor would silently break the
+        bit-identical guarantee.  Pass the same objects the original
+        session used.
 
         ``workers``/``shard_count``/``worker_backend`` choose the *resumed*
         session's execution mode — checkpoints are execution-agnostic, so a
@@ -572,25 +625,67 @@ class DetectorSession:
                     else {}
                 ),
             )
-        for flag, provided, what in (
-            (state["custom_noun_tagger"], noun_tagger, "noun_tagger"),
-            (state["custom_tokenizer"], tokenizer, "tokenizer"),
-        ):
-            if flag and provided is None:
+        if state["custom_noun_tagger"] and noun_tagger is None:
+            raise CheckpointError(
+                "checkpoint was taken with a custom noun_tagger; pass the "
+                "same one to open_session(resume=..., noun_tagger=...) or "
+                "the resumed stream would diverge"
+            )
+        if not state["custom_noun_tagger"] and noun_tagger is not None:
+            raise CheckpointError(
+                "checkpoint was taken with the default noun_tagger; "
+                "resuming with a custom one would diverge"
+            )
+        if state["custom_extractor"]:
+            if extractor is None and tokenizer is None:
                 raise CheckpointError(
-                    f"checkpoint was taken with a custom {what}; pass the "
-                    f"same one to open_session(resume=..., {what}=...) or "
-                    f"the resumed stream would diverge"
+                    "checkpoint was taken with a custom extractor; pass "
+                    "the same one to open_session(resume=..., "
+                    "extractor=...) (or tokenizer=...) or the resumed "
+                    "stream would diverge"
                 )
-            if not flag and provided is not None:
+            if extractor is not None and is_reconstructible(extractor):
+                # A registered extractor cannot be the custom one the
+                # checkpoint demands back — accepting it would silently
+                # diverge (and the next snapshot would launder the stream
+                # into a 'registered' checkpoint).
                 raise CheckpointError(
-                    f"checkpoint was taken with the default {what}; "
-                    f"resuming with a custom one would diverge"
+                    "checkpoint was taken with a custom extractor; the "
+                    f"registered {extractor.name!r} extractor passed to "
+                    "open_session(resume=...) cannot be it, and the "
+                    "resumed stream would diverge"
                 )
+        else:
+            # Rebuild from the recorded spec: authoritative even when it
+            # differs from the config fields (a session opened with an
+            # explicit registered extractor instance snapshots that spec).
+            # A caller re-passing an equivalent registered instance is
+            # fine; anything whose spec differs would diverge.
+            spec = state["extractor"]
+            if tokenizer is not None:
+                raise CheckpointError(
+                    f"checkpoint was taken with the registered "
+                    f"{spec['name']!r} extractor; resuming with a custom "
+                    f"tokenizer would diverge"
+                )
+            if extractor is not None and (
+                not is_reconstructible(extractor)
+                or extractor_spec(extractor) != spec
+            ):
+                raise CheckpointError(
+                    f"checkpoint was taken with the registered "
+                    f"{spec['name']!r} extractor (options "
+                    f"{spec['options']!r}); the extractor passed to "
+                    f"open_session(resume=...) does not match and the "
+                    f"resumed stream would diverge"
+                )
+            if extractor is None:
+                extractor = make_extractor(spec["name"], spec["options"])
         session = cls(
             config,
             noun_tagger=noun_tagger,
             tokenizer=tokenizer,
+            extractor=extractor,
             oracle_ranking=state["oracle_ranking"],
             oracle_akg=state["oracle_akg"],
             worker_backend=worker_backend,
@@ -628,6 +723,7 @@ def open_session(
     resume=None,
     noun_tagger: Optional[NounTagger] = None,
     tokenizer=None,
+    extractor: Optional[EntityExtractor] = None,
     oracle_ranking: bool = False,
     oracle_akg: bool = False,
     workers: Optional[int] = None,
@@ -640,6 +736,12 @@ def open_session(
     (including its configuration; passing ``config`` too is an error to
     avoid silently ignoring one of them).  Otherwise a fresh session is
     built from ``config`` (Table 2 nominal when omitted).
+
+    The ingestion extractor is selected by ``config.extractor`` (see
+    :mod:`repro.extract`); ``extractor`` passes an explicit instance, and
+    ``tokenizer`` is the legacy shorthand for the keyword extractor with a
+    custom text tokenizer.  On resume, registered extractors are rebuilt
+    from the checkpoint; custom ones must be passed back in.
 
     ``workers``/``shard_count`` select the execution mode; on a fresh
     session they override the config fields of the same name, on resume
@@ -662,6 +764,7 @@ def open_session(
             resume,
             noun_tagger=noun_tagger,
             tokenizer=tokenizer,
+            extractor=extractor,
             workers=workers,
             shard_count=shard_count,
             worker_backend=worker_backend,
@@ -678,6 +781,7 @@ def open_session(
         config,
         noun_tagger=noun_tagger,
         tokenizer=tokenizer,
+        extractor=extractor,
         oracle_ranking=oracle_ranking,
         oracle_akg=oracle_akg,
         worker_backend=worker_backend,

@@ -20,6 +20,12 @@ full detector state after the trace (including a buffered partial quantum),
 and ``--resume-from PATH`` continues a checkpointed session over more data —
 the resumed stream is bit-identical to one that never stopped (DESIGN.md
 Section 6).
+
+The engine is entity-agnostic: ``detect --extractor edges`` runs a raw
+actor–entity interaction stream (``generate edge``), ``--extractor fields``
+a structured-log stream (``generate fields``), and ``--extractor keyword``
+(default) the paper's tokenized-text workload — same pipeline, same
+checkpoints, different ingestion front (DESIGN.md Section 8).
 """
 
 from __future__ import annotations
@@ -32,12 +38,18 @@ from typing import List, Optional
 from repro.api import open_session
 from repro.config import DetectorConfig
 from repro.core.engine import EventDetector
+from repro.datasets.entity_streams import (
+    build_edge_stream_trace,
+    build_structured_trace,
+)
 from repro.datasets.figure1 import figure1_messages
 from repro.datasets.traces import (
     build_es_trace,
     build_ground_truth_trace,
     build_tw_trace,
 )
+from repro.errors import ConfigError
+from repro.extract import extractor_names
 from repro.eval.reporting import render_grid, render_table
 from repro.eval.runner import evaluate_run, run_detector
 from repro.stream.sources import (
@@ -52,6 +64,14 @@ _TRACE_BUILDERS = {
     "ground-truth": build_ground_truth_trace,
 }
 
+# Non-text workloads (generate-only: sweep's keyword evaluation grid does
+# not apply to them).  ``edge`` pairs with ``detect --extractor edges``,
+# ``fields`` with ``detect --extractor fields``.
+_ENTITY_TRACE_BUILDERS = {
+    "edge": build_edge_stream_trace,
+    "fields": build_structured_trace,
+}
+
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quantum-size", type=int, default=160,
@@ -64,16 +84,24 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="edge-correlation threshold (nominal: 0.20)")
     parser.add_argument("--exact-ec", action="store_true",
                         help="disable the MinHash candidate filter")
+    parser.add_argument("--extractor", choices=extractor_names(),
+                        default="keyword", metavar="NAME",
+                        help="entity extractor for the ingestion stage "
+                             f"({', '.join(extractor_names())}; default "
+                             "keyword — tokenized message text)")
+    parser.add_argument("--extractor-options", metavar="JSON", default=None,
+                        help="JSON object of options for --extractor "
+                             '(e.g. \'{"fields": ["tags"]}\')')
     parser.add_argument("--workers", type=int, default=1, metavar="N",
-                        help="parallel workers for the tokenize/AKG stages "
-                             "(keyword-range sharding; results are "
+                        help="parallel workers for the extract/AKG stages "
+                             "(entity-range sharding; results are "
                              "bit-identical for any N, default 1 = serial)")
     parser.add_argument("--shard-count", type=int, default=None, metavar="S",
-                        help="keyword hash ranges to partition into "
+                        help="entity hash ranges to partition into "
                              "(default: one per worker)")
     parser.add_argument("--timing", action="store_true",
                         help="print a per-stage timing breakdown "
-                             "(tokenize/akg/maintain/propagate/rank/report)")
+                             "(extract/akg/maintain/propagate/rank/report)")
     parser.add_argument("--oracle-ranking", action="store_true",
                         help="disable the incremental rank cache and re-rank "
                              "every cluster from scratch each quantum "
@@ -94,12 +122,27 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _config_from(args: argparse.Namespace) -> DetectorConfig:
+    options = {}
+    if args.extractor_options:
+        try:
+            options = json.loads(args.extractor_options)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"--extractor-options is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(options, dict):
+            raise ConfigError(
+                "--extractor-options must be a JSON object, got "
+                f"{type(options).__name__}"
+            )
     return DetectorConfig(
         quantum_size=args.quantum_size,
         window_quanta=args.window_quanta,
         high_state_threshold=args.theta,
         ec_threshold=args.gamma,
         use_minhash_filter=not args.exact_ec,
+        extractor=args.extractor,
+        extractor_options=options,
         oracle_akg=args.oracle_akg,
         oracle_ranking=args.oracle_ranking,
         workers=args.workers,
@@ -127,7 +170,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    builder = _TRACE_BUILDERS[args.preset]
+    builder = {**_TRACE_BUILDERS, **_ENTITY_TRACE_BUILDERS}[args.preset]
     trace = builder(total_messages=args.messages, seed=args.seed)
     count = write_jsonl_trace(args.output, trace.messages)
     truth_path = args.output + ".truth.json"
@@ -286,7 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(func=_cmd_demo)
 
     generate = sub.add_parser("generate", help="generate a synthetic JSONL trace")
-    generate.add_argument("preset", choices=sorted(_TRACE_BUILDERS))
+    generate.add_argument(
+        "preset",
+        choices=sorted({**_TRACE_BUILDERS, **_ENTITY_TRACE_BUILDERS}),
+        help="tw/es/ground-truth: keyword microblog workloads; "
+             "edge: actor-entity interaction stream (detect --extractor "
+             "edges); fields: structured-log stream (detect --extractor "
+             "fields)",
+    )
     generate.add_argument("output", help="output JSONL path")
     generate.add_argument("--messages", type=int, default=20_000)
     generate.add_argument("--seed", type=int, default=7)

@@ -17,11 +17,13 @@ The number of MinHash values kept per keyword follows Section 3.2.2:
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping
 
 from repro.errors import ConfigError
+from repro.extract import make_extractor
 
 
 @dataclass(frozen=True)
@@ -63,10 +65,25 @@ class DetectorConfig:
     require_noun:
         Drop clusters containing no noun keyword (Section 7.2.2, filter 2).
     max_tokens_per_message:
-        Keywords beyond this per message are ignored.  Microblog posts are
+        Entities beyond this per record are ignored.  Microblog posts are
         length-capped (a 140-character tweet holds ~25 words), and the cap
-        also bounds the per-message pair fan-out a hostile flooder could
-        inject into the graph.
+        also bounds the per-record pair fan-out a hostile flooder could
+        inject into the graph.  Applies to every extractor.
+    extractor:
+        Name of the registered :class:`~repro.extract.base.EntityExtractor`
+        the ingestion stage runs (:mod:`repro.extract`).  ``"keyword"``
+        (default) tokenizes message text — the paper's workload, proven
+        bit-identical to the pre-extractor pipeline; ``"fields"`` reads
+        categorical fields of structured records; ``"edges"`` passes raw
+        actor–entity interaction records through verbatim.  Validated
+        against the registry (including ``extractor_options``) at
+        construction.
+    extractor_options:
+        Keyword options handed to the extractor factory (e.g.
+        ``{"fields": ["tags"]}`` for the structured-field extractor).  Must
+        be JSON-serializable: the pair ``(extractor, extractor_options)``
+        is the extractor's checkpoint identity and the spec worker
+        processes rebuild it from.
     track_ckg_stats:
         Maintain full CKG node/edge counts for the Section 7.4 reduction
         study.  Costs memory proportional to distinct co-occurring pairs in
@@ -109,6 +126,13 @@ class DetectorConfig:
     rank_threshold_scale: float = 1.0
     require_noun: bool = True
     max_tokens_per_message: int = 32
+    extractor: str = "keyword"
+    # hash=False: the options dict would break the frozen dataclass's
+    # generated __hash__; configs differing only here hash alike (legal),
+    # equality still compares the full options.
+    extractor_options: Mapping[str, Any] = field(
+        default_factory=dict, hash=False
+    )
     track_ckg_stats: bool = False
     oracle_akg: bool = False
     oracle_ranking: bool = False
@@ -150,6 +174,25 @@ class DetectorConfig:
                 "max_tokens_per_message must be >= 1, got "
                 f"{self.max_tokens_per_message}"
             )
+        if not isinstance(self.extractor_options, Mapping):
+            raise ConfigError(
+                "extractor_options must be a mapping, got "
+                f"{self.extractor_options!r}"
+            )
+        # Normalize to a private deep copy via a JSON round trip: the spec
+        # is the extractor's checkpoint identity, so it must be both
+        # JSON-serializable (proven here) and immune to the caller later
+        # mutating a shared nested list/dict.  Then prove the spec actually
+        # constructs: an unknown name or rejected options must fail at
+        # config time, not mid-stream.
+        try:
+            options = json.loads(json.dumps(dict(self.extractor_options)))
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"extractor_options must be JSON-serializable: {exc}"
+            ) from exc
+        object.__setattr__(self, "extractor_options", options)
+        make_extractor(self.extractor, self.extractor_options)
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.shard_count is not None and self.shard_count < 1:
@@ -202,9 +245,15 @@ class DetectorConfig:
         """Plain JSON-serializable mapping of every field.
 
         The inverse of :meth:`from_dict`; session checkpoints embed this so
-        a resumed stream runs under the identical parameters.
+        a resumed stream runs under the identical parameters.  The options
+        mapping is deep-copied so callers cannot mutate the frozen config
+        through the returned dict.
         """
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["extractor_options"] = json.loads(
+            json.dumps(data["extractor_options"])
+        )
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DetectorConfig":

@@ -11,9 +11,11 @@
 Every quantum runs the composable stage pipeline of
 :mod:`repro.pipeline.stages`::
 
-    tokenize -> AKG update -> maintain -> propagate -> rank -> report
+    extract -> AKG update -> maintain -> propagate -> rank -> report
 
-``tokenize`` extracts per-user keyword sets from the quantum's messages;
+``extract`` reduces the quantum's records to per-actor entity sets through
+the configured :class:`~repro.extract.base.EntityExtractor` (tokenized
+keywords by default);
 ``AKG update`` + ``maintain`` are the Section 3/5 graph and cluster
 maintenance driven by :class:`~repro.akg.builder.AkgBuilder` (the maintain
 share is measured via the maintainer's clustering clock); ``propagate``
@@ -63,17 +65,20 @@ class EventDetector:
         config: DetectorConfig | None = None,
         noun_tagger: NounTagger | None = None,
         tokenizer=None,
+        extractor=None,
         oracle_ranking: bool = False,
         oracle_akg: bool = False,
     ) -> None:
         """``tokenizer`` overrides text tokenisation (e.g. a
         :meth:`repro.text.synonyms.SynonymNormalizer.wrap_tokenizer` wrapped
         one for the paper's synonym pre-processing); pre-tokenised messages
-        bypass it.  ``oracle_ranking`` disables the incremental rank cache
-        and re-ranks every live cluster from scratch each quantum;
-        ``oracle_akg`` runs the AKG stage on the from-scratch oracle
-        components of :mod:`repro.akg.oracle` — the verification /
-        benchmarking baselines (also settable via
+        bypass it.  ``extractor`` passes an explicit
+        :class:`~repro.extract.base.EntityExtractor` (non-text workloads;
+        normally selected via ``config.extractor``).  ``oracle_ranking``
+        disables the incremental rank cache and re-ranks every live cluster
+        from scratch each quantum; ``oracle_akg`` runs the AKG stage on the
+        from-scratch oracle components of :mod:`repro.akg.oracle` — the
+        verification / benchmarking baselines (also settable via
         :class:`~repro.config.DetectorConfig`).
         """
         # Imported here, not at module level: the facade sits above the api
@@ -84,6 +89,7 @@ class EventDetector:
             config,
             noun_tagger=noun_tagger,
             tokenizer=tokenizer,
+            extractor=extractor,
             oracle_ranking=oracle_ranking,
             oracle_akg=oracle_akg,
         )
@@ -97,6 +103,10 @@ class EventDetector:
     @property
     def tokenizer(self):
         return self.session.tokenizer
+
+    @property
+    def extractor(self):
+        return self.session.extractor
 
     @property
     def noun_tagger(self) -> NounTagger:

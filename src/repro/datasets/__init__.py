@@ -16,7 +16,10 @@ streams with the same *statistical structure* the algorithm consumes:
 * trace presets matching the paper's setups (:mod:`repro.datasets.traces`):
   TW (low event density), ES (≈3x event density), and the ground-truth trace
   with a synthetic headline feed (:mod:`repro.datasets.headlines`);
-* the Figure 1 micro-example (:mod:`repro.datasets.figure1`).
+* the Figure 1 micro-example (:mod:`repro.datasets.figure1`);
+* non-text actor–entity workloads — co-purchase-style edge streams and
+  structured-field logs — for the pluggable extractors
+  (:mod:`repro.datasets.entity_streams`).
 
 All generation is deterministic given a seed.
 """
@@ -35,6 +38,10 @@ from repro.datasets.traces import (
     build_es_trace,
     build_ground_truth_trace,
 )
+from repro.datasets.entity_streams import (
+    build_edge_stream_trace,
+    build_structured_trace,
+)
 from repro.datasets.headlines import Headline, headlines_for_trace
 from repro.datasets.figure1 import figure1_messages
 
@@ -51,6 +58,8 @@ __all__ = [
     "build_tw_trace",
     "build_es_trace",
     "build_ground_truth_trace",
+    "build_edge_stream_trace",
+    "build_structured_trace",
     "Headline",
     "headlines_for_trace",
     "figure1_messages",

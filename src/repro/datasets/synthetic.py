@@ -58,13 +58,18 @@ class StreamSpec:
 
 @dataclass
 class Trace:
-    """A generated message stream plus its ground truth."""
+    """A generated message stream plus its ground truth.
+
+    ``spec`` is the generating :class:`StreamSpec` for token traces; the
+    non-text generators (:mod:`repro.datasets.entity_streams`) assemble
+    messages directly and leave it ``None``.
+    """
 
     name: str
     messages: List[Message]
     ground_truth: List[GroundTruthEvent]
     lexicon: Dict[str, str]
-    spec: StreamSpec
+    spec: Optional[StreamSpec] = None
 
     @property
     def total_messages(self) -> int:

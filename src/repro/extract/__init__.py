@@ -1,0 +1,54 @@
+"""repro.extract — pluggable entity extraction (ingestion front-end).
+
+The engine discovers dense clusters in *any* highly dynamic actor–entity
+graph; this package is the seam that decides what the entities are.  An
+:class:`EntityExtractor` turns one stream record into a tuple of opaque
+entity tokens; everything downstream (window id sets, burstiness, sketches,
+AKG, clustering, ranking, tracking, checkpoints) is entity-agnostic.
+
+Built-ins (registered on import, selectable via
+``DetectorConfig(extractor=..., extractor_options=...)`` and
+``detect --extractor``):
+
+``keyword``  :class:`KeywordExtractor`  — tokenized microblog text (the
+             paper's workload; the default, bit-identical to the
+             pre-extractor pipeline);
+``fields``   :class:`FieldExtractor`    — categorical field values of
+             structured records (hashtag/mention/tag streams, JSONL logs);
+``edges``    :class:`EdgeStreamAdapter` — raw actor–entity interaction
+             streams (co-purchase, citation, flow) passed through verbatim.
+
+The extractor contract (purity, string entities, checkpoint identity) is
+documented in :mod:`repro.extract.base` and DESIGN.md Section 8; the
+README's "Bring your own stream" section shows a minimal custom extractor.
+"""
+
+from repro.extract.base import (
+    Entity,
+    EntityExtractor,
+    extractor_names,
+    extractor_spec,
+    is_reconstructible,
+    make_extractor,
+    register_extractor,
+)
+from repro.extract.edges import EdgeStreamAdapter
+from repro.extract.keyword import KeywordExtractor
+from repro.extract.structured import FieldExtractor
+
+register_extractor("keyword", KeywordExtractor)
+register_extractor("fields", FieldExtractor)
+register_extractor("edges", EdgeStreamAdapter)
+
+__all__ = [
+    "Entity",
+    "EntityExtractor",
+    "KeywordExtractor",
+    "FieldExtractor",
+    "EdgeStreamAdapter",
+    "register_extractor",
+    "extractor_names",
+    "make_extractor",
+    "extractor_spec",
+    "is_reconstructible",
+]

@@ -1,0 +1,78 @@
+"""Structured-field extraction for non-text streams.
+
+Many dynamic-graph sources are not prose: JSONL logs with categorical
+fields, tweets reduced to their hashtags/mentions, sensor records with
+tagged readings.  :class:`FieldExtractor` reads named fields from a
+record's ``fields`` payload and emits each value as one entity token —
+no tokenisation, no stop words, no noun filter (``textual = False``).
+
+Field values may be scalars or lists; every value is rendered with
+``str``.  By default entities are namespaced as ``"<field>:<value>"`` so
+values from different fields can never collide into one graph node
+(``tag:apple`` and ``product:apple`` are different signals); pass
+``include_field=False`` for sources whose fields already share one
+namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+class FieldExtractor:
+    """Emit categorical field values of structured records as entities."""
+
+    name = "fields"
+    textual = False
+    custom = False
+
+    def __init__(
+        self,
+        fields: Sequence[str] = ("tags",),
+        include_field: bool = True,
+        separator: str = ":",
+    ) -> None:
+        fields = tuple(fields)
+        if not fields or not all(
+            isinstance(f, str) and f for f in fields
+        ):
+            raise ConfigError(
+                f"fields must be a non-empty sequence of field names, "
+                f"got {fields!r}"
+            )
+        if not isinstance(separator, str):
+            raise ConfigError(f"separator must be a string, got {separator!r}")
+        self.fields = fields
+        self.include_field = bool(include_field)
+        self.separator = separator
+
+    def entities(self, message) -> Tuple[str, ...]:
+        payload = message.fields
+        if not payload:
+            return ()
+        out = []
+        for name in self.fields:
+            value = payload.get(name)
+            if value is None:
+                continue
+            values = value if isinstance(value, (list, tuple)) else (value,)
+            for item in values:
+                token = str(item)
+                if not token:
+                    continue
+                if self.include_field:
+                    token = f"{name}{self.separator}{token}"
+                out.append(token)
+        return tuple(out)
+
+    def options(self) -> Dict[str, Any]:
+        return {
+            "fields": list(self.fields),
+            "include_field": self.include_field,
+            "separator": self.separator,
+        }
+
+
+__all__ = ["FieldExtractor"]

@@ -1,9 +1,11 @@
-"""Keyword-range sharded front-end for the tokenize + AKG-update stages.
+"""Entity-range sharded front-end for the extract + AKG-update stages.
 
-The per-quantum keyword work — id-set slides, sketch hashing, burst
-transition tests — is embarrassingly parallel *per keyword*: every window
-index keyed by keyword decomposes into independent partitions.  This package
-exploits that (the ROADMAP scale-out item):
+The per-quantum entity work — id-set slides, sketch hashing, burst
+transition tests — is embarrassingly parallel *per entity*: every window
+index keyed by entity token decomposes into independent partitions.  This
+package exploits that (the ROADMAP scale-out item); "keyword" in the shard
+internals below means "entity token" — the keyword workload is the paper's
+instantiation:
 
 * :class:`~repro.parallel.router.ShardRouter` splits the keyword space into
   ``shard_count`` contiguous 64-bit hash ranges (stable blake2b, so the
@@ -17,7 +19,7 @@ exploits that (the ROADMAP scale-out item):
   ``DynamicGraph``/``ClusterMaintainer`` — including the *cross-shard*
   candidate edges, whose sketch collisions and exact ECs are evaluated on
   data the workers shipped up (the exchange protocol of DESIGN.md S7);
-* :class:`~repro.parallel.stages.ShardedTokenizeStage` and
+* :class:`~repro.parallel.stages.ShardedExtractStage` and
   :class:`~repro.parallel.stages.ShardedAkgUpdateStage` slot the whole
   thing behind the existing :class:`repro.pipeline.stages.Stage` protocol.
 
@@ -31,7 +33,7 @@ from repro.parallel.frontend import ShardedAkgFrontend
 from repro.parallel.pool import WorkerPool, make_pool
 from repro.parallel.router import ShardRouter
 from repro.parallel.shard_state import ShardState, ShardUpdate
-from repro.parallel.stages import ShardedAkgUpdateStage, ShardedTokenizeStage
+from repro.parallel.stages import ShardedAkgUpdateStage, ShardedExtractStage
 
 __all__ = [
     "ShardRouter",
@@ -39,7 +41,7 @@ __all__ = [
     "ShardUpdate",
     "ShardedAkgFrontend",
     "ShardedAkgUpdateStage",
-    "ShardedTokenizeStage",
+    "ShardedExtractStage",
     "WorkerPool",
     "make_pool",
 ]

@@ -62,40 +62,50 @@ def _worker_ingest(
     ]
 
 
-def _worker_tokenize(
-    messages: Sequence, max_tokens: int, shard_count: int
+def _worker_extract(
+    messages: Sequence, max_entities: int, shard_count: int, spec: dict
 ) -> List[dict]:
-    """Tokenize one message chunk into per-shard ``keyword -> users`` maps.
+    """Extract one record chunk into per-shard ``entity -> actors`` maps.
 
     Inversion and shard routing happen *here*, in the worker, so the parent
-    merge is a dict union over distinct keywords instead of per-token set
+    merge is a dict union over distinct entities instead of per-token set
     inserts — the difference between a ~50% and a ~90% parallel fraction of
     the front-end wall.  Per-quantum spatial-correlation semantics are
-    preserved exactly: a user counts once per keyword per quantum (set
-    dedupe across messages and chunks), and the ``max_tokens`` cap applies
-    per message, as in ``user_keywords_of_quantum``.
+    preserved exactly: an actor counts once per entity per quantum (set
+    dedupe across records and chunks), and the ``max_entities`` cap applies
+    per record, as in ``actor_entities_of_quantum``.
+
+    ``spec`` is the extractor's ``{"name", "options"}`` registry spec:
+    workers rebuild the extractor by value, which is why only
+    reconstructible extractors ride the sharded extract stage (custom
+    callables neither pickle nor checkpoint — the session keeps the serial
+    stage for those).
     """
     # Imported here (not at module top) so forked workers resolve them in
-    # their own interpreter; the default tokenizer is the only one the
-    # process backend supports (functions do not checkpoint or pickle).
+    # their own interpreter.
+    from repro.extract import make_extractor
     from repro.parallel.router import ShardRouter
-    from repro.text.tokenize import tokenize
+    from repro.stream.messages import Message
 
+    extractor = make_extractor(spec["name"], spec["options"])
     shard_of = ShardRouter(shard_count).shard_of
     shard_memo: Dict[str, int] = {}
     slices: List[dict] = [{} for _ in range(shard_count)]
     for item in messages:
-        if type(item) is tuple:  # wire form: (user_id, text, tokens)
-            user, text, tokens = item
-            keywords = tokens if tokens is not None else tuple(tokenize(text))
+        if type(item) is tuple:  # wire form: (user_id, text, tokens, fields)
+            user = item[0]
+            message = Message(
+                user, tokens=item[2], text=item[1], fields=item[3]
+            )
         else:
             user = item.user_id
-            keywords = item.keyword_tuple(tokenize)
-        if not keywords:
+            message = item
+        entities = extractor.entities(message)
+        if not entities:
             continue
-        if max_tokens is not None:
-            keywords = keywords[:max_tokens]
-        for kw in keywords:
+        if max_entities is not None:
+            entities = entities[:max_entities]
+        for kw in entities:
             shard = shard_memo.get(kw)
             if shard is None:
                 shard = shard_memo[kw] = shard_of(kw)
@@ -226,26 +236,28 @@ class WorkerPool:
         updates.sort(key=lambda update: update.shard)
         return updates
 
-    def tokenize_chunks(
-        self, chunks: List[Sequence], max_tokens: int
+    def extract_chunks(
+        self, chunks: List[Sequence], max_entities: int, spec: dict
     ) -> List[List[dict]]:
-        """Tokenize message chunks in parallel.
+        """Extract record chunks in parallel (extractor rebuilt from
+        ``spec`` worker-side).
 
         Returns, per chunk (in chunk order), the chunk's per-shard
-        ``keyword -> users`` partial maps — inverted and shard-routed
-        worker-side.  For the process backend, messages cross the wire as
-        plain ``(user_id, text, tokens)`` tuples: an order of magnitude
-        cheaper to pickle than dataclass instances, and the pickling runs
-        in the executor's feeder thread, overlapping worker compute."""
+        ``entity -> actors`` partial maps — inverted and shard-routed
+        worker-side.  For the process backend, records cross the wire as
+        plain ``(user_id, text, tokens, fields)`` tuples: an order of
+        magnitude cheaper to pickle than dataclass instances, and the
+        pickling runs in the executor's feeder thread, overlapping worker
+        compute."""
         if self.backend == "process":
             chunks = [
-                [(m.user_id, m.text, m.tokens) for m in chunk]
+                [(m.user_id, m.text, m.tokens, m.fields) for m in chunk]
                 for chunk in chunks
             ]
         arg_lists = [
-            (chunk, max_tokens, self.shard_count) for chunk in chunks
+            (chunk, max_entities, self.shard_count, spec) for chunk in chunks
         ]
-        return self._run_per_worker(_worker_tokenize, arg_lists)
+        return self._run_per_worker(_worker_extract, arg_lists)
 
     # ---------------------------------------------------------- persistence
 

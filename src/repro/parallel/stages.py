@@ -16,37 +16,39 @@ from repro.parallel.frontend import ShardedAkgFrontend
 from repro.pipeline.stages import AkgUpdateStage, QuantumContext
 
 
-class ShardedTokenizeStage:
-    """Stage 1, fanned out: contiguous message chunks tokenize in parallel.
+class ShardedExtractStage:
+    """Stage 1, fanned out: contiguous record chunks extract in parallel.
 
-    Workers return per-shard ``keyword -> users`` partials — tokenisation,
-    per-message truncation, inversion *and* shard routing all happen
-    worker-side — so the parent's merge is a union over distinct keywords,
+    Workers return per-shard ``entity -> actors`` partials — extraction,
+    per-record truncation, inversion *and* shard routing all happen
+    worker-side — so the parent's merge is a union over distinct entities,
     not per-token work.  Chunks are contiguous and merged in stream order,
-    and a user's id lands in a keyword's set exactly once per quantum
+    and an actor's id lands in an entity's set exactly once per quantum
     regardless of chunking, so the merged mapping is identical to the
     serial stage's (set semantics; nothing downstream depends on set
     iteration order, DESIGN.md Section 6).
 
     The merged per-shard slices ride ``ctx.scratch`` to
     :class:`ShardedAkgUpdateStage`, which hands them to the front-end
-    pre-partitioned.  ``ctx.user_keywords`` (the user -> keywords view) is
-    not materialised — its only consumer is the optional CKG-stats tracker,
-    and the session keeps the serial tokenize stage when that is enabled.
-    Likewise custom tokenizers keep the serial stage (worker processes
-    import the default tokenizer by name; callables neither pickle nor
-    checkpoint).
+    pre-partitioned.  ``ctx.actor_entities`` (the actor -> entities view)
+    is not materialised — its only consumer is the optional CKG-stats
+    tracker, and the session keeps the serial extract stage when that is
+    enabled.  Likewise non-reconstructible (``custom``) extractors keep the
+    serial stage (worker processes rebuild the extractor from its registry
+    spec; callables neither pickle nor checkpoint).
     """
 
-    name = "tokenize"
+    name = "extract"
 
     def __init__(
         self,
         frontend: ShardedAkgFrontend,
-        max_tokens_per_message: int,
+        max_entities_per_record: int,
+        extractor_spec: dict,
     ) -> None:
         self.frontend = frontend
-        self.max_tokens_per_message = max_tokens_per_message
+        self.max_entities_per_record = max_entities_per_record
+        self.extractor_spec = extractor_spec
 
     def _chunks(self, messages: Sequence) -> List[Sequence]:
         workers = max(1, self.frontend.pool.workers)
@@ -59,8 +61,10 @@ class ShardedTokenizeStage:
 
     def run(self, ctx: QuantumContext) -> None:
         t = time.perf_counter()
-        partials = self.frontend.pool.tokenize_chunks(
-            self._chunks(ctx.messages), self.max_tokens_per_message
+        partials = self.frontend.pool.extract_chunks(
+            self._chunks(ctx.messages),
+            self.max_entities_per_record,
+            self.extractor_spec,
         )
         shard_count = self.frontend.router.shard_count
         slices: List[dict] = list(partials[0])
@@ -76,10 +80,10 @@ class ShardedTokenizeStage:
         merged: dict = {}
         for piece in slices:  # shard keys are disjoint: plain dict unions
             merged.update(piece)
-        ctx.keyword_users = merged
-        ctx.user_keywords = None
+        ctx.entity_actors = merged
+        ctx.actor_entities = None
         ctx.scratch["shard_slices"] = slices
-        ctx.timings.tokenize = time.perf_counter() - t
+        ctx.timings.extract = time.perf_counter() - t
 
 
 class ShardedAkgUpdateStage(AkgUpdateStage):
@@ -87,9 +91,9 @@ class ShardedAkgUpdateStage(AkgUpdateStage):
 
     Inherits the fused-execution accounting of
     :class:`~repro.pipeline.stages.AkgUpdateStage`; additionally forwards
-    the pre-partitioned shard slices the sharded tokenize stage left in
+    the pre-partitioned shard slices the sharded extract stage left in
     ``ctx.scratch`` so the front-end skips re-routing the quantum's
-    keywords.
+    entities.
     """
 
     def __init__(self, frontend: ShardedAkgFrontend, maintainer) -> None:
@@ -101,7 +105,7 @@ class ShardedAkgUpdateStage(AkgUpdateStage):
         maintain_before = self.maintainer.clustering_seconds
         slices = ctx.scratch.pop("shard_slices", None)
         ctx.akg_stats = self.frontend.process_quantum(
-            ctx.quantum, ctx.keyword_users, slices=slices
+            ctx.quantum, ctx.entity_actors, slices=slices
         )
         ctx.scratch["maintain_seconds"] = (
             self.maintainer.clustering_seconds - maintain_before
@@ -109,4 +113,4 @@ class ShardedAkgUpdateStage(AkgUpdateStage):
         ctx.timings.akg_update = time.perf_counter() - t
 
 
-__all__ = ["ShardedAkgUpdateStage", "ShardedTokenizeStage"]
+__all__ = ["ShardedAkgUpdateStage", "ShardedExtractStage"]

@@ -1,6 +1,6 @@
 """repro.pipeline — the staged quantum pipeline as composable objects.
 
-The six per-quantum engine stages (``tokenize → AKG update → maintain →
+The six per-quantum engine stages (``extract → AKG update → maintain →
 propagate → rank → report``) live here as typed :class:`Stage` objects
 communicating through a :class:`QuantumContext` (see DESIGN.md Section 6).
 :mod:`repro.api` drives a :class:`Pipeline` of these stages inside a
@@ -12,6 +12,7 @@ from repro.pipeline.report_index import FilterPredicate, ThresholdIndex
 from repro.pipeline.reports import QuantumReport, ReportedEvent, StageTimings
 from repro.pipeline.stages import (
     AkgUpdateStage,
+    ExtractStage,
     MaintainStage,
     Pipeline,
     PropagateStage,
@@ -19,7 +20,6 @@ from repro.pipeline.stages import (
     RankStage,
     ReportStage,
     Stage,
-    TokenizeStage,
     build_stages,
 )
 
@@ -31,7 +31,7 @@ __all__ = [
     "FilterPredicate",
     "QuantumContext",
     "Stage",
-    "TokenizeStage",
+    "ExtractStage",
     "AkgUpdateStage",
     "MaintainStage",
     "PropagateStage",

@@ -33,9 +33,15 @@ class ReportedEvent:
 
 @dataclass
 class StageTimings:
-    """Wall-clock seconds per pipeline stage of one (or many) quanta."""
+    """Wall-clock seconds per pipeline stage of one (or many) quanta.
 
-    tokenize: float = 0.0
+    ``extract`` was named ``tokenize`` before the extractor refactor (the
+    stage now runs any :class:`~repro.extract.base.EntityExtractor`, not
+    just text tokenisation); the old name survives as a read-only alias
+    and v2 checkpoints are migrated on load.
+    """
+
+    extract: float = 0.0
     akg_update: float = 0.0
     maintain: float = 0.0
     propagate: float = 0.0
@@ -43,9 +49,14 @@ class StageTimings:
     report: float = 0.0
 
     @property
+    def tokenize(self) -> float:
+        """Deprecated alias for :attr:`extract` (pre-refactor name)."""
+        return self.extract
+
+    @property
     def total(self) -> float:
         return (
-            self.tokenize
+            self.extract
             + self.akg_update
             + self.maintain
             + self.propagate

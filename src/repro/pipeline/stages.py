@@ -1,20 +1,24 @@
 """The staged quantum pipeline as composable, typed ``Stage`` objects.
 
-The engine used to run its six per-quantum stages — ``tokenize → AKG update
+The engine used to run its six per-quantum stages — ``extract → AKG update
 → maintain → propagate → rank → report`` — as inline blocks of
 ``EventDetector.process_quantum``.  This module extracts each stage into a
 small object behind the :class:`Stage` protocol so stages can be swapped or
 wrapped (e.g. with extra instrumentation) without touching the engine.
-The intended-seam promise has been cashed in: with ``config.workers > 1``
-the session swaps stages 1–2 for the keyword-range-sharded
-:class:`~repro.parallel.stages.ShardedTokenizeStage` /
+The intended-seam promise has been cashed in twice: with
+``config.workers > 1`` the session swaps stages 1–2 for the
+entity-range-sharded :class:`~repro.parallel.stages.ShardedExtractStage` /
 :class:`~repro.parallel.stages.ShardedAkgUpdateStage`, which fan the
-keyword-local work across a worker pool and merge deterministically —
-bit-identical results for any worker count (DESIGN.md Section 7).
+entity-local work across a worker pool and merge deterministically —
+bit-identical results for any worker count (DESIGN.md Section 7); and the
+first stage is parameterised by an
+:class:`~repro.extract.base.EntityExtractor`, so the same pipeline runs
+tokenized microblog text, structured field streams, or raw actor–entity
+interaction streams (DESIGN.md Section 8).
 
 Data flows between stages through a mutable :class:`QuantumContext`: each
 stage consumes the typed products of its predecessors (the per-quantum
-keyword/user mappings, the :class:`~repro.core.changelog.ChangeBatch`
+actor/entity mappings, the :class:`~repro.core.changelog.ChangeBatch`
 drained from the maintainer, the ranked-result list) and is responsible for
 writing its own slot(s) of :class:`~repro.pipeline.reports.StageTimings` —
 timing and the oracle toggles are per-stage wiring now, not engine code.
@@ -50,7 +54,7 @@ from typing import (
 from repro.errors import PipelineError
 from repro.pipeline.report_index import ThresholdIndex
 from repro.pipeline.reports import QuantumReport, ReportedEvent, StageTimings
-from repro.stream.window import invert_user_keywords, user_keywords_of_quantum
+from repro.stream.window import actor_entities_of_quantum, invert_actor_entities
 
 if TYPE_CHECKING:  # type-only: the stages hold these by duck-typed reference
     from repro.akg.builder import AkgBuilder, AkgQuantumStats
@@ -77,8 +81,8 @@ class QuantumContext:
     quantum: int
     messages: Sequence[Message]
     timings: StageTimings = field(default_factory=StageTimings)
-    user_keywords: Optional[Dict] = None
-    keyword_users: Optional[Dict] = None
+    actor_entities: Optional[Dict] = None
+    entity_actors: Optional[Dict] = None
     akg_stats: Optional[AkgQuantumStats] = None
     batch: Optional[ChangeBatch] = None
     dirty: Optional[Set[int]] = None
@@ -104,32 +108,38 @@ class Stage(Protocol):
         ...
 
 
-class TokenizeStage:
-    """Stage 1: reduce the quantum's messages to keyword/user mappings."""
+class ExtractStage:
+    """Stage 1: reduce the quantum's records to actor/entity mappings.
 
-    name = "tokenize"
+    The extractor is the workload seam (DESIGN.md Section 8): a
+    :class:`~repro.extract.keyword.KeywordExtractor` reproduces the paper's
+    tokenize stage bit for bit; structured-field and edge-stream extractors
+    open non-text workloads without touching any later stage.
+    """
+
+    name = "extract"
 
     def __init__(
         self,
-        tokenizer,
-        max_tokens_per_message: int,
+        extractor,
+        max_entities_per_record: int,
         ckg_stats: Optional[CkgStatsTracker] = None,
     ) -> None:
-        self.tokenizer = tokenizer
-        self.max_tokens_per_message = max_tokens_per_message
+        self.extractor = extractor
+        self.max_entities_per_record = max_entities_per_record
         self.ckg_stats = ckg_stats
 
     def run(self, ctx: QuantumContext) -> None:
         t = time.perf_counter()
-        ctx.user_keywords = user_keywords_of_quantum(
+        ctx.actor_entities = actor_entities_of_quantum(
             ctx.messages,
-            self.tokenizer,
-            max_tokens_per_message=self.max_tokens_per_message,
+            self.extractor,
+            max_entities_per_record=self.max_entities_per_record,
         )
-        ctx.keyword_users = invert_user_keywords(ctx.user_keywords)
+        ctx.entity_actors = invert_actor_entities(ctx.actor_entities)
         if self.ckg_stats is not None:
-            self.ckg_stats.add_quantum(ctx.quantum, ctx.user_keywords)
-        ctx.timings.tokenize = time.perf_counter() - t
+            self.ckg_stats.add_quantum(ctx.quantum, ctx.actor_entities)
+        ctx.timings.extract = time.perf_counter() - t
 
 
 class AkgUpdateStage:
@@ -152,7 +162,7 @@ class AkgUpdateStage:
         t = time.perf_counter()
         maintain_before = self.maintainer.clustering_seconds
         ctx.akg_stats = self.builder.process_quantum(
-            ctx.quantum, ctx.keyword_users
+            ctx.quantum, ctx.entity_actors
         )
         ctx.scratch["maintain_seconds"] = (
             self.maintainer.clustering_seconds - maintain_before
@@ -318,18 +328,18 @@ class Pipeline:
 
 
 def build_stages(
-    tokenizer,
+    extractor,
     maintainer: ClusterMaintainer,
     builder: AkgBuilder,
     ranker: IncrementalRanker,
     tracker: EventTracker,
     report_index: ThresholdIndex,
-    max_tokens_per_message: int,
+    max_entities_per_record: int,
     ckg_stats: Optional[CkgStatsTracker] = None,
 ) -> List[Stage]:
     """The default six-stage pipeline over the given engine components."""
     return [
-        TokenizeStage(tokenizer, max_tokens_per_message, ckg_stats),
+        ExtractStage(extractor, max_entities_per_record, ckg_stats),
         AkgUpdateStage(builder, maintainer),
         MaintainStage(maintainer),
         PropagateStage(maintainer, ranker),
@@ -341,7 +351,7 @@ def build_stages(
 __all__ = [
     "QuantumContext",
     "Stage",
-    "TokenizeStage",
+    "ExtractStage",
     "AkgUpdateStage",
     "MaintainStage",
     "PropagateStage",

@@ -1,51 +1,70 @@
-"""The message record consumed by the detector.
+"""The stream record consumed by the detector.
 
-A message is what a microblog post reduces to for this algorithm: a user id
-and a bag of keywords.  Messages may carry raw ``text`` (tokenised on
-demand) or pre-extracted ``tokens`` (the fast path used by the synthetic
-trace generators and the throughput benchmarks).
+A message is one actor–payload record of a dynamic stream.  For the
+paper's microblog workload the actor is the tweet author and the payload is
+raw ``text`` (tokenised on demand) or pre-extracted ``tokens``; for
+non-text workloads — co-purchase baskets, citation lists, structured logs —
+the payload is a ``fields`` mapping read by a structured extractor
+(:mod:`repro.extract`).  The engine never looks inside the payload itself:
+the configured :class:`~repro.extract.base.EntityExtractor` reduces it to
+entity tokens, and correlation is computed over ``user_id`` (the actor id).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Any, Hashable, Mapping, Optional, Tuple
 
 from repro.errors import StreamError
 
 
 @dataclass(frozen=True, slots=True)
 class Message:
-    """One microblog message.
+    """One stream record.
 
     Attributes
     ----------
     user_id:
-        Stable id of the author; correlation is computed over user ids, not
-        message ids, to resist single-user flooding (Section 3.2).
+        Stable id of the acting entity (tweet author, buyer, citing paper).
+        Correlation is computed over actor ids, not record ids, to resist
+        single-actor flooding (Section 3.2).
     tokens:
-        Pre-extracted keywords (already lower-cased, stop words removed).
-        When None, ``text`` must be set and is tokenised by the engine.
+        Pre-extracted entity tokens (for text workloads: already
+        lower-cased, stop words removed).  When None, ``text`` or
+        ``fields`` must carry the payload.
     text:
-        Raw message text; optional when ``tokens`` is given.
+        Raw message text; tokenised by the keyword extractor.
+    fields:
+        Structured payload (field name -> scalar or list of values) read by
+        the structured-field and edge-stream extractors.  Messages carrying
+        a ``fields`` dict are not hashable (the payload is mutable); the
+        engine only ever holds them in lists.
     timestamp:
-        Optional source timestamp; the algorithm orders messages by arrival,
-        so this is metadata only.
+        Optional source timestamp; the algorithm orders messages by
+        arrival, so this is metadata only.
     """
 
     user_id: Hashable
     tokens: Optional[Tuple[str, ...]] = None
     text: Optional[str] = None
+    fields: Optional[Mapping[str, Any]] = None
     timestamp: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.tokens is None and self.text is None:
-            raise StreamError("message needs tokens or text")
+        if self.tokens is None and self.text is None and self.fields is None:
+            raise StreamError("message needs tokens, text, or fields")
 
     def keyword_tuple(self, tokenizer) -> Tuple[str, ...]:
-        """The message's keywords, tokenising ``text`` when needed."""
+        """The message's keywords, tokenising ``text`` when needed.
+
+        Field-only records have no text payload and yield no keywords —
+        feeding a structured stream through the keyword extractor is a
+        no-op, not an error.
+        """
         if self.tokens is not None:
             return self.tokens
+        if self.text is None:
+            return ()
         return tuple(tokenizer(self.text))
 
 

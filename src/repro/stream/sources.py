@@ -1,8 +1,9 @@
 """Trace persistence: JSON-lines reading and writing of message streams.
 
 One JSON object per line: ``{"u": user_id, "k": [tokens...]}`` with optional
-``"t"`` (text) and ``"ts"`` (timestamp).  The compact keys keep multi-million
-message traces manageable on disk.
+``"t"`` (text), ``"f"`` (structured fields payload, for non-text workloads
+read by the extractors of :mod:`repro.extract`) and ``"ts"`` (timestamp).
+The compact keys keep multi-million message traces manageable on disk.
 
 Reading is hardened for unbounded production feeds: a malformed line —
 invalid UTF-8, broken JSON (e.g. a truncated final line), a non-object
@@ -32,6 +33,8 @@ def message_to_record(message: Message) -> dict:
         record["k"] = list(message.tokens)
     if message.text is not None:
         record["t"] = message.text
+    if message.fields is not None:
+        record["f"] = dict(message.fields)
     if message.timestamp is not None:
         record["ts"] = message.timestamp
     return record
@@ -45,10 +48,14 @@ def message_from_record(record: dict) -> Message:
     if "u" not in record:
         raise StreamError("missing user id")
     tokens = record.get("k")
+    fields = record.get("f")
+    if fields is not None and not isinstance(fields, dict):
+        raise StreamError(f"fields payload is not an object: {fields!r}")
     return Message(
         user_id=record["u"],
         tokens=tuple(tokens) if tokens is not None else None,
         text=record.get("t"),
+        fields=fields,
         timestamp=record.get("ts"),
     )
 

@@ -1,11 +1,14 @@
 """Quantum batching and per-quantum aggregation.
 
 The moving-window paradigm of Section 1.1: the stream is consumed in quanta
-of a fixed number of messages; the window spans the last ``w`` quanta.  The
-:class:`QuantumBatcher` groups an arbitrary message iterator into quanta; the
-aggregation helpers reduce a quantum to the two mappings the AKG needs:
-keyword -> users (id sets) and user -> keywords (spatial correlation, CKG
-stats).
+of a fixed number of records; the window spans the last ``w`` quanta.  The
+:class:`QuantumBatcher` groups an arbitrary message iterator into quanta;
+the aggregation helpers reduce a quantum to the two mappings the AKG needs:
+entity -> actors (id sets) and actor -> entities (spatial correlation, CKG
+stats).  Extraction is delegated to an
+:class:`~repro.extract.base.EntityExtractor`; the legacy keyword-named
+helpers wrap the default :class:`~repro.extract.keyword.KeywordExtractor`
+and are kept for the paper-facing call sites and tests.
 """
 
 from __future__ import annotations
@@ -15,7 +18,9 @@ from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Set
 from repro.errors import StreamError
 from repro.stream.messages import Message
 
-Keyword = str
+Entity = str
+Keyword = str  # legacy alias: keywords are the textual instantiation
+ActorId = Hashable
 UserId = Hashable
 Tokenizer = Callable[[str], Iterable[str]]
 
@@ -74,27 +79,52 @@ class QuantumBatcher:
             yield tail
 
 
+def actor_entities_of_quantum(
+    messages: Iterable[Message],
+    extractor,
+    max_entities_per_record: int | None = None,
+) -> Dict[ActorId, Set[Entity]]:
+    """actor -> entities observed within the quantum (spatial correlation).
+
+    Spatial correlation is per *actor per quantum*, not per record: an
+    actor's entities may be spread over several records within the quantum
+    (Section 3.2).  ``max_entities_per_record`` truncates oversized records
+    (microblog posts are length-capped; the cap also bounds the per-record
+    pair fan-out a hostile flooder could inject).
+    """
+    out: Dict[ActorId, Set[Entity]] = {}
+    for message in messages:
+        entities = extractor.entities(message)
+        if not entities:
+            continue
+        if max_entities_per_record is not None:
+            entities = entities[:max_entities_per_record]
+        out.setdefault(message.user_id, set()).update(entities)
+    return out
+
+
+def invert_actor_entities(
+    actor_entities: Dict[ActorId, Set[Entity]],
+) -> Dict[Entity, Set[ActorId]]:
+    """Convert actor -> entities into entity -> actors without re-extracting."""
+    out: Dict[Entity, Set[ActorId]] = {}
+    for actor, entities in actor_entities.items():
+        for entity in entities:
+            out.setdefault(entity, set()).add(actor)
+    return out
+
+
 def user_keywords_of_quantum(
     messages: Iterable[Message],
     tokenizer: Tokenizer,
     max_tokens_per_message: int | None = None,
 ) -> Dict[UserId, Set[Keyword]]:
-    """user -> keywords used within the quantum (spatial correlation unit).
+    """user -> keywords used within the quantum (keyword-path wrapper)."""
+    from repro.extract.keyword import KeywordExtractor
 
-    Spatial correlation is per *user per quantum*, not per message: a user's
-    keywords may be spread over several messages within the quantum
-    (Section 3.2).  ``max_tokens_per_message`` truncates oversized messages
-    (microblog posts are length-capped; the cap bounds pair fan-out).
-    """
-    out: Dict[UserId, Set[Keyword]] = {}
-    for message in messages:
-        keywords = message.keyword_tuple(tokenizer)
-        if not keywords:
-            continue
-        if max_tokens_per_message is not None:
-            keywords = keywords[:max_tokens_per_message]
-        out.setdefault(message.user_id, set()).update(keywords)
-    return out
+    return actor_entities_of_quantum(
+        messages, KeywordExtractor(tokenizer=tokenizer), max_tokens_per_message
+    )
 
 
 def keyword_users_of_quantum(
@@ -111,16 +141,14 @@ def keyword_users_of_quantum(
 def invert_user_keywords(
     user_keywords: Dict[UserId, Set[Keyword]],
 ) -> Dict[Keyword, Set[UserId]]:
-    """Convert user -> keywords into keyword -> users without re-tokenising."""
-    out: Dict[Keyword, Set[UserId]] = {}
-    for user, keywords in user_keywords.items():
-        for keyword in keywords:
-            out.setdefault(keyword, set()).add(user)
-    return out
+    """Convert user -> keywords into keyword -> users (legacy name)."""
+    return invert_actor_entities(user_keywords)
 
 
 __all__ = [
     "QuantumBatcher",
+    "actor_entities_of_quantum",
+    "invert_actor_entities",
     "user_keywords_of_quantum",
     "keyword_users_of_quantum",
     "invert_user_keywords",

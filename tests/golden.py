@@ -1,0 +1,225 @@
+"""Shared golden-fingerprint machinery for seed-pinned parity tests.
+
+The extractor refactor (PR 5) promises that the default keyword path stays
+*bit-identical* to the pre-refactor pipeline: same reports, same sink
+events, same event histories, same checkpoint contents.  The hashes pinned
+in ``tests/test_extractor_parity.py`` were generated against the
+pre-refactor tree with exactly the canonicalization below, so any semantic
+drift in the keyword path — ranks, filter verdicts, lifecycle transitions,
+window state — flips a fingerprint and fails the golden test.
+
+Everything here must therefore be **deterministic and layout-agnostic**:
+
+* floats go through ``repr`` (shortest-roundtrip — exact);
+* sets / frozensets / dicts are canonically sorted (no iteration-order or
+  hash-randomization leakage);
+* checkpoint state is normalized: wall-clock timings are zeroed and the
+  keys whose *shape* legitimately changed with the extractor refactor
+  (extractor identity, the custom-extractor flag) are dropped, so the same
+  stream position fingerprints identically before and after the refactor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+
+from repro.api import QueueSink, open_session
+from repro.api.checkpoint import load_checkpoint
+
+# ---------------------------------------------------------- stream regimes
+#
+# The three regimes of the AKG property tests (bursty / uniform / window
+# re-entry), self-contained here so the golden streams can never drift with
+# another test module's edits.
+
+
+def bursty_stream(seed, n):
+    rng = random.Random(seed)
+    keywords = [f"k{i}" for i in range(6)]
+    return [
+        (f"u{rng.randrange(20)}", tuple(rng.sample(keywords, rng.randint(2, 4))))
+        for _ in range(n)
+    ]
+
+
+def uniform_stream(seed, n):
+    rng = random.Random(seed)
+    keywords = [f"w{i}" for i in range(40)]
+    return [
+        (f"u{rng.randrange(60)}", tuple(rng.sample(keywords, rng.randint(1, 3))))
+        for _ in range(n)
+    ]
+
+
+def reentry_stream(seed, n, period):
+    rng = random.Random(seed)
+    group_a = [f"a{i}" for i in range(4)]
+    group_b = [f"b{i}" for i in range(4)]
+    return [
+        (
+            f"u{rng.randrange(15)}",
+            tuple(
+                rng.sample(
+                    group_a if (i // period) % 2 == 0 else group_b,
+                    rng.randint(2, 3),
+                )
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+# ---------------------------------------------------------- canonical form
+
+
+def canonical(obj):
+    """Recursively convert ``obj`` into a JSON-stable canonical structure."""
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["f", repr(obj)]
+    if isinstance(obj, (list, tuple)):
+        return ["l", [canonical(x) for x in obj]]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonical(x) for x in obj]
+        return ["s", sorted(items, key=lambda i: json.dumps(i, sort_keys=True))]
+    if isinstance(obj, dict):
+        pairs = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        return [
+            "d",
+            sorted(pairs, key=lambda p: json.dumps(p[0], sort_keys=True)),
+        ]
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def fingerprint(structure) -> str:
+    """sha256 over the canonical JSON rendering of ``structure``."""
+    blob = json.dumps(
+        canonical(structure), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------- records
+
+
+def report_record(report) -> dict:
+    """Everything consumer-visible in one QuantumReport (no wall clocks)."""
+    stats = report.akg_stats
+    return {
+        "quantum": report.quantum,
+        "messages": report.messages_processed,
+        "reported": sorted(
+            [
+                e.event_id,
+                sorted(e.keywords),
+                e.rank,
+                e.support,
+                e.size,
+                e.num_edges,
+                e.born_quantum,
+            ]
+            for e in report.reported
+        ),
+        "suppressed": sorted(
+            [e.event_id, sorted(e.keywords), e.rank, e.support]
+            for e in report.suppressed
+        ),
+        "new": sorted(report.new_event_ids),
+        "dead": sorted(report.dead_event_ids),
+        "changes": report.changes,
+        "dirty": report.dirty_clusters,
+        "ranked": report.ranked_clusters,
+        "cache_hits": report.rank_cache_hits,
+        "akg": None
+        if stats is None
+        else [
+            stats.bursty_keywords,
+            stats.nodes_added,
+            stats.nodes_removed_stale,
+            stats.nodes_removed_lazy,
+            stats.edges_added,
+            stats.edges_removed,
+            stats.edges_refreshed,
+            stats.node_weight_deltas,
+            stats.candidate_pairs,
+            stats.ec_computations,
+            stats.removal_candidates,
+            stats.akg_nodes,
+            stats.akg_edges,
+        ],
+    }
+
+
+def note_record(event) -> list:
+    return [
+        event.kind.value,
+        event.quantum,
+        event.event_id,
+        sorted(event.keywords),
+        event.rank,
+        event.size,
+        event.previous_rank,
+        event.previous_size,
+    ]
+
+
+def history_record(record) -> list:
+    return [
+        record.event_id,
+        record.born_quantum,
+        record.died_quantum,
+        record.absorbed_into,
+        list(record.gaps),
+        [
+            [s.quantum, sorted(s.keywords), s.rank, s.support, s.num_edges]
+            for s in record.snapshots
+        ],
+    ]
+
+
+def normalized_checkpoint_state(path) -> dict:
+    """Checkpoint state with wall clocks zeroed and refactor-variant keys
+    dropped (extractor identity is *new* state; the timings breakdown is
+    wall-clock noise whose slot names changed with the stage rename)."""
+    state = dict(load_checkpoint(path))
+    state.pop("custom_tokenizer", None)
+    state.pop("custom_extractor", None)
+    state.pop("extractor", None)
+    state["total_seconds"] = 0.0
+    state["timings"] = None
+    maintainer = dict(state["maintainer"])
+    maintainer["clustering_seconds"] = 0.0
+    state["maintainer"] = maintainer
+    config = dict(state["config"])
+    config.pop("extractor", None)
+    config.pop("extractor_options", None)
+    state["config"] = config
+    return state
+
+
+def run_structure(messages, config, ckpt_path, **session_kwargs) -> dict:
+    """One full session pass over ``messages``: the golden structure.
+
+    ``messages`` are ``(user_id, tokens)`` pairs (the regime builders'
+    output), materialized here so the builders stay Message-class agnostic.
+    """
+    from repro.stream.messages import Message
+
+    session = open_session(config, **session_kwargs)
+    inbox = QueueSink()
+    session.subscribe(inbox)
+    reports = list(
+        session.ingest_many(Message(u, tokens=t) for u, t in messages)
+    )
+    session.snapshot(ckpt_path)
+    structure = {
+        "reports": [report_record(r) for r in reports],
+        "notes": [note_record(e) for e in inbox.drain()],
+        "histories": sorted(history_record(r) for r in session.events()),
+        "checkpoint": normalized_checkpoint_state(ckpt_path),
+    }
+    session.close()
+    return structure

@@ -11,6 +11,7 @@ boundaries so the buffered partial quantum is exercised too.
 
 import json
 import random
+from pathlib import Path
 
 import pytest
 
@@ -350,6 +351,79 @@ class TestCheckpointFile:
         document["state"] = encode_state(state)
         path.write_text(json.dumps(document))
         with pytest.raises(Exception, match="hyperdrive"):
+            open_session(resume=path)
+
+
+class TestVersionMigration:
+    """Older checkpoints load through the migration table (v2 → v3); truly
+    unknown versions fail with an error naming what *is* readable.
+
+    ``tests/data/checkpoint_v2.ckpt`` was written by the pre-extractor
+    tree (PR 4 head) at message 250 of a seed-pinned stream, mid-quantum;
+    the continuation fingerprint below is what that same tree produced for
+    messages 250..300 — the migrated resume must reproduce it bit for bit.
+    """
+
+    V2_ASSET = Path(__file__).parent / "data" / "checkpoint_v2.ckpt"
+    CONTINUATION = (
+        "9764eedd3c2267c7348051c7f2e08deca80f364eb43daa5f576646b0cfcd6664"
+    )
+
+    def stream(self):
+        from golden import bursty_stream
+
+        return [Message(u, tokens=t) for u, t in bursty_stream(5, 300)]
+
+    def test_v2_asset_is_version_2(self):
+        document = json.loads(self.V2_ASSET.read_text())
+        assert document["version"] == 2
+        assert CHECKPOINT_VERSION == 3
+
+    def test_migrated_state_has_extractor_identity(self):
+        from repro.api.checkpoint import load_checkpoint
+
+        state = load_checkpoint(self.V2_ASSET)
+        assert state["extractor"] == {"name": "keyword", "options": {}}
+        assert state["custom_extractor"] is False
+        assert "custom_tokenizer" not in state
+        assert "extract" in state["timings"]
+        assert "tokenize" not in state["timings"]
+
+    def test_v2_resume_continues_bit_identically(self):
+        from golden import fingerprint, note_record, report_record
+
+        messages = self.stream()
+        session = open_session(resume=self.V2_ASSET)
+        assert session.extractor.name == "keyword"
+        inbox = QueueSink()
+        session.subscribe(inbox)
+        reports = [r for m in messages[250:] if (r := session.ingest(m))]
+        structure = {
+            "reports": [report_record(r) for r in reports],
+            "notes": [note_record(e) for e in inbox.drain()],
+        }
+        assert fingerprint(structure) == self.CONTINUATION
+
+    def test_v2_resume_snapshots_as_v3(self, tmp_path):
+        session = open_session(resume=self.V2_ASSET)
+        path = tmp_path / "upgraded.ckpt"
+        session.snapshot(path)
+        document = json.loads(path.read_text())
+        assert document["version"] == CHECKPOINT_VERSION
+        # and the upgraded checkpoint resumes normally (250 messages =
+        # 12 complete quanta of 20 -> 0-based index 11, 10 buffered)
+        resumed = open_session(resume=path)
+        assert resumed.current_quantum == 11
+        assert resumed.batcher.pending == 10
+
+    def test_unmigratable_version_names_the_readable_set(self, tmp_path):
+        path = tmp_path / "v1.ckpt"
+        path.write_text(
+            json.dumps(
+                {"format": CHECKPOINT_FORMAT, "version": 1, "state": None}
+            )
+        )
+        with pytest.raises(CheckpointError, match="migrate versions 2"):
             open_session(resume=path)
 
 

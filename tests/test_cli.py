@@ -56,7 +56,7 @@ class TestGenerateAndDetect:
         assert main(["detect", trace_path, "--timing"]) == 0
         out = capsys.readouterr().out
         assert "per-stage timing" in out
-        for stage in ("tokenize", "akg_update", "maintain",
+        for stage in ("extract", "akg_update", "maintain",
                       "propagate", "rank", "report"):
             assert stage in out
         assert "rank cache" in out
@@ -86,6 +86,59 @@ class TestGenerateAndDetect:
         fast_events = [l for l in fast_out.splitlines() if "NEW event" in l]
         oracle_events = [l for l in oracle_out.splitlines() if "NEW event" in l]
         assert fast_events == oracle_events
+
+
+class TestExtractorFlags:
+    def test_edge_stream_detect_and_resume_cycle(self, tmp_path, capsys):
+        """generate edge -> detect --extractor edges --checkpoint -> resume:
+        the CLI face of the non-text workload matrix."""
+        trace_path = str(tmp_path / "edges.jsonl")
+        ckpt_path = str(tmp_path / "edges.ckpt")
+        assert main(
+            ["generate", "edge", trace_path, "--messages", "4000"]
+        ) == 0
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--extractor", "edges",
+            "--quantum-size", "80", "--theta", "3",
+            "--checkpoint", ckpt_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bundle" in out  # planted co-purchase bundles reported
+        assert main([
+            "detect", trace_path, "--resume-from", ckpt_path,
+        ]) == 0
+        assert "resumed from" in capsys.readouterr().out
+
+    def test_fields_extractor_with_options(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "fields.jsonl")
+        assert main(
+            ["generate", "fields", trace_path, "--messages", "4000"]
+        ) == 0
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--extractor", "fields",
+            "--extractor-options", '{"fields": ["tags"]}',
+            "--quantum-size", "80", "--theta", "3",
+        ]) == 0
+        assert "tags:" in capsys.readouterr().out
+
+    def test_malformed_extractor_options_rejected(self, tmp_path):
+        from repro.errors import ConfigError
+
+        trace_path = str(tmp_path / "t.jsonl")
+        trace_path_obj = tmp_path / "t.jsonl"
+        trace_path_obj.write_text('{"u": "u1", "k": ["a"]}\n')
+        with pytest.raises(ConfigError, match="JSON"):
+            main([
+                "detect", trace_path,
+                "--extractor-options", "{not json",
+            ])
+        with pytest.raises(ConfigError, match="object"):
+            main([
+                "detect", trace_path,
+                "--extractor-options", '["a", "list"]',
+            ])
 
 
 class TestCheckpointFlags:

@@ -163,7 +163,7 @@ class TestStagedPipeline:
         report = detector.process_quantum(burst(["a1", "b1", "c1"], range(6)))
         timings = report.timings.as_dict()
         assert set(timings) == {
-            "tokenize", "akg_update", "maintain", "propagate", "rank", "report"
+            "extract", "akg_update", "maintain", "propagate", "rank", "report"
         }
         assert all(t >= 0.0 for t in timings.values())
         assert report.timings.total <= report.elapsed_seconds

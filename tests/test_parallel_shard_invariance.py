@@ -292,9 +292,10 @@ def test_oracle_akg_refuses_sharding():
         make_config(oracle_akg=True, workers=2)
 
 
-def test_custom_tokenizer_keeps_serial_tokenize_stage():
-    """A custom tokenizer cannot ride worker processes; the session must
-    fall back to the serial tokenize stage but still shard the AKG work."""
+def test_custom_tokenizer_keeps_serial_extract_stage():
+    """A custom tokenizer (a non-reconstructible extractor) cannot ride
+    worker processes; the session must fall back to the serial extract
+    stage but still shard the AKG work."""
     def tokenizer(text):
         return text.split()
 
@@ -305,13 +306,13 @@ def test_custom_tokenizer_keeps_serial_tokenize_stage():
         tokenizer=tokenizer,
     )
     try:
-        assert session.pipeline.names()[:2] == ["tokenize", "akg_update"]
-        from repro.parallel import ShardedAkgUpdateStage, ShardedTokenizeStage
-        from repro.pipeline.stages import TokenizeStage
+        assert session.pipeline.names()[:2] == ["extract", "akg_update"]
+        from repro.parallel import ShardedAkgUpdateStage, ShardedExtractStage
+        from repro.pipeline.stages import ExtractStage
 
-        assert isinstance(session.pipeline.stage("tokenize"), TokenizeStage)
+        assert isinstance(session.pipeline.stage("extract"), ExtractStage)
         assert not isinstance(
-            session.pipeline.stage("tokenize"), ShardedTokenizeStage
+            session.pipeline.stage("extract"), ShardedExtractStage
         )
         assert isinstance(
             session.pipeline.stage("akg_update"), ShardedAkgUpdateStage

@@ -47,7 +47,7 @@ class TestPipelineAssembly:
     def test_default_pipeline_has_six_named_stages(self):
         session = open_session(exact_config())
         assert session.pipeline.names() == [
-            "tokenize",
+            "extract",
             "akg_update",
             "maintain",
             "propagate",
@@ -71,9 +71,11 @@ class TestPipelineAssembly:
         report = session.process_quantum(burst(["a1", "b1", "c1"], range(6)))
         timings = report.timings.as_dict()
         assert set(timings) == {
-            "tokenize", "akg_update", "maintain", "propagate", "rank", "report"
+            "extract", "akg_update", "maintain", "propagate", "rank", "report"
         }
         assert all(t >= 0.0 for t in timings.values())
+        # legacy read-only alias for the pre-refactor slot name
+        assert report.timings.tokenize == report.timings.extract
 
     def test_wrapped_stage_composes(self):
         """A stage can be wrapped without the pipeline noticing — the

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.eval",
     "repro.pipeline",
     "repro.api",
+    "repro.extract",
 ]
 
 MODULES = [
@@ -55,10 +56,15 @@ MODULES = [
     "repro.text.stopwords",
     "repro.text.pos",
     "repro.text.synonyms",
+    "repro.extract.base",
+    "repro.extract.keyword",
+    "repro.extract.structured",
+    "repro.extract.edges",
     "repro.datasets.vocab",
     "repro.datasets.events",
     "repro.datasets.synthetic",
     "repro.datasets.traces",
+    "repro.datasets.entity_streams",
     "repro.datasets.headlines",
     "repro.datasets.figure1",
     "repro.baselines.offline_bc",
