@@ -1,0 +1,207 @@
+"""Batched hot path: single-core msg/s of the batched vs reference backend.
+
+The PR 6 tentpole gate.  One pre-tokenized TW-style trace is replayed
+through three sessions over the identical hot-path configuration:
+
+* ``reference`` — the object-path pipeline (per-message dicts, per-user
+  salted hashing, Counter-backed window sets);
+* ``batched``   — the array-backed backend (quantum columns, interned ids,
+  vectorized sketch minima, sorted packed-key window slides);
+* ``batched / pure-python`` — the same backend with numpy force-disabled
+  (``REPRO_PURE_PYTHON``), i.e. the dict fallback engine.
+
+Every run's reports must be *bit-identical* (reported events, ranks,
+supports, lifecycle ids, AKG mutation counters) — the speedup is measured
+against a provably equal result, the DESIGN.md Section 9 contract.
+
+Gates:
+
+* the batched backend must sustain >= ``GATE_MULTIPLE`` x the committed
+  table-4 single-core baseline (the mean of the TW/ES q=160 msg/s figures
+  in ``results/table4_throughput.json`` — the rate the repo shipped before
+  this backend existed);
+* batched must beat reference on the *same* configuration (sanity: the
+  backend can never be a pessimisation).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_hot_path.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _results import RESULTS_DIR, smoke_scale, write_json_result  # noqa: E402
+
+import repro.arrays as arrays  # noqa: E402
+from repro.api import open_session  # noqa: E402
+from repro.config import DetectorConfig  # noqa: E402
+from repro.datasets.traces import build_tw_trace  # noqa: E402
+from repro.eval.reporting import render_table  # noqa: E402
+
+# Large quanta are the batched backend's design point: per-quantum work is
+# one vectorized slide, so the quantum is sized for array efficiency while
+# theta keeps the burst threshold at the same fraction of quantum size the
+# table-4 runs use.
+QUANTUM = 3_200
+WINDOW = 6
+THETA = 80
+ROUNDS = 3
+
+# The committed pre-backend baseline this PR's headline multiplies: the
+# table-4 single-core msg/s (mean of the TW and ES q=160 figures).
+BASELINE_RESULT = RESULTS_DIR / "table4_throughput.json"
+BASELINE_KEYS = ("TW_q160_msg_s", "ES_q160_msg_s")
+GATE_MULTIPLE = 5.0
+
+
+def hot_path_config(backend: str) -> DetectorConfig:
+    return DetectorConfig(
+        quantum_size=QUANTUM,
+        window_quanta=WINDOW,
+        high_state_threshold=THETA,
+        ec_threshold=0.2,
+        node_grace_quanta=2,
+        backend=backend,
+    )
+
+
+def report_fingerprint(reports) -> list:
+    """Everything consumer-visible per report, canonically ordered."""
+    out = []
+    for r in reports:
+        stats = r.akg_stats
+        out.append(
+            (
+                r.quantum,
+                sorted(
+                    (e.event_id, tuple(sorted(e.keywords)), e.rank, e.support)
+                    for e in r.reported
+                ),
+                sorted(r.new_event_ids),
+                sorted(r.dead_event_ids),
+                r.changes,
+                None
+                if stats is None
+                else (
+                    stats.bursty_keywords,
+                    stats.nodes_added,
+                    stats.edges_added,
+                    stats.candidate_pairs,
+                    stats.ec_computations,
+                    stats.akg_nodes,
+                    stats.akg_edges,
+                ),
+            )
+        )
+    return out
+
+
+def run_backend(
+    messages, backend: str, rounds: int = ROUNDS
+) -> Tuple[float, list]:
+    """Best-of-``rounds`` msg/s plus the (round-invariant) fingerprint."""
+    best = 0.0
+    fingerprint = None
+    for _ in range(rounds):
+        session = open_session(hot_path_config(backend))
+        start = time.perf_counter()
+        reports = list(session.ingest_many(iter(messages)))
+        wall = time.perf_counter() - start
+        fp = report_fingerprint(reports)
+        session.close()
+        if fingerprint is None:
+            fingerprint = fp
+        else:
+            assert fp == fingerprint, f"{backend} reports varied across rounds"
+        best = max(best, len(messages) / wall)
+    return best, fingerprint
+
+
+def committed_baseline_msg_s() -> float:
+    with open(BASELINE_RESULT, encoding="utf-8") as fh:
+        config = json.load(fh)["config"]
+    return sum(config[key] for key in BASELINE_KEYS) / len(BASELINE_KEYS)
+
+
+def bench_hot_path():
+    total = smoke_scale(default=24_000, smoke=9_600)
+    messages = build_tw_trace(
+        total_messages=total, n_events=12, seed=7
+    ).messages
+    baseline = committed_baseline_msg_s()
+
+    ref_rate, ref_fp = run_backend(messages, "reference")
+    bat_rate, bat_fp = run_backend(messages, "batched")
+    arrays.FORCE_PURE = True
+    try:
+        pure_rate, pure_fp = run_backend(messages, "batched", rounds=1)
+    finally:
+        arrays.FORCE_PURE = False
+
+    assert bat_fp == ref_fp, (
+        "batched backend reports diverged from the reference backend"
+    )
+    assert pure_fp == ref_fp, (
+        "pure-python batched engine reports diverged from the reference "
+        "backend"
+    )
+
+    rows: List[List[object]] = [
+        ["reference", round(ref_rate), f"{ref_rate / baseline:.2f}x"],
+        ["batched", round(bat_rate), f"{bat_rate / baseline:.2f}x"],
+        ["batched (pure python)", round(pure_rate),
+         f"{pure_rate / baseline:.2f}x"],
+    ]
+    table = render_table(
+        ["backend", "msg/s", "vs committed table-4 baseline"],
+        rows,
+        title=(
+            f"Batched hot path — {len(messages)} pre-tokenized TW messages, "
+            f"q={QUANTUM}, w={WINDOW}, theta={THETA} (all reports "
+            f"bit-identical; baseline {baseline:.0f} msg/s)"
+        ),
+    )
+    try:
+        from conftest import emit
+    except ImportError:  # standalone run
+        print(table)
+    else:
+        emit("hot_path", table)
+
+    write_json_result(
+        "hot_path",
+        config={
+            "quantum_size": QUANTUM,
+            "window_quanta": WINDOW,
+            "high_state_threshold": THETA,
+            "messages": len(messages),
+            "msg_s_reference": round(ref_rate),
+            "msg_s_batched": round(bat_rate),
+            "msg_s_batched_pure": round(pure_rate),
+            "table4_baseline_msg_s": round(baseline),
+            "gate_multiple": GATE_MULTIPLE,
+            "batched_vs_baseline": round(bat_rate / baseline, 4),
+        },
+        wall_s=len(messages) / bat_rate,
+        speedup=bat_rate / ref_rate,
+        quanta=len(messages) // QUANTUM,
+    )
+    assert bat_rate >= GATE_MULTIPLE * baseline, (
+        f"batched backend sustained {bat_rate:.0f} msg/s, below the "
+        f"{GATE_MULTIPLE}x gate over the committed table-4 baseline "
+        f"({baseline:.0f} msg/s -> gate {GATE_MULTIPLE * baseline:.0f})"
+    )
+    assert bat_rate > ref_rate, (
+        f"batched backend ({bat_rate:.0f} msg/s) must not be slower than "
+        f"reference ({ref_rate:.0f} msg/s) on the same configuration"
+    )
+
+
+if __name__ == "__main__":
+    bench_hot_path()

@@ -129,23 +129,23 @@ def report_fingerprint(reports) -> list:
     ]
 
 
-def run_mode(stream, **session_kwargs) -> Tuple[float, float, list]:
-    """Returns (extract+akg seconds, total seconds, report fingerprint)."""
+def run_mode(stream, **session_kwargs) -> Tuple[float, float, list, Dict]:
+    """Returns (extract+akg seconds, total seconds, fingerprint, timings)."""
     session = open_session(CONFIG, **session_kwargs)
     reports = list(session.ingest_many(stream))
-    front = (
-        session.total_timings.extract + session.total_timings.akg_update
-    )
+    timings = session.total_timings.as_dict()
+    front = timings["extract"] + timings["akg_update"]
     total = session.total_seconds
     fingerprint = report_fingerprint(reports)
     session.close()
-    return front, total, fingerprint
+    return front, total, fingerprint, timings
 
 
-def run_bench(n_quanta: int) -> Tuple[str, Dict[str, float], int]:
+def run_bench(n_quanta: int) -> Tuple[str, Dict[str, float], int, Dict]:
     stream = build_stream(n_quanta)
     cores = usable_cores()
     walls: Dict[str, float] = {}
+    stage_timings: Dict[str, Dict[str, float]] = {}
     rows: List[List[object]] = []
 
     # Warm caches (imports, code objects, allocator) before any timing.
@@ -158,20 +158,24 @@ def run_bench(n_quanta: int) -> Tuple[str, Dict[str, float], int]:
     serial_front = serial_total = float("inf")
     w1_front = w1_total = float("inf")
     for _ in range(3):
-        front, total, fingerprint = run_mode(stream)
+        front, total, fingerprint, timings = run_mode(stream)
         if serial_fp is None:
             serial_fp = fingerprint
         assert fingerprint == serial_fp
+        if front < serial_front:
+            stage_timings["serial"] = timings
         serial_front = min(serial_front, front)
         serial_total = min(serial_total, total)
         # workers=1 must still exercise the sharded machinery (that is
         # what the overhead gate measures), so force a shard count.
-        front, total, fingerprint = run_mode(
+        front, total, fingerprint, timings = run_mode(
             stream, workers=1, shard_count=1
         )
         assert fingerprint == serial_fp, (
             "sharded W=1 reports diverged from the serial session"
         )
+        if front < w1_front:
+            stage_timings["w1"] = timings
         w1_front = min(w1_front, front)
         w1_total = min(w1_total, total)
     walls["serial"] = serial_front
@@ -183,11 +187,14 @@ def run_bench(n_quanta: int) -> Tuple[str, Dict[str, float], int]:
     for workers in WORKER_COUNTS:
         if workers == 1:
             continue
-        front, total, fingerprint = run_mode(stream, workers=workers)
+        front, total, fingerprint, timings = run_mode(
+            stream, workers=workers
+        )
         assert fingerprint == serial_fp, (
             f"sharded W={workers} reports diverged from the serial session"
         )
         walls[f"w{workers}"] = front
+        stage_timings[f"w{workers}"] = timings
         rows.append(
             [
                 f"sharded W={workers}",
@@ -204,13 +211,16 @@ def run_bench(n_quanta: int) -> Tuple[str, Dict[str, float], int]:
             f"messages ({cores} usable cores) — all reports bit-identical"
         ),
     )
-    return table, walls, cores
+    return table, walls, cores, stage_timings
+
+
+SPEEDUP_CORES_REQUIRED = 4
 
 
 def bench_parallel_akg():
     """Acceptance gates: W=1 overhead <= 10%; >= 2x at W=4 on >= 4 cores."""
     n_quanta = smoke_scale(default=24, smoke=8)
-    table, walls, cores = run_bench(n_quanta)
+    table, walls, cores, stage_timings = run_bench(n_quanta)
     try:
         from conftest import emit
     except ImportError:  # standalone run
@@ -219,7 +229,12 @@ def bench_parallel_akg():
         emit("parallel_akg", table)
 
     overhead = walls["w1"] / walls["serial"]
-    speedup = walls["w1"] / walls["w4"]
+    # A host below the core requirement cannot demonstrate parallel
+    # speedup; record None (a documented skip) rather than shipping a
+    # sub-1x "speedup" that a regression check would treat as the
+    # machine's capability.
+    measured = walls["w1"] / walls["w4"]
+    speedup = measured if cores >= SPEEDUP_CORES_REQUIRED else None
     write_json_result(
         "parallel_akg",
         config={
@@ -232,7 +247,11 @@ def bench_parallel_akg():
             "wall_w2_s": round(walls["w2"], 4),
             "wall_w4_s": round(walls["w4"], 4),
             "w1_overhead": round(overhead, 4),
-            "speedup_cores_required": 4,
+            "speedup_cores_required": SPEEDUP_CORES_REQUIRED,
+            "stage_timings_s": {
+                mode: {k: round(v, 4) for k, v in timings.items()}
+                for mode, timings in sorted(stage_timings.items())
+            },
         },
         wall_s=walls["w4"],
         speedup=speedup,
@@ -242,15 +261,16 @@ def bench_parallel_akg():
         f"sharded W=1 overhead vs the serial stage is {overhead:.2f}x "
         f"(gate: <= 1.10x)"
     )
-    if cores >= 4:
+    if speedup is not None:
         assert speedup >= 2.0, (
             f"expected >= 2x tokenize+AKG speedup at 4 workers, got "
             f"{speedup:.2f}x on {cores} cores"
         )
     else:
         print(
-            f"-- speedup gate skipped: {cores} usable core(s) < 4 "
-            f"(measured {speedup:.2f}x; enforced on multi-core CI)"
+            f"-- speedup gate skipped: {cores} usable core(s) < "
+            f"{SPEEDUP_CORES_REQUIRED} (measured {measured:.2f}x; "
+            f"enforced on multi-core CI)"
         )
 
 

@@ -4,7 +4,8 @@ Usage::
 
     python benchmarks/check_regression.py \\
         --baseline /tmp/perf-baseline --current benchmarks/results \\
-        --tolerance 0.25 parallel_akg incremental_akg incremental_ranking
+        --tolerance 0.25 hot_path parallel_akg incremental_akg \\
+        incremental_ranking
 
 For every named bench the script loads ``<dir>/<name>.json`` (schema of
 ``_results.py``) from both directories and fails (exit 1) when the current
@@ -20,6 +21,10 @@ Comparisons are skipped (with a notice, not a failure) when:
   produce a meaningful parallel-speedup baseline, so such baselines gate
   nothing until regenerated on capable hardware (the in-bench asserts
   still enforce the absolute floors there).
+
+A missing or unparseable baseline file is a FAILURE with regeneration
+instructions, never a traceback: a silently absent baseline would turn the
+whole gate into a no-op.
 """
 
 from __future__ import annotations
@@ -30,12 +35,28 @@ import sys
 from pathlib import Path
 
 
+class MissingBaseline(Exception):
+    """A named bench has no JSON on one side of the comparison."""
+
+
 def load(directory: Path, name: str) -> dict:
     path = directory / f"{name}.json"
     if not path.exists():
-        raise SystemExit(f"FAIL: missing result file {path}")
-    with open(path, encoding="utf-8") as fh:
-        return json.load(fh)
+        raise MissingBaseline(
+            f"{name}: no result file at {path}.\n"
+            f"  Regenerate it with\n"
+            f"      PYTHONPATH=src python benchmarks/bench_{name}.py\n"
+            f"  and commit benchmarks/results/{name}.json if this bench "
+            f"was newly added to the gate list."
+        )
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise MissingBaseline(
+            f"{name}: {path} is not valid JSON ({exc}); regenerate it "
+            f"with PYTHONPATH=src python benchmarks/bench_{name}.py"
+        ) from exc
 
 
 def comparable(entry: dict) -> bool:
@@ -57,8 +78,13 @@ def main(argv=None) -> int:
 
     failures = []
     for name in args.benches:
-        base = load(args.baseline, name)
-        cur = load(args.current, name)
+        try:
+            base = load(args.baseline, name)
+            cur = load(args.current, name)
+        except MissingBaseline as exc:
+            print(f"FAIL {exc}")
+            failures.append(str(exc).splitlines()[0])
+            continue
         base_speedup = base.get("speedup")
         cur_speedup = cur.get("speedup")
         context = (

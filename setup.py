@@ -1,6 +1,35 @@
-"""Legacy setup shim: this environment lacks the `wheel` package, so PEP 660
-editable installs fail; `pip install -e . --no-use-pep517` uses this instead.
-All metadata lives in pyproject.toml."""
-from setuptools import setup
+"""Packaging for the repro package (src layout).
 
-setup()
+Kept as a plain setup.py: this environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `pip install -e . --no-use-pep517` uses
+this directly.
+
+The core package is dependency-free pure python.  ``numpy`` is an
+*optional* accelerator: when importable, the batched backend
+(``DetectorConfig.backend = "batched"``) switches its window id-set and
+MinHash kernels to vectorized array engines that are bit-identical to the
+pure-python fallbacks (see DESIGN.md Section 9).  Install it via the
+``fast`` extra::
+
+    pip install -e .[fast] --no-use-pep517
+
+CI exercises both legs: the default numpy leg and a pure-python leg with
+``REPRO_PURE_PYTHON=1`` forcing the fallback engines.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.6.0",
+    description=(
+        "Reproduction of 'Real Time Discovery of Dense Clusters in Highly "
+        "Dynamic Graphs' (PVLDB 2012): streaming AKG maintenance and dense "
+        "cluster detection"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={
+        "fast": ["numpy"],
+    },
+)

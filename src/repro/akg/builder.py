@@ -35,16 +35,24 @@ baseline by the property tests and ``benchmarks/bench_incremental_akg.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Mapping, Set, Tuple
 
 from repro.akg.burstiness import BurstinessTracker
-from repro.akg.idsets import IdSetIndex, SlideDelta
-from repro.akg.minhash import MinHasher, Sketch, WindowedSketchIndex
+from repro.akg.idsets import IdSetIndex, SlideDelta, make_batched_idsets
+from repro.akg.minhash import (
+    MinHasher,
+    Sketch,
+    WindowedSketchIndex,
+    batched_quantum_minis,
+)
 from repro.akg.oracle import OracleIdSetIndex, OracleSketchIndex
 from repro.config import DetectorConfig
 from repro.core.changelog import NodeWeightChanged
 from repro.core.maintenance import ClusterMaintainer
 from repro.errors import GraphError
+
+if TYPE_CHECKING:
+    from repro.stream.window import QuantumColumns
 
 Keyword = str
 UserId = Hashable
@@ -463,9 +471,99 @@ class AkgBuilder:
         return {kw: self.idsets.support(kw) for kw in nodes}
 
 
+class BatchedAkgBuilder(AkgBuilder):
+    """The batched-backend builder (DESIGN.md Section 9).
+
+    Swaps the window id-set index for a batched engine (interned
+    ids, flat pair counts) and adds :meth:`process_columns`, which consumes
+    the batched extraction stage's pre-interned
+    :class:`~repro.stream.window.QuantumColumns` directly — per-quantum
+    sketch minima come from one vectorized pass over the quantum's hash
+    column instead of one salted blake2b call per (keyword, user).
+
+    Every cross-keyword decision step (burstiness, candidate pairing, EC
+    qualification, refresh, removal) is the *same code* as the reference
+    builder over the same values, so reports, sink events, histories and
+    checkpoints are bit-identical across backends.  The inherited
+    mapping-path :meth:`process_quantum` keeps working too (the batched
+    index accepts the reference ``add_quantum`` contract), which is what
+    lets CKG-stats sessions run this builder behind the reference stages.
+    """
+
+    def __init__(
+        self, config: DetectorConfig, maintainer: ClusterMaintainer
+    ) -> None:
+        super().__init__(config, maintainer, oracle=False)
+        self.idsets = make_batched_idsets(config.window_quanta, seed=config.seed)
+
+    def process_columns(
+        self, quantum: int, columns: "QuantumColumns"
+    ) -> AkgQuantumStats:
+        """Apply one quantum of pre-interned pair columns to the AKG.
+
+        Mirrors :meth:`AkgBuilder.process_quantum` step for step; only the
+        window-index feed differs (columns instead of a mapping, vectorized
+        per-quantum minima instead of per-keyword ``hasher.sketch`` calls).
+        """
+        stats = AkgQuantumStats(quantum=quantum)
+        graph = self.maintainer.graph
+        self.maintainer.current_quantum = quantum
+
+        delta = self.idsets.add_columns(quantum, columns)
+        # Vanished users already released their interner slot (and with it
+        # the memoised base hash) inside add_columns — the batched analogue
+        # of the reference path's MinHasher memo eviction.  The memo itself
+        # is only populated if this builder also served mapping-path quanta.
+        if delta.vanished_users and self.minhasher.cache_size:
+            self.minhasher.evict(delta.vanished_users)
+        changelog = self.maintainer.changelog
+        for kw, (old, new) in delta.support_deltas.items():
+            if graph.has_node(kw):
+                changelog.record(NodeWeightChanged(kw, old, new))
+                stats.node_weight_deltas += 1
+        if self.config.use_minhash_filter:
+            minis = batched_quantum_minis(
+                columns, self.idsets.acts.hashes, self.minhasher.p
+            )
+            self.sketches.add_quantum_minis(quantum, minis)
+        segments = columns.segments
+        ent_strings = columns.ent_strings
+        quantum_support = {
+            kw: seg[2] - seg[1] for seg, kw in zip(segments, ent_strings)
+        }
+        bursty = self.burstiness.observe_quantum(quantum, quantum_support)
+        stats.bursty_keywords = len(bursty)
+
+        # -- nodes: newly bursty keywords enter the AKG -------------------
+        grace = self.config.node_grace_quanta
+        for kw in bursty:
+            if not graph.has_node(kw):
+                self.maintainer.add_node(kw)
+                stats.nodes_added += 1
+            deadline = self.burstiness.first_droppable_quantum(kw, grace)
+            self._grace_deadlines.setdefault(deadline, set()).add(kw)
+
+        # -- edges: new candidates among this quantum's bursty set --------
+        new_edges = self._new_edges_among(sorted(bursty), stats)
+        for kw1, kw2, ec in new_edges:
+            self.maintainer.add_edge(kw1, kw2, ec)
+            stats.edges_added += 1
+
+        # -- edges: lazy refresh around keywords seen this quantum --------
+        self._refresh_incident_edges(ent_strings, stats)
+
+        # -- nodes: stale and lazy removal --------------------------------
+        self._remove_dead_nodes(quantum, delta, stats)
+
+        stats.akg_nodes = graph.num_nodes
+        stats.akg_edges = graph.num_edges
+        return stats
+
+
 __all__ = [
     "AkgBuilder",
     "AkgQuantumStats",
+    "BatchedAkgBuilder",
     "candidate_edge_pairs",
     "drain_removal_candidates",
     "minhash_candidate_pairs",

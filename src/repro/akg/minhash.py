@@ -20,16 +20,42 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from hashlib import blake2b
-from typing import Deque, Dict, Hashable, Iterable, Mapping, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Hashable, Iterable, Mapping, Set, Tuple
 
+from repro.arrays import get_numpy
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # type-only: the batched kernel reads its columns
+    from repro.stream.window import QuantumColumns
 
 UserId = Hashable
 Sketch = Tuple[int, ...]
 
 
+def user_hash_fn(seed: int) -> Callable[[UserId], int]:
+    """The MinHash base-hash as a standalone function of the user id.
+
+    Bit-identical to :meth:`MinHasher.hash_user` by construction (same
+    digest, same salt derivation) — the batched backend installs this as the
+    actor interner's hash column so each user is hashed exactly once per
+    window residency, and the vectorized sketch kernel then works on the
+    stored 64-bit values instead of re-hashing.
+    """
+    salt = seed.to_bytes(8, "little", signed=False)
+
+    def hash_user(user: UserId) -> int:
+        digest = blake2b(
+            repr(user).encode("utf-8"), digest_size=8, salt=salt
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    return hash_user
+
+
 class MinHasher:
     """Salted, memoised 64-bit user hashing + sketch construction."""
+
+    __slots__ = ("p", "_salt", "_cache")
 
     def __init__(self, p: int, seed: int = 0) -> None:
         if p < 1:
@@ -97,10 +123,10 @@ class WindowedSketchIndex:
 
     The paper keeps "p Min-Hash values amongst all the user ids in the id
     set" per keyword.  Recomputing that from the full window id set every
-    quantum costs O(window); instead this index stores, per keyword, a deque
-    of bottom-p mini-sketches — one per quantum the keyword appeared in,
-    computed once from that quantum's new users only — and merges the
-    <= ``window_quanta`` mini-sketches into a cached full-window sketch.
+    quantum costs O(window); instead this index stores a deque of
+    per-quantum dicts (keyword -> bottom-p mini-sketch, computed once from
+    that quantum's users only) and merges a keyword's <= ``window_quanta``
+    live minis into a cached full-window sketch on demand.
 
     The merged sketch is recomputed lazily and only when *dirtied*: a
     keyword's cache entry is invalidated exactly when it gains a mini-sketch
@@ -110,50 +136,76 @@ class WindowedSketchIndex:
     (DESIGN.md Section 5).
     """
 
+    __slots__ = (
+        "hasher",
+        "window_quanta",
+        "_quanta",
+        "_merged",
+        "_dirty",
+        "merge_recomputes",
+    )
+
     def __init__(self, hasher: MinHasher, window_quanta: int) -> None:
         self.hasher = hasher
         self.window_quanta = window_quanta
-        # keyword -> deque of (quantum, mini-sketch), oldest first
-        self._minis: Dict[str, Deque[Tuple[int, Sketch]]] = {}
-        # expiry schedule: (quantum, keywords that appeared then)
-        self._schedule: Deque[Tuple[int, Tuple[str, ...]]] = deque()
+        # (quantum, keyword -> mini-sketch) — oldest first.  Storing whole
+        # quanta makes the slide O(1) deque work plus one C-level set union
+        # for dirty tracking, instead of one deque append/pop per keyword
+        # per quantum; a keyword's window minis are gathered by probing the
+        # <= window_quanta live dicts on (lazy, cached) merge.
+        self._quanta: Deque[Tuple[int, Dict[str, Sketch]]] = deque()
         self._merged: Dict[str, Sketch] = {}
         self._dirty: Set[str] = set()
+        # Number of merged-sketch rebuilds performed (work counter for the
+        # dirty-only regression tests and the AKG bench).
         self.merge_recomputes = 0
-        """Number of merged-sketch rebuilds performed (work counter for the
-        dirty-only regression tests and the AKG bench)."""
 
     def add_quantum(
         self, quantum: int, keyword_users: Mapping[str, Iterable[UserId]]
     ) -> None:
+        sketch = self.hasher.sketch
+        self.add_quantum_minis(
+            quantum,
+            {
+                kw: mini
+                for kw, users in keyword_users.items()
+                if (mini := sketch(users))
+            },
+        )
+
+    def add_quantum_minis(
+        self, quantum: int, minis: Mapping[str, Sketch]
+    ) -> None:
+        """Ingest pre-computed per-quantum mini-sketches (batched backend).
+
+        ``minis`` must hold, per keyword, the bottom-p distinct base-hash
+        values of the quantum's users — exactly what :meth:`add_quantum`
+        would compute via :meth:`MinHasher.sketch`.  The batched backend
+        produces them vectorized from the actor interner's hash column
+        (:func:`batched_quantum_minis`); everything downstream (expiry,
+        dirty tracking, lazy merge, checkpoint layout) is the identical
+        machinery, which is what keeps batched sketch state bit-identical
+        to the reference path.
+        """
         cutoff = quantum - self.window_quanta
-        entered = []
-        for kw, users in keyword_users.items():
-            mini = self.hasher.sketch(users)
-            if not mini:
-                continue
-            minis = self._minis.get(kw)
-            if minis is None:
-                minis = self._minis[kw] = deque()
-            minis.append((quantum, mini))
-            entered.append(kw)
-            self._dirty.add(kw)
-        if entered:
-            self._schedule.append((quantum, tuple(entered)))
-        while self._schedule and self._schedule[0][0] <= cutoff:
-            _, kws = self._schedule.popleft()
-            for kw in kws:
-                minis = self._minis.get(kw)
-                if minis is None:
-                    continue
-                while minis and minis[0][0] <= cutoff:
-                    minis.popleft()
-                if minis:
-                    self._dirty.add(kw)
+        if any(minis.values()):
+            entered = {kw: mini for kw, mini in minis.items() if mini}
+            self._quanta.append((quantum, entered))
+            self._dirty.update(entered)
+        self._expire(cutoff)
+
+    def _expire(self, cutoff: int) -> None:
+        quanta = self._quanta
+        merged = self._merged
+        dirty = self._dirty
+        while quanta and quanta[0][0] <= cutoff:
+            _, expired = quanta.popleft()
+            for kw in expired:
+                merged.pop(kw, None)
+                if any(kw in live for _, live in quanta):
+                    dirty.add(kw)
                 else:
-                    del self._minis[kw]
-                    self._merged.pop(kw, None)
-                    self._dirty.discard(kw)
+                    dirty.discard(kw)
 
     def to_state(self) -> dict:
         """Checkpointable snapshot: the per-keyword mini-sketch deques.
@@ -167,42 +219,42 @@ class WindowedSketchIndex:
         a pure function of the window contents, which makes the sharded
         front-end's merged checkpoint byte-identical to a serial one.
         """
+        by_kw: Dict[str, list] = {}
+        for q, minis in self._quanta:
+            for kw, mini in minis.items():
+                by_kw.setdefault(kw, []).append([q, list(mini)])
         return {
-            "minis": [
-                [kw, [[q, list(mini)] for q, mini in minis]]
-                for kw, minis in sorted(self._minis.items())
-            ],
+            "minis": [[kw, entries] for kw, entries in sorted(by_kw.items())],
         }
 
     def from_state(self, state: dict) -> None:
         """Rebuild the index in place from :meth:`to_state` output."""
-        self._minis = {}
-        by_quantum: Dict[int, list] = {}
+        by_quantum: Dict[int, Dict[str, Sketch]] = {}
+        dirty: Set[str] = set()
         for kw, minis in state["minis"]:
-            entries: Deque[Tuple[int, Sketch]] = deque()
+            dirty.add(kw)
             for q, mini in minis:
-                entries.append((q, tuple(mini)))
-                by_quantum.setdefault(q, []).append(kw)
-            self._minis[kw] = entries
-        self._schedule = deque(
-            (q, tuple(sorted(by_quantum[q]))) for q in sorted(by_quantum)
+                by_quantum.setdefault(q, {})[kw] = tuple(mini)
+        self._quanta = deque(
+            (q, by_quantum[q]) for q in sorted(by_quantum)
         )
         self._merged = {}
-        self._dirty = set(self._minis)
+        self._dirty = dirty
         self.merge_recomputes = 0
 
     def sketch(self, keyword: str) -> Sketch:
         """Bottom-p hash values of the keyword's window id set (cached)."""
-        minis = self._minis.get(keyword)
-        if minis is None:
-            return ()
         if keyword not in self._dirty:
             cached = self._merged.get(keyword)
             if cached is not None:
                 return cached
         values: set = set()
-        for _, mini in minis:
-            values.update(mini)
+        for _, minis in self._quanta:
+            mini = minis.get(keyword)
+            if mini is not None:
+                values.update(mini)
+        if not values:
+            return ()
         if len(values) <= self.hasher.p:
             merged = tuple(sorted(values))
         else:
@@ -211,6 +263,71 @@ class WindowedSketchIndex:
         self._dirty.discard(keyword)
         self.merge_recomputes += 1
         return merged
+
+
+def batched_quantum_minis(
+    columns: "QuantumColumns", hashes: list, p: int
+) -> Dict[str, Sketch]:
+    """Per-keyword bottom-p mini-sketches of one quantum, vectorized.
+
+    ``columns`` are the quantum's deduplicated interned pair columns
+    (:class:`~repro.stream.window.QuantumColumns`) and ``hashes`` the actor
+    interner's 64-bit base-hash column, so no hashing happens here at all —
+    only a gather plus sort/dedupe/take-p.  The numpy path does one lexsort
+    over (entity, hash) for the whole quantum and selects each entity's
+    first ``p`` distinct values in a handful of array ops; the fallback
+    sorts per segment.  Both return ascending tuples of Python ints equal to
+    ``MinHasher.sketch`` over the same users (same hash values, distinct,
+    bottom-p) — the bit-identity contract of DESIGN.md Section 9.
+    """
+    segments = columns.segments
+    if not segments:
+        return {}
+    np = get_numpy()
+    act_col = columns.act_col
+    if np is None:
+        out: Dict[str, Sketch] = {}
+        for (eid, lo, hi), kw in zip(segments, columns.ent_strings):
+            values = sorted({hashes[a] for a in act_col[lo:hi]})
+            out[kw] = tuple(values[:p])
+        return out
+    n = len(act_col)
+    hash_col = np.fromiter(
+        map(hashes.__getitem__, act_col), dtype=np.uint64, count=n
+    )
+    if columns.keys is not None:
+        ent_col = columns.keys >> 32
+    else:
+        ent_col = np.array(columns.ent_col, dtype=np.int64)
+    order = np.lexsort((hash_col, ent_col))
+    ents = ent_col[order]
+    vals = hash_col[order]
+    # Drop consecutive duplicate (entity, hash) pairs, then keep only the
+    # first p rows of every entity run (rows are hash-ascending per entity).
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.logical_or(ents[1:] != ents[:-1], vals[1:] != vals[:-1], out=keep[1:])
+    ents = ents[keep]
+    vals = vals[keep]
+    m = len(ents)
+    boundary = np.empty(m, dtype=bool)
+    boundary[0] = True
+    np.not_equal(ents[1:], ents[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    run_lengths = np.diff(np.append(starts, m))
+    rank_in_run = np.arange(m) - np.repeat(starts, run_lengths)
+    selected = vals[rank_in_run < p].tolist()
+    # Entity runs are eid-ascending (the lexsort's primary key), exactly the
+    # order of ``segments``/``ent_strings``, so the selected values map back
+    # to keywords by walking the per-run take-p counts — no id lookups.
+    counts = np.minimum(run_lengths, p).tolist()
+    out = {}
+    pos = 0
+    for kw, count in zip(columns.ent_strings, counts):
+        end = pos + count
+        out[kw] = tuple(selected[pos:end])
+        pos = end
+    return out
 
 
 def sketches_share_value(sketch_a: Sketch, sketch_b: Sketch) -> bool:
@@ -251,6 +368,8 @@ __all__ = [
     "MinHasher",
     "Sketch",
     "WindowedSketchIndex",
+    "batched_quantum_minis",
     "sketches_share_value",
     "estimate_jaccard",
+    "user_hash_fn",
 ]

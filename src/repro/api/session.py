@@ -36,6 +36,9 @@ Typical use::
 
 from __future__ import annotations
 
+import cProfile
+import io
+import pstats
 import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import (
@@ -50,7 +53,7 @@ from typing import (
     Union,
 )
 
-from repro.akg.builder import AkgBuilder
+from repro.akg.builder import AkgBuilder, BatchedAkgBuilder
 from repro.akg.ckg_stats import CkgStatsTracker
 from repro.api.checkpoint import load_checkpoint, save_checkpoint
 from repro.api.session_events import EventKind, SessionEvent
@@ -132,6 +135,7 @@ class DetectorSession:
         oracle_ranking: bool = False,
         oracle_akg: bool = False,
         worker_backend: Optional[str] = None,
+        profile: bool = False,
     ) -> None:
         """Build a fresh session (use :func:`open_session` in client code).
 
@@ -150,6 +154,10 @@ class DetectorSession:
         ``worker_backend`` forces its execution backend
         (``process``/``thread``/``serial``, default auto) — an execution
         knob only, results are bit-identical either way.
+        ``config.backend`` selects the hot-path implementation
+        (``reference``/``batched``, DESIGN.md Section 9) — also execution
+        only.  ``profile=True`` runs the stage pipeline under cProfile;
+        read the accumulated data with :meth:`profile_stats`.
         """
         self.config = config if config is not None else DetectorConfig()
         if extractor is not None and tokenizer is not None:
@@ -179,12 +187,19 @@ class DetectorSession:
                 "oracle_akg is a serial verification baseline; it cannot "
                 "run on the sharded front-end (workers/shard_count)"
             )
+        if self.config.batched and (oracle_akg or self.config.oracle_akg):
+            raise ConfigError(
+                "oracle_akg runs the reference components by definition; "
+                "it cannot run on the batched backend"
+            )
         if self.config.sharded:
             from repro.parallel import ShardedAkgFrontend
 
             self.builder = ShardedAkgFrontend(
                 self.config, self.maintainer, backend=worker_backend
             )
+        elif self.config.batched:
+            self.builder = BatchedAkgBuilder(self.config, self.maintainer)
         else:
             self.builder = AkgBuilder(
                 self.config,
@@ -221,6 +236,7 @@ class DetectorSession:
         )
         if self.config.sharded:
             from repro.parallel import (
+                BatchedShardedExtractStage,
                 ShardedAkgUpdateStage,
                 ShardedExtractStage,
             )
@@ -230,8 +246,16 @@ class DetectorSession:
             # extractor (worker processes rebuild it from its spec) and no
             # CKG-stats tracker (its actor->entities view is not
             # materialised worker-side); otherwise the serial stage stays,
-            # losing only the extract fan-out.
-            if (
+            # losing only the extract fan-out.  The batched backend extracts
+            # parent-side instead (interned hash-column routing, no worker
+            # round trip), which also serves custom extractors.
+            if self.config.batched and self.ckg_stats is None:
+                stages[0] = BatchedShardedExtractStage(
+                    self.builder,
+                    self.extractor,
+                    self.config.max_tokens_per_message,
+                )
+            elif (
                 not self._custom_extractor
                 and self.ckg_stats is None
                 and self.builder.pool.workers > 1
@@ -241,7 +265,26 @@ class DetectorSession:
                     self.config.max_tokens_per_message,
                     extractor_spec(self.extractor),
                 )
+        elif self.config.batched and self.ckg_stats is None:
+            from repro.pipeline.batched import (
+                BatchedAkgUpdateStage,
+                BatchedExtractStage,
+            )
+
+            # Serial batched hot path: columns flow from the extract stage
+            # straight into the builder's window indexes, sharing its
+            # interner tables.  With CKG stats enabled the reference stages
+            # stay (the tracker consumes the actor->entities view) and the
+            # batched builder serves the mapping contract instead.
+            stages[0] = BatchedExtractStage(
+                self.extractor,
+                self.config.max_tokens_per_message,
+                self.builder.idsets.ents,
+                self.builder.idsets.acts,
+            )
+            stages[1] = BatchedAkgUpdateStage(self.builder, self.maintainer)
         self.pipeline = Pipeline(stages)
+        self._profiler = cProfile.Profile() if profile else None
         self._quantum = -1
         self.total_messages = 0
         self.total_seconds = 0.0
@@ -309,10 +352,12 @@ class DetectorSession:
         composes across calls; pass ``flush=True`` — or call :meth:`flush` —
         to force-process the remainder as a final short quantum.
         """
-        for message in messages:
-            report = self.ingest(message)
-            if report is not None:
-                yield report
+        stream = iter(messages)
+        while True:
+            quantum = self.batcher.fill(stream)
+            if quantum is None:
+                break
+            yield self.process_quantum(quantum)
         if flush:
             tail = self.flush()
             if tail is not None:
@@ -330,7 +375,14 @@ class DetectorSession:
         start = time.perf_counter()
         self._quantum += 1
         ctx = QuantumContext(quantum=self._quantum, messages=messages)
-        self.pipeline.run(ctx)
+        if self._profiler is not None:
+            self._profiler.enable()
+            try:
+                self.pipeline.run(ctx)
+            finally:
+                self._profiler.disable()
+        else:
+            self.pipeline.run(ctx)
         report = ctx.report
         report.messages_processed = len(messages)
         report.timings = ctx.timings
@@ -498,6 +550,24 @@ class DetectorSession:
             return 0.0
         return self.total_messages / self.total_seconds
 
+    def profile_stats(self, top: int = 20) -> str:
+        """Formatted cProfile data for the pipeline work so far.
+
+        Requires the session to have been opened with ``profile=True``;
+        returns the ``top`` hottest functions by cumulative time —
+        ``detect --profile`` prints this after the run, and perf PRs should
+        start from it rather than guessing at the hot path.
+        """
+        if self._profiler is None:
+            raise ConfigError(
+                "profiling is off; open the session with profile=True "
+                "(detect --profile) to collect pipeline profiles"
+            )
+        out = io.StringIO()
+        stats = pstats.Stats(self._profiler, stream=out)
+        stats.sort_stats("cumulative").print_stats(top)
+        return out.getvalue()
+
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
@@ -595,6 +665,8 @@ class DetectorSession:
         workers: Optional[int] = None,
         shard_count: Optional[int] = None,
         worker_backend: Optional[str] = None,
+        backend: Optional[str] = None,
+        profile: bool = False,
     ) -> "DetectorSession":
         """Reconstruct a session from a :meth:`snapshot` file.
 
@@ -607,24 +679,24 @@ class DetectorSession:
         bit-identical guarantee.  Pass the same objects the original
         session used.
 
-        ``workers``/``shard_count``/``worker_backend`` choose the *resumed*
-        session's execution mode — checkpoints are execution-agnostic, so a
-        stream snapshotted serially can resume under 4 workers and vice
-        versa, continuing bit-identically either way.
+        ``workers``/``shard_count``/``worker_backend``/``backend`` choose
+        the *resumed* session's execution mode — checkpoints are
+        execution-agnostic, so a stream snapshotted serially can resume
+        under 4 workers, one snapshotted under the reference hot path can
+        resume batched, and vice versa, continuing bit-identically either
+        way.
         """
         state = load_checkpoint(path)
         config = DetectorConfig.from_dict(state["config"])
-        if workers is not None or shard_count is not None:
-            config = config.with_overrides(
-                **(
-                    {"workers": workers} if workers is not None else {}
-                ),
-                **(
-                    {"shard_count": shard_count}
-                    if shard_count is not None
-                    else {}
-                ),
-            )
+        overrides = {}
+        if workers is not None:
+            overrides["workers"] = workers
+        if shard_count is not None:
+            overrides["shard_count"] = shard_count
+        if backend is not None:
+            overrides["backend"] = backend
+        if overrides:
+            config = config.with_overrides(**overrides)
         if state["custom_noun_tagger"] and noun_tagger is None:
             raise CheckpointError(
                 "checkpoint was taken with a custom noun_tagger; pass the "
@@ -689,6 +761,7 @@ class DetectorSession:
             oracle_ranking=state["oracle_ranking"],
             oracle_akg=state["oracle_akg"],
             worker_backend=worker_backend,
+            profile=profile,
         )
         session.maintainer.from_state(state["maintainer"])
         session.builder.from_state(state["builder"])
@@ -729,6 +802,8 @@ def open_session(
     workers: Optional[int] = None,
     shard_count: Optional[int] = None,
     worker_backend: Optional[str] = None,
+    backend: Optional[str] = None,
+    profile: bool = False,
 ) -> DetectorSession:
     """Open a detector session — fresh, or resumed from a checkpoint.
 
@@ -743,10 +818,12 @@ def open_session(
     custom text tokenizer.  On resume, registered extractors are rebuilt
     from the checkpoint; custom ones must be passed back in.
 
-    ``workers``/``shard_count`` select the execution mode; on a fresh
-    session they override the config fields of the same name, on resume
-    they choose how the execution-agnostic checkpoint continues (results
-    are bit-identical for any values, DESIGN.md Section 7).
+    ``workers``/``shard_count``/``backend`` select the execution mode; on a
+    fresh session they override the config fields of the same name, on
+    resume they choose how the execution-agnostic checkpoint continues
+    (results are bit-identical for any values, DESIGN.md Sections 7 and 9).
+    ``profile=True`` collects a cProfile of the stage pipeline
+    (``DetectorSession.profile_stats``).
     """
     if resume is not None:
         if config is not None:
@@ -768,15 +845,19 @@ def open_session(
             workers=workers,
             shard_count=shard_count,
             worker_backend=worker_backend,
+            backend=backend,
+            profile=profile,
         )
-    if workers is not None or shard_count is not None:
+    if workers is not None or shard_count is not None or backend is not None:
         base = config if config is not None else DetectorConfig()
-        config = base.with_overrides(
-            **({"workers": workers} if workers is not None else {}),
-            **(
-                {"shard_count": shard_count} if shard_count is not None else {}
-            ),
-        )
+        overrides = {}
+        if workers is not None:
+            overrides["workers"] = workers
+        if shard_count is not None:
+            overrides["shard_count"] = shard_count
+        if backend is not None:
+            overrides["backend"] = backend
+        config = base.with_overrides(**overrides)
     return DetectorSession(
         config,
         noun_tagger=noun_tagger,
@@ -785,6 +866,7 @@ def open_session(
         oracle_ranking=oracle_ranking,
         oracle_akg=oracle_akg,
         worker_backend=worker_backend,
+        profile=profile,
     )
 
 

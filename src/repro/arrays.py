@@ -1,0 +1,51 @@
+"""Optional-numpy dispatch for the batched backend's vector kernels.
+
+The batched hot path (DESIGN.md Section 9) vectorizes per-quantum work —
+pair deduplication, MinHash mini-sketch construction, shard scaling — with
+numpy when it is importable, and falls back to pure-python loops otherwise.
+Both paths are required to be *bit-identical*: they produce the same Python
+ints, the same orderings, the same dict contents, so every golden
+fingerprint and differential test holds under either.
+
+``get_numpy()`` is the single switch.  It returns the numpy module or
+``None``; the ``REPRO_PURE_PYTHON`` environment variable (or setting
+``FORCE_PURE`` from a test) forces the fallback even when numpy is
+installed — the CI fallback leg and the numpy-vs-pure identity tests run
+through exactly this knob.  Kernels call ``get_numpy()`` per invocation, so
+flipping the flag mid-process affects the next quantum, which is what lets
+one test process compare both paths.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised implicitly by every kernel call
+    import numpy as _np
+except ImportError:  # pragma: no cover - the fallback-only environment
+    _np = None
+
+
+def _env_forces_pure() -> bool:
+    value = os.environ.get("REPRO_PURE_PYTHON", "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+FORCE_PURE: bool = _env_forces_pure()
+"""When True, ``get_numpy()`` returns None even if numpy is importable.
+Initialized from ``REPRO_PURE_PYTHON``; tests flip it directly."""
+
+
+def get_numpy():
+    """The numpy module, or ``None`` when absent or forced off."""
+    if FORCE_PURE:
+        return None
+    return _np
+
+
+def have_numpy() -> bool:
+    """Whether the vectorized kernel path is active."""
+    return get_numpy() is not None
+
+
+__all__ = ["FORCE_PURE", "get_numpy", "have_numpy"]

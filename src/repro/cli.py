@@ -99,9 +99,19 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shard-count", type=int, default=None, metavar="S",
                         help="entity hash ranges to partition into "
                              "(default: one per worker)")
+    parser.add_argument("--backend", choices=("reference", "batched"),
+                        default=None,
+                        help="hot-path implementation: 'batched' extracts "
+                             "whole quanta into interned array columns "
+                             "(vectorized when numpy is importable); "
+                             "results are bit-identical to 'reference' "
+                             "(default)")
     parser.add_argument("--timing", action="store_true",
                         help="print a per-stage timing breakdown "
                              "(extract/akg/maintain/propagate/rank/report)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the pipeline under cProfile and print the "
+                             "top-20 cumulative hot functions after the run")
     parser.add_argument("--oracle-ranking", action="store_true",
                         help="disable the incremental rank cache and re-rank "
                              "every cluster from scratch each quantum "
@@ -147,6 +157,7 @@ def _config_from(args: argparse.Namespace) -> DetectorConfig:
         oracle_ranking=args.oracle_ranking,
         workers=args.workers,
         shard_count=args.shard_count,
+        backend=args.backend or "reference",
     )
 
 
@@ -211,6 +222,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             resume=args.resume_from,
             workers=args.workers,
             shard_count=args.shard_count,
+            backend=args.backend,
+            profile=args.profile,
         )
         print(
             f"-- resumed from {args.resume_from} at quantum "
@@ -219,7 +232,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             f"config comes from the checkpoint"
         )
     else:
-        session = open_session(_config_from(args))
+        session = open_session(_config_from(args), profile=args.profile)
     printed = 0
     quanta = 0
     cache_hits = 0
@@ -260,6 +273,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             )
         if args.timing:
             print(_render_timing(session, quanta, cache_hits, recomputed))
+        if args.profile:
+            print(session.profile_stats(top=20))
         if args.checkpoint:
             session.snapshot(args.checkpoint)
             print(

@@ -33,9 +33,14 @@ from repro.parallel.frontend import ShardedAkgFrontend
 from repro.parallel.pool import WorkerPool, make_pool
 from repro.parallel.router import ShardRouter
 from repro.parallel.shard_state import ShardState, ShardUpdate
-from repro.parallel.stages import ShardedAkgUpdateStage, ShardedExtractStage
+from repro.parallel.stages import (
+    BatchedShardedExtractStage,
+    ShardedAkgUpdateStage,
+    ShardedExtractStage,
+)
 
 __all__ = [
+    "BatchedShardedExtractStage",
     "ShardRouter",
     "ShardState",
     "ShardUpdate",

@@ -15,8 +15,9 @@ owns exactly one contiguous hash range, as the shard contract specifies.
 from __future__ import annotations
 
 from hashlib import blake2b
-from typing import Dict, Hashable, Iterable, List, Mapping, Set
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Set
 
+from repro.arrays import get_numpy
 from repro.errors import ConfigError
 
 Keyword = str
@@ -29,6 +30,35 @@ def keyword_hash(keyword: Keyword) -> int:
     """Stable 64-bit hash of a keyword (process-independent)."""
     digest = blake2b(keyword.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big")
+
+
+def shard_of_hash(hash_value: int, shard_count: int) -> int:
+    """Shard of a precomputed :func:`keyword_hash` value (range scaling)."""
+    return (hash_value * shard_count) >> 64
+
+
+def shards_of_hashes(
+    hashes: Sequence[int], shard_count: int
+) -> List[int]:
+    """Vectorized :func:`shard_of_hash` over a hash column.
+
+    The batched backend keeps each keyword's 64-bit hash in its interner
+    table, so routing a quantum is one pass over precomputed values rather
+    than one blake2b digest per keyword.  The numpy kernel splits each hash
+    into 32-bit halves to evaluate the exact 128-bit product shift
+    ``(h * S) >> 64`` as ``(hi*S + ((lo*S) >> 32)) >> 32`` — floor-exact
+    (nested floored right-shifts compose), so it is bit-identical to the
+    arbitrary-precision pure path for any ``shard_count`` below 2**31.
+    """
+    np = get_numpy()
+    if np is None or len(hashes) < 32:
+        return [(h * shard_count) >> 64 for h in hashes]
+    h = np.asarray(hashes, dtype=np.uint64)
+    hi = h >> np.uint64(32)
+    lo = h & np.uint64(0xFFFFFFFF)
+    s = np.uint64(shard_count)
+    out = (hi * s + ((lo * s) >> np.uint64(32))) >> np.uint64(32)
+    return out.astype(np.int64).tolist()
 
 
 class ShardRouter:
@@ -92,4 +122,10 @@ def worker_assignments(shard_count: int, workers: int) -> List[List[int]]:
     ]
 
 
-__all__ = ["ShardRouter", "keyword_hash", "worker_assignments"]
+__all__ = [
+    "ShardRouter",
+    "keyword_hash",
+    "shard_of_hash",
+    "shards_of_hashes",
+    "worker_assignments",
+]

@@ -12,7 +12,10 @@ from __future__ import annotations
 import time
 from typing import List, Sequence
 
+from repro.extract.keyword import KeywordExtractor
+from repro.interning import Interner
 from repro.parallel.frontend import ShardedAkgFrontend
+from repro.parallel.router import keyword_hash, shards_of_hashes
 from repro.pipeline.stages import AkgUpdateStage, QuantumContext
 
 
@@ -86,6 +89,95 @@ class ShardedExtractStage:
         ctx.timings.extract = time.perf_counter() - t
 
 
+class BatchedShardedExtractStage:
+    """Stage 1 for sharded sessions under the batched backend.
+
+    Builds the merged ``entity -> actors`` mapping parent-side in one tight
+    loop (no per-chunk worker round trip, no per-shard dict merge) and
+    routes it from an interned keyword hash column: each keyword's 64-bit
+    routing hash is computed once per vocabulary lifetime and the per-shard
+    slices come from one vectorized :func:`~repro.parallel.router
+    .shards_of_hashes` pass.  Set semantics make the merged mapping
+    identical to both the serial and the fanned-out extract stages', and
+    hash-range routing is a pure keyword function, so downstream shard
+    state is bit-identical too.
+
+    Unlike :class:`ShardedExtractStage` this never pickles the extractor,
+    so it also serves custom (non-reconstructible) extractors.  The
+    CKG-stats tracker still needs the serial stage (its actor -> entities
+    view is not materialised here).
+    """
+
+    name = "extract"
+
+    # The routing interner memoises hashes for the whole stream; unlike the
+    # window interners nothing ever releases its slots, so reset it outright
+    # if an adversarially wide vocabulary ever grows it past this bound.
+    _MAX_INTERNED = 1 << 20
+
+    def __init__(
+        self,
+        frontend: ShardedAkgFrontend,
+        extractor,
+        max_entities_per_record: int,
+    ) -> None:
+        self.frontend = frontend
+        self.extractor = extractor
+        self.max_entities_per_record = max_entities_per_record
+        self._ents = Interner(hash_fn=keyword_hash)
+        self._keyword_fast = type(extractor) is KeywordExtractor
+
+    def run(self, ctx: QuantumContext) -> None:
+        t = time.perf_counter()
+        extract = self.extractor.entities
+        keyword_fast = self._keyword_fast
+        cap = self.max_entities_per_record
+        merged: dict = {}
+        for message in ctx.messages:
+            if keyword_fast:
+                entities = message.tokens
+                if entities is None:
+                    entities = extract(message)
+            else:
+                entities = extract(message)
+            if not entities:
+                continue
+            if cap is not None and len(entities) > cap:
+                entities = entities[:cap]
+            user = message.user_id
+            for token in entities:
+                users = merged.get(token)
+                if users is None:
+                    merged[token] = {user}
+                else:
+                    users.add(user)
+        shard_count = self.frontend.router.shard_count
+        if shard_count == 1:
+            slices: List[dict] = [dict(merged)]
+        else:
+            ents = self._ents
+            if ents.capacity > self._MAX_INTERNED:
+                ents.clear()
+            ids = ents.ids
+            intern = ents.intern
+            hashes = ents.hashes
+            hash_col: List[int] = []
+            for kw in merged:
+                iid = ids.get(kw)
+                if iid is None:
+                    iid = intern(kw)
+                hash_col.append(hashes[iid])
+            slices = [{} for _ in range(shard_count)]
+            for (kw, users), shard in zip(
+                merged.items(), shards_of_hashes(hash_col, shard_count)
+            ):
+                slices[shard][kw] = users
+        ctx.entity_actors = merged
+        ctx.actor_entities = None
+        ctx.scratch["shard_slices"] = slices
+        ctx.timings.extract = time.perf_counter() - t
+
+
 class ShardedAkgUpdateStage(AkgUpdateStage):
     """Stages 2+3 over the sharded front-end.
 
@@ -113,4 +205,8 @@ class ShardedAkgUpdateStage(AkgUpdateStage):
         ctx.timings.akg_update = time.perf_counter() - t
 
 
-__all__ = ["ShardedAkgUpdateStage", "ShardedExtractStage"]
+__all__ = [
+    "BatchedShardedExtractStage",
+    "ShardedAkgUpdateStage",
+    "ShardedExtractStage",
+]

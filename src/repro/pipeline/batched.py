@@ -1,0 +1,87 @@
+"""Batched hot-path stages (DESIGN.md Section 9).
+
+The ``backend="batched"`` instantiation of the Stage seam: stage 1 extracts
+a whole quantum straight into interned flat pair columns
+(:class:`~repro.stream.window.QuantumColumns`), stage 2 feeds those columns
+to the :class:`~repro.akg.builder.BatchedAkgBuilder` — no per-message
+actor dict, no per-keyword user sets, no per-(keyword, user) blake2b calls.
+Stages 3–6 are shared with the reference pipeline unchanged, which is most
+of the bit-identity argument: everything downstream of the window indexes
+sees exactly the values the reference stages would have produced.
+
+The columns ride ``ctx.scratch`` (like the sharded front-end's slices): the
+typed ``actor_entities`` / ``entity_actors`` context fields stay ``None``
+because nothing downstream of the batched AKG stage reads them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.interning import Interner
+from repro.pipeline.stages import AkgUpdateStage, QuantumContext
+from repro.stream.window import quantum_columns
+
+if TYPE_CHECKING:
+    from repro.akg.builder import BatchedAkgBuilder
+    from repro.core.maintenance import ClusterMaintainer
+
+
+class BatchedExtractStage:
+    """Stage 1, batched: one quantum -> interned, deduplicated pair columns.
+
+    The interner tables are the *builder's* (shared with its window index),
+    so ids minted here are the ids the id-set index stores and the sketch
+    kernel hashes — intern once per token per window residency, reuse
+    everywhere.
+    """
+
+    name = "extract"
+
+    def __init__(
+        self,
+        extractor,
+        max_entities_per_record: int,
+        ents: Interner,
+        acts: Interner,
+    ) -> None:
+        self.extractor = extractor
+        self.max_entities_per_record = max_entities_per_record
+        self.ents = ents
+        self.acts = acts
+
+    def run(self, ctx: QuantumContext) -> None:
+        t = time.perf_counter()
+        ctx.scratch["quantum_columns"] = quantum_columns(
+            ctx.messages,
+            self.extractor,
+            self.max_entities_per_record,
+            self.ents,
+            self.acts,
+        )
+        ctx.timings.extract = time.perf_counter() - t
+
+
+class BatchedAkgUpdateStage(AkgUpdateStage):
+    """Stages 2+3, batched: feed the extraction columns to the builder."""
+
+    name = "akg_update"
+
+    def __init__(
+        self, builder: "BatchedAkgBuilder", maintainer: "ClusterMaintainer"
+    ) -> None:
+        super().__init__(builder, maintainer)
+
+    def run(self, ctx: QuantumContext) -> None:
+        t = time.perf_counter()
+        maintain_before = self.maintainer.clustering_seconds
+        columns = ctx.scratch.pop("quantum_columns")
+        ctx.akg_stats = self.builder.process_columns(ctx.quantum, columns)
+        ctx.scratch["maintain_seconds"] = (
+            self.maintainer.clustering_seconds - maintain_before
+        )
+        ctx.timings.akg_update = time.perf_counter() - t
+
+
+__all__ = ["BatchedAkgUpdateStage", "BatchedExtractStage"]

@@ -13,8 +13,11 @@ and are kept for the paper-facing call sites and tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Set
+from itertools import islice
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
 
+from repro.arrays import get_numpy
+from repro.interning import Interner
 from repro.errors import StreamError
 from repro.stream.messages import Message
 
@@ -42,6 +45,23 @@ class QuantumBatcher:
         self._buffer.append(message)
         if len(self._buffer) >= self.quantum_size:
             quantum, self._buffer = self._buffer, []
+            return quantum
+        return None
+
+    def fill(self, messages: Iterator[Message]) -> List[Message] | None:
+        """Pull from an iterator until a quantum completes or it drains.
+
+        The bulk equivalent of per-message :meth:`push` — one C-level
+        ``islice`` per quantum instead of one Python call per message.
+        Returns the completed quantum, or None when the iterator ran dry
+        first (the partial stays buffered, exactly like ``push``).
+        """
+        buffer = self._buffer
+        need = self.quantum_size - len(buffer)
+        taken = list(islice(messages, need))
+        buffer.extend(taken)
+        if len(taken) == need:
+            quantum, self._buffer = buffer, []
             return quantum
         return None
 
@@ -114,6 +134,222 @@ def invert_actor_entities(
     return out
 
 
+class QuantumColumns:
+    """One quantum reduced to flat, interned, deduplicated pair columns.
+
+    The batched backend's extraction product (DESIGN.md Section 9): the
+    i-th distinct (entity, actor) pair of the quantum, as interner ids,
+    sorted by ``(entity id, actor id)`` and grouped into contiguous entity
+    ``segments`` — ``(eid, lo, hi)`` runs with the entity's token string in
+    the parallel ``ent_strings`` list.  Semantically this is exactly
+    ``invert_actor_entities(actor_entities_of_quantum(...))``: per-record
+    truncation applies before interning and deduplication makes each
+    (entity, actor) pair count once, so segment length equals the quantum's
+    distinct-user support.
+
+    The pair storage is the packed int64 key column ``keys``
+    (``(eid << 32) | aid``) when numpy built it, else the plain-list
+    ``ent_col``/``act_col`` split; either view is derivable from the other
+    (``ent_col``/``act_col`` decode lazily from ``keys``), and both orders
+    coincide because ids are non-negative and below 2**32.  The *values*
+    are identical in both modes — numpy is a kernel detail, never a
+    semantic one — which is what keeps the numpy and pure-python paths
+    bit-identical.
+    """
+
+    __slots__ = ("keys", "segments", "ent_strings", "_ent_col", "_act_col")
+
+    def __init__(
+        self,
+        segments: List[Tuple[int, int, int]],
+        ent_strings: List[Entity],
+        keys=None,
+        ent_col: List[int] | None = None,
+        act_col: List[int] | None = None,
+    ) -> None:
+        self.keys = keys
+        self.segments = segments
+        self.ent_strings = ent_strings
+        self._ent_col = ent_col
+        self._act_col = act_col
+
+    @property
+    def ent_col(self) -> List[int]:
+        if self._ent_col is None:
+            self._ent_col = (self.keys >> 32).tolist()
+        return self._ent_col
+
+    @property
+    def act_col(self) -> List[int]:
+        if self._act_col is None:
+            self._act_col = (self.keys & 0xFFFFFFFF).tolist()
+        return self._act_col
+
+    @property
+    def num_pairs(self) -> int:
+        if self.keys is not None:
+            return len(self.keys)
+        return len(self._ent_col)
+
+    def key_array(self):
+        """The packed key column as an int64 ndarray (numpy mode only)."""
+        if self.keys is None:
+            np = get_numpy()
+            keys = np.array(self._ent_col, dtype=np.int64)
+            keys <<= 32
+            keys |= np.array(self._act_col, dtype=np.int64)
+            self.keys = keys
+        return self.keys
+
+
+def _empty_columns() -> QuantumColumns:
+    np = get_numpy()
+    if np is None:
+        return QuantumColumns([], [], ent_col=[], act_col=[])
+    return QuantumColumns([], [], keys=np.empty(0, dtype=np.int64))
+
+
+def _columns_from_occurrences(
+    ent_occ: List[int], act_occ: List[int], objs: List
+) -> QuantumColumns:
+    """Dedupe/sort/segment flat occurrence columns into QuantumColumns.
+
+    The numpy path packs both ids into one int64 key, lets ``np.unique``
+    sort-and-dedupe in C and reads the segment boundaries off the packed
+    column; the fallback does the same through a set of tuples and a run
+    loop.  Identical values by construction.
+    """
+    if not ent_occ:
+        return _empty_columns()
+    np = get_numpy()
+    if np is None:
+        pairs = sorted(set(zip(ent_occ, act_occ)))
+        ent_col = [p[0] for p in pairs]
+        act_col = [p[1] for p in pairs]
+        segments: List[Tuple[int, int, int]] = []
+        prev = -1
+        start = 0
+        for i, eid in enumerate(ent_col):
+            if eid != prev:
+                if prev >= 0:
+                    segments.append((prev, start, i))
+                prev = eid
+                start = i
+        segments.append((prev, start, len(ent_col)))
+        strings = [objs[eid] for eid, _, _ in segments]
+        return QuantumColumns(
+            segments, strings, ent_col=ent_col, act_col=act_col
+        )
+    keys = np.array(ent_occ, dtype=np.int64)
+    keys <<= 32
+    keys |= np.asarray(act_occ, dtype=np.int64)
+    keys = np.unique(keys)
+    ents = keys >> 32
+    bounds = np.flatnonzero(ents[1:] != ents[:-1]) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [len(keys)]))
+    segments = list(
+        zip(ents[starts].tolist(), starts.tolist(), ends.tolist())
+    )
+    strings = [objs[eid] for eid, _, _ in segments]
+    return QuantumColumns(segments, strings, keys=keys)
+
+
+def quantum_columns(
+    messages: Iterable[Message],
+    extractor,
+    max_entities_per_record: int | None,
+    ents: Interner,
+    acts: Interner,
+) -> QuantumColumns:
+    """Extract one quantum straight into interned pair columns.
+
+    The batched replacement for ``actor_entities_of_quantum`` +
+    ``invert_actor_entities``: one pass appends interned (entity, actor)
+    occurrence ids to flat lists, then a single dedupe/sort kernel builds
+    the grouped columns — no per-message dict or set allocation.  Messages
+    already carrying pre-extracted ``tokens`` skip the extractor call when
+    the extractor is the plain keyword one (whose ``entities`` is exactly
+    ``keyword_tuple``, i.e. the tokens themselves).
+    """
+    from repro.extract.keyword import KeywordExtractor
+
+    tok_occ: List[Entity] = []
+    msg_aids: List[int] = []
+    msg_counts: List[int] = []
+    act_ids = acts.ids
+    act_intern = acts.intern
+    cap = max_entities_per_record
+    keyword_fast = type(extractor) is KeywordExtractor
+    extract = extractor.entities
+    for message in messages:
+        if keyword_fast:
+            entities = message.tokens
+            if entities is None:
+                entities = extract(message)
+        else:
+            entities = extract(message)
+        if not entities:
+            continue
+        if cap is not None and len(entities) > cap:
+            entities = entities[:cap]
+        user = message.user_id
+        aid = act_ids.get(user)
+        if aid is None:
+            aid = act_intern(user)
+        tok_occ += entities
+        msg_aids.append(aid)
+        msg_counts.append(len(entities))
+    # One C-level gather for the whole quantum; only genuinely new tokens
+    # (the None holes) fall back to the python interning path.
+    ent_occ = [*map(ents.ids.get, tok_occ)]
+    ent_intern = ents.intern
+    try:
+        i = ent_occ.index(None)
+        while True:
+            ent_occ[i] = ent_intern(tok_occ[i])
+            i = ent_occ.index(None, i + 1)
+    except ValueError:
+        pass
+    np = get_numpy()
+    if np is not None:
+        # Expand the per-message actor ids across their token runs in one
+        # C-level repeat instead of allocating a small list per message.
+        act_occ = np.repeat(
+            np.array(msg_aids, dtype=np.int64),
+            np.array(msg_counts, dtype=np.int64),
+        )
+    else:
+        act_occ = []
+        for aid, count in zip(msg_aids, msg_counts):
+            act_occ += [aid] * count
+    return _columns_from_occurrences(ent_occ, act_occ, ents.objs)
+
+
+def columns_from_mapping(
+    keyword_users: Dict[Entity, Set[ActorId]],
+    ents: Interner,
+    acts: Interner,
+) -> QuantumColumns:
+    """Intern an entity -> actors mapping into :class:`QuantumColumns`.
+
+    The adapter that lets the batched window indexes accept the reference
+    ``add_quantum`` mapping contract (direct construction in tests, the
+    mapping-path builder); empty user sets are skipped exactly as the
+    reference index skips them.
+    """
+    ent_occ: List[int] = []
+    act_occ: List[int] = []
+    for kw, users in keyword_users.items():
+        if not users:
+            continue
+        eid = ents.intern(kw)
+        for user in users:
+            ent_occ.append(eid)
+            act_occ.append(acts.intern(user))
+    return _columns_from_occurrences(ent_occ, act_occ, ents.objs)
+
+
 def user_keywords_of_quantum(
     messages: Iterable[Message],
     tokenizer: Tokenizer,
@@ -147,6 +383,9 @@ def invert_user_keywords(
 
 __all__ = [
     "QuantumBatcher",
+    "QuantumColumns",
+    "columns_from_mapping",
+    "quantum_columns",
     "actor_entities_of_quantum",
     "invert_actor_entities",
     "user_keywords_of_quantum",

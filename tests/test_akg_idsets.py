@@ -1,29 +1,53 @@
-"""Sliding-window id sets: expiry, support, Jaccard, and the slide delta."""
+"""Sliding-window id sets: expiry, support, Jaccard, and the slide delta.
+
+Every test runs against all three interchangeable engines — the reference
+object index, the interned dict engine (the batched backend's pure-python
+fallback), and the sorted-array engine (numpy) — because the backend
+switch (DESIGN.md Section 9) promises they are contract-identical.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.akg.idsets import IdSetIndex
+import repro.arrays as arrays
+from repro.akg.idsets import ArrayIdSetIndex, BatchedIdSetIndex, IdSetIndex
 from repro.akg.oracle import OracleIdSetIndex
 from repro.errors import StreamError
 
+ENGINES = [
+    pytest.param(IdSetIndex, id="reference"),
+    pytest.param(BatchedIdSetIndex, id="batched-dict"),
+    pytest.param(
+        ArrayIdSetIndex,
+        id="batched-array",
+        marks=pytest.mark.skipif(
+            arrays.get_numpy() is None, reason="numpy not importable"
+        ),
+    ),
+]
+
+
+@pytest.fixture(params=ENGINES)
+def Index(request):
+    return request.param
+
 
 class TestWindowMechanics:
-    def test_support_counts_distinct_users(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_support_counts_distinct_users(self, Index):
+        index = Index(window_quanta=3)
         index.add_quantum(0, {"kw": {1, 2, 3}})
         assert index.support("kw") == 3
         assert index.users("kw") == {1, 2, 3}
 
-    def test_users_merge_across_quanta(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_users_merge_across_quanta(self, Index):
+        index = Index(window_quanta=3)
         index.add_quantum(0, {"kw": {1, 2}})
         index.add_quantum(1, {"kw": {2, 3}})
         assert index.users("kw") == {1, 2, 3}
 
-    def test_expiry_after_window(self):
-        index = IdSetIndex(window_quanta=2)
+    def test_expiry_after_window(self, Index):
+        index = Index(window_quanta=2)
         index.add_quantum(0, {"kw": {1}})
         index.add_quantum(1, {"kw": {2}})
         index.add_quantum(2, {"other": {9}})
@@ -32,36 +56,36 @@ class TestWindowMechanics:
         assert index.support("kw") == 0
         assert "kw" not in index
 
-    def test_user_survives_until_last_mention_expires(self):
-        index = IdSetIndex(window_quanta=2)
+    def test_user_survives_until_last_mention_expires(self, Index):
+        index = Index(window_quanta=2)
         index.add_quantum(0, {"kw": {1}})
         index.add_quantum(1, {"kw": {1}})
         index.add_quantum(2, {"x": {9}})
         # user 1's quantum-1 mention is still in the window
         assert index.users("kw") == {1}
 
-    def test_out_of_order_quantum_rejected(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_out_of_order_quantum_rejected(self, Index):
+        index = Index(window_quanta=3)
         index.add_quantum(5, {"kw": {1}})
         with pytest.raises(StreamError):
             index.add_quantum(5, {"kw": {2}})
         with pytest.raises(StreamError):
             index.add_quantum(3, {"kw": {2}})
 
-    def test_invalid_window_rejected(self):
+    def test_invalid_window_rejected(self, Index):
         with pytest.raises(StreamError):
-            IdSetIndex(window_quanta=0)
+            Index(window_quanta=0)
 
-    def test_keywords_iteration(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_keywords_iteration(self, Index):
+        index = Index(window_quanta=3)
         index.add_quantum(0, {"a": {1}, "b": {2}})
         assert set(index.keywords()) == {"a", "b"}
         assert index.num_keywords == 2
 
 
 class TestSlideDelta:
-    def test_appearance_reports_support_delta(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_appearance_reports_support_delta(self, Index):
+        index = Index(window_quanta=3)
         delta = index.add_quantum(0, {"kw": {1, 2}})
         assert delta.appeared == {"kw"}
         assert delta.expired == frozenset()
@@ -69,8 +93,8 @@ class TestSlideDelta:
         assert delta.emptied == frozenset()
         assert delta.touched == {"kw"}
 
-    def test_expiry_reports_emptied(self):
-        index = IdSetIndex(window_quanta=2)
+    def test_expiry_reports_emptied(self, Index):
+        index = Index(window_quanta=2)
         index.add_quantum(0, {"kw": {1}})
         index.add_quantum(1, {"other": {9}})
         delta = index.add_quantum(2, {"other": {9}})
@@ -78,10 +102,10 @@ class TestSlideDelta:
         assert delta.support_deltas == {"kw": (1, 0)}
         assert delta.emptied == {"kw"}
 
-    def test_unchanged_support_not_reported(self):
+    def test_unchanged_support_not_reported(self, Index):
         """A keyword whose expiring users re-enter the same slide moves
         nothing and must not appear in support_deltas."""
-        index = IdSetIndex(window_quanta=2)
+        index = Index(window_quanta=2)
         index.add_quantum(0, {"kw": {1}})
         index.add_quantum(1, {"kw": {1}})
         delta = index.add_quantum(2, {"kw": {1}})
@@ -90,16 +114,16 @@ class TestSlideDelta:
         assert delta.support_deltas == {}
         assert delta.emptied == frozenset()
 
-    def test_empty_user_sets_do_not_appear(self):
-        index = IdSetIndex(window_quanta=2)
+    def test_empty_user_sets_do_not_appear(self, Index):
+        index = Index(window_quanta=2)
         delta = index.add_quantum(0, {"kw": set()})
         assert delta.appeared == frozenset()
         assert index.support("kw") == 0
 
-    def test_same_quantum_expiry_and_reentry_single_entry(self):
+    def test_same_quantum_expiry_and_reentry_single_entry(self, Index):
         """Stale + re-enter in one slide must not leak a duplicate deque
         entry: the expired entry is popped, the fresh one alone remains."""
-        index = IdSetIndex(window_quanta=2)
+        index = Index(window_quanta=2)
         index.add_quantum(0, {"kw": {1, 2}})
         index.add_quantum(1, {"x": {9}})
         delta = index.add_quantum(2, {"kw": {3}})
@@ -108,10 +132,10 @@ class TestSlideDelta:
         assert index.entries("kw") == ((2, frozenset({3})),)
         assert index.users("kw") == {3}
 
-    def test_skipped_quanta_expire_together(self):
+    def test_skipped_quanta_expire_together(self, Index):
         """Quantum numbers may skip; every overdue entry expires in one
         slide and each keyword still holds at most one entry per quantum."""
-        index = IdSetIndex(window_quanta=3)
+        index = Index(window_quanta=3)
         index.add_quantum(0, {"a": {1}})
         index.add_quantum(1, {"a": {2}, "b": {5}})
         delta = index.add_quantum(7, {"a": {3}})
@@ -120,6 +144,7 @@ class TestSlideDelta:
         assert delta.support_deltas == {"a": (2, 1), "b": (1, 0)}
         assert index.entries("a") == ((7, frozenset({3})),)
 
+    @pytest.mark.parametrize("Engine", ENGINES)
     @given(
         quanta=st.lists(
             st.dictionaries(
@@ -133,9 +158,9 @@ class TestSlideDelta:
         window=st.integers(1, 4),
     )
     @settings(max_examples=50, deadline=None)
-    def test_delta_matches_from_scratch_oracle(self, quanta, window):
+    def test_delta_matches_from_scratch_oracle(self, Engine, quanta, window):
         """The O(changes) slide delta equals the oracle's full-diff delta."""
-        fast = IdSetIndex(window_quanta=window)
+        fast = Engine(window_quanta=window)
         oracle = OracleIdSetIndex(window_quanta=window)
         for q, content in enumerate(quanta):
             fast_delta = fast.add_quantum(q, content)
@@ -148,26 +173,27 @@ class TestSlideDelta:
 
 
 class TestJaccard:
-    def test_identical_sets(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_identical_sets(self, Index):
+        index = Index(window_quanta=3)
         index.add_quantum(0, {"a": {1, 2}, "b": {1, 2}})
         assert index.jaccard("a", "b") == 1.0
 
-    def test_disjoint_sets(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_disjoint_sets(self, Index):
+        index = Index(window_quanta=3)
         index.add_quantum(0, {"a": {1, 2}, "b": {3, 4}})
         assert index.jaccard("a", "b") == 0.0
 
-    def test_half_overlap(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_half_overlap(self, Index):
+        index = Index(window_quanta=3)
         index.add_quantum(0, {"a": {1, 2, 3}, "b": {2, 3, 4}})
         assert index.jaccard("a", "b") == pytest.approx(2 / 4)
 
-    def test_missing_keyword_zero(self):
-        index = IdSetIndex(window_quanta=3)
+    def test_missing_keyword_zero(self, Index):
+        index = Index(window_quanta=3)
         index.add_quantum(0, {"a": {1}})
         assert index.jaccard("a", "nope") == 0.0
 
+    @pytest.mark.parametrize("Engine", ENGINES)
     @given(
         sets=st.lists(
             st.tuples(
@@ -179,11 +205,11 @@ class TestJaccard:
         )
     )
     @settings(max_examples=40, deadline=None)
-    def test_matches_direct_computation(self, sets):
+    def test_matches_direct_computation(self, Engine, sets):
         """Index Jaccard over a sliding window equals the direct Jaccard of
         the window-union sets."""
         window = 3
-        index = IdSetIndex(window_quanta=window)
+        index = Engine(window_quanta=window)
         for q, (ua, ub) in enumerate(sets):
             index.add_quantum(q, {"a": ua, "b": ub})
         live = sets[-window:]

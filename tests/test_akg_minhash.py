@@ -239,3 +239,100 @@ class TestCacheBound:
             od = oracle.add_quantum(quantum, content)
             assert fd.vanished_users == od.vanished_users
             assert fast.window_users() == oracle.window_users()
+
+
+def _batched_engines():
+    import repro.arrays as arrays
+    from repro.akg.idsets import ArrayIdSetIndex, BatchedIdSetIndex
+
+    engines = [pytest.param(BatchedIdSetIndex, id="batched-dict")]
+    engines.append(
+        pytest.param(
+            ArrayIdSetIndex,
+            id="batched-array",
+            marks=pytest.mark.skipif(
+                arrays.get_numpy() is None, reason="numpy not importable"
+            ),
+        )
+    )
+    return engines
+
+
+class TestBatchedEvictionStateful:
+    """Memo eviction under the interned path (DESIGN.md Section 9).
+
+    The reference backend memoizes per-user hashes in ``MinHasher._cache``
+    and evicts on ``vanished_users``; the batched backend's analogue is the
+    actor interner itself — each user's base hash lives in their slot, and
+    the slot is released exactly when the user's last window occurrence
+    expires.  This stateful differential drives both index families over a
+    churny random stream (one-shot users, re-entries, empty quanta,
+    skipped quanta) and checks, after every slide, that the eviction pools
+    coincide and the interner refcounts track the live window exactly."""
+
+    @pytest.mark.parametrize("Engine", _batched_engines())
+    @given(
+        seed=st.integers(0, 100),
+        window=st.integers(1, 4),
+        n_quanta=st.integers(4, 24),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_vanished_users_and_refcounts_track_reference(
+        self, Engine, seed, window, n_quanta
+    ):
+        from repro.akg.idsets import IdSetIndex
+
+        rng = random.Random(seed)
+        reference = IdSetIndex(window_quanta=window)
+        batched = Engine(window_quanta=window)
+        quantum = 0
+        for _ in range(n_quanta):
+            content = {}
+            for kw in rng.sample("abcdef", rng.randint(0, 4)):
+                users = {
+                    # mix of recurring ids and one-shot drive-bys
+                    rng.choice((rng.randrange(8), 100 + quantum * 10))
+                    for _ in range(rng.randint(1, 4))
+                }
+                content[kw] = users
+            ref_delta = reference.add_quantum(quantum, content)
+            bat_delta = batched.add_quantum(quantum, content)
+            assert bat_delta == ref_delta
+            assert bat_delta.vanished_users == ref_delta.vanished_users
+
+            # The eviction pool empties the memo: a vanished user's slot
+            # is released, so the live interner population IS the window
+            # population — no leak, no premature eviction.
+            live_users = batched.window_users()
+            assert live_users == reference.window_users()
+            assert batched.acts.live_count == len(live_users)
+            assert set(batched.acts.ids) == live_users
+            assert batched.ents.live_count == batched.num_keywords
+            for user in bat_delta.vanished_users:
+                assert user not in batched.acts.ids
+
+            quantum += rng.choice((1, 1, 1, 2, window + 1))
+
+    @pytest.mark.parametrize("Engine", _batched_engines())
+    def test_reentry_after_vanish_reinterns_cleanly(self, Engine):
+        """A vanished user who returns gets a slot again (possibly
+        recycled) and identical window behaviour."""
+        from repro.akg.idsets import IdSetIndex
+
+        reference = IdSetIndex(window_quanta=2)
+        batched = Engine(window_quanta=2)
+        stream = [
+            {"a": {"u1", "u2"}},
+            {"b": {"u3"}},
+            {"b": {"u3"}},  # u1/u2 vanish here
+            {"a": {"u1"}},  # u1 re-enters after eviction
+            {},
+            {},
+        ]
+        for quantum, content in enumerate(stream):
+            rd = reference.add_quantum(quantum, content)
+            bd = batched.add_quantum(quantum, content)
+            assert bd == rd
+            assert batched.window_users() == reference.window_users()
+        assert batched.acts.live_count == 0
+        assert batched.ents.live_count == 0

@@ -195,6 +195,55 @@ class TestCheckpointFlags:
         assert split_events == whole_events
 
 
+class TestBackendAndProfileFlags:
+    def test_batched_backend_matches_reference_output(
+        self, tmp_path, capsys
+    ):
+        """--backend batched must print the exact same detection lines."""
+        trace_path = str(tmp_path / "trace.jsonl")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        capsys.readouterr()
+        assert main(["detect", trace_path, "--gamma", "0.15"]) == 0
+        reference_out = capsys.readouterr().out
+        assert main([
+            "detect", trace_path, "--gamma", "0.15",
+            "--backend", "batched",
+        ]) == 0
+        batched_out = capsys.readouterr().out
+        pick = lambda text: [
+            l for l in text.splitlines() if "NEW event" in l
+        ]
+        assert pick(batched_out) == pick(reference_out)
+
+    def test_profile_prints_hot_functions(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--backend", "batched", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # pstats sort header
+        assert "ncalls" in out
+
+    def test_backend_survives_checkpoint_resume(self, tmp_path, capsys):
+        """A checkpoint written under one backend resumes under another."""
+        trace_path = str(tmp_path / "trace.jsonl")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        ckpt_path = str(tmp_path / "state.ckpt")
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--backend", "batched",
+            "--checkpoint", ckpt_path,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--resume-from", ckpt_path,
+            "--backend", "reference",
+        ]) == 0
+        assert "resumed from" in capsys.readouterr().out
+
+
 class TestSweep:
     def test_sweep_prints_grids(self, capsys):
         assert main(["sweep", "tw", "--messages", "4000"]) == 0
