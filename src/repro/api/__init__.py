@@ -15,9 +15,21 @@ from repro.api.checkpoint import (
     CHECKPOINT_VERSION,
     decode_state,
     encode_state,
+    fsync_dir,
     load_checkpoint,
     save_checkpoint,
 )
+from repro.api.deltalog import (
+    DELTA_FORMAT,
+    DELTA_VERSION,
+    DeltaCheckpointWriter,
+    DeltaTransport,
+    FileTailTransport,
+    diff_trees,
+    patch_tree,
+    read_delta_checkpoint,
+)
+from repro.api.follower import FollowerSession
 from repro.api.session import DetectorSession, Subscription, open_session
 from repro.api.session_events import EventKind, SessionEvent
 from repro.api.sinks import CallbackSink, QueueSink, Sink
@@ -25,6 +37,7 @@ from repro.api.sinks import CallbackSink, QueueSink, Sink
 __all__ = [
     "open_session",
     "DetectorSession",
+    "FollowerSession",
     "Subscription",
     "EventKind",
     "SessionEvent",
@@ -33,8 +46,17 @@ __all__ = [
     "QueueSink",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "DELTA_FORMAT",
+    "DELTA_VERSION",
+    "DeltaCheckpointWriter",
+    "DeltaTransport",
+    "FileTailTransport",
     "save_checkpoint",
     "load_checkpoint",
+    "read_delta_checkpoint",
     "encode_state",
     "decode_state",
+    "diff_trees",
+    "patch_tree",
+    "fsync_dir",
 ]

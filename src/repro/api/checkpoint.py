@@ -14,6 +14,13 @@ pairs) — and scalars (``None``, ``bool``, ``int``, ``float``, ``str``) pass
 through untouched.  Python's shortest-roundtrip float repr makes the float
 trip exact, which the bit-identical resume guarantee relies on.
 
+The encoding is **canonical**: set members and dict pairs serialize in a
+deterministic sorted order, so two state trees that compare equal encode
+to identical bytes no matter how their containers were built.  The delta
+checkpoint format (:mod:`repro.api.deltalog`) leans on this — a state tree
+reconstructed by replaying base + per-quantum edit scripts re-serializes
+byte-for-byte like a monolithic snapshot taken at the same position.
+
 Compatibility is handled loudly and explicitly: an unknown format, a newer
 ``version``, an unmigratable older ``version``, or an unknown tag raises
 :class:`~repro.errors.CheckpointError` instead of best-effort loading a
@@ -37,6 +44,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -99,10 +107,17 @@ def encode_state(obj: Any) -> Any:
             "v": [encode_state(x) for x in sorted(obj, key=repr)],
         }
     if isinstance(obj, dict):
-        return {
-            "t": "dict",
-            "v": [[encode_state(k), encode_state(v)] for k, v in obj.items()],
-        }
+        # Canonical pair order: sort by the JSON rendering of the encoded
+        # key.  Keys are unique, so the order is total and deterministic —
+        # equal dicts encode identically however they were assembled
+        # (fresh ``to_state()`` vs. a replayed delta-log patch).
+        pairs = [[encode_state(k), encode_state(v)] for k, v in obj.items()]
+        pairs.sort(
+            key=lambda pair: json.dumps(
+                pair[0], sort_keys=True, separators=(",", ":")
+            )
+        )
+        return {"t": "dict", "v": pairs}
     raise CheckpointError(
         f"cannot checkpoint object of type {type(obj).__name__}: {obj!r}"
     )
@@ -131,12 +146,41 @@ def decode_state(obj: Any) -> Any:
     raise CheckpointError(f"unexpected raw JSON value in state: {obj!r}")
 
 
+def fsync_dir(path: "str | Path") -> None:
+    """fsync a directory so a rename/creation inside it survives a crash.
+
+    ``os.replace`` makes a write atomic but not durable: until the parent
+    directory's entry is flushed, a crash can roll the rename back and
+    lose a checkpoint that appeared to succeed.  Raises
+    :class:`CheckpointError` on failure — an unflushable directory means
+    the write is *not* durable and pretending otherwise defeats the point.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot open directory {path} for fsync: {exc}"
+        ) from exc
+    try:
+        os.fsync(fd)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot fsync directory {path}: {exc}"
+        ) from exc
+    finally:
+        os.close(fd)
+
+
 def save_checkpoint(path: "str | Path", state: dict) -> None:
     """Write one session state tree as a versioned checkpoint file.
 
-    The write is atomic (temp file + ``os.replace`` in the same directory):
-    a crash mid-snapshot must never truncate the previous good checkpoint —
-    surviving crashes is the whole point of having one.
+    The write is crash-durable end to end: a *uniquely named* temp file
+    (``tempfile.mkstemp`` in the target directory, so concurrent
+    snapshotters — e.g. a leader and a follower compacting to the same
+    target — never clobber each other's scratch), fsync, atomic
+    ``os.replace``, then an fsync of the parent directory so the rename
+    itself survives a crash.  The scratch file is removed on every failure
+    path, not just ``OSError``.
     """
     document = {
         "format": CHECKPOINT_FORMAT,
@@ -144,22 +188,43 @@ def save_checkpoint(path: "str | Path", state: dict) -> None:
         "state": encode_state(state),
     }
     target = Path(path)
-    scratch = target.with_name(target.name + ".tmp")
+    directory = target.parent
     try:
-        with open(scratch, "w", encoding="utf-8") as fh:
+        fd, scratch_name = tempfile.mkstemp(
+            dir=directory, prefix=target.name + ".", suffix=".tmp"
+        )
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {path}: {exc}"
+        ) from exc
+    scratch = Path(scratch_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
             json.dump(document, fh, separators=(",", ":"))
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(scratch, target)
+        fsync_dir(directory)
     except OSError as exc:
-        scratch.unlink(missing_ok=True)
         raise CheckpointError(
             f"cannot write checkpoint {path}: {exc}"
         ) from exc
+    finally:
+        scratch.unlink(missing_ok=True)
 
 
 def load_checkpoint(path: "str | Path") -> dict:
-    """Read and validate a checkpoint file; returns the decoded state tree."""
+    """Read and validate a checkpoint; returns the decoded state tree.
+
+    A directory is read as a *delta checkpoint* (version 4, base snapshot
+    plus per-quantum edit log — :mod:`repro.api.deltalog`): the log's
+    consistent prefix is replayed onto the base, yielding a state tree
+    bit-identical to a monolithic snapshot at the same stream position.
+    """
+    if Path(path).is_dir():
+        from repro.api.deltalog import read_delta_checkpoint
+
+        return read_delta_checkpoint(path)
     try:
         with open(path, "r", encoding="utf-8") as fh:
             document = json.load(fh)
@@ -192,6 +257,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "encode_state",
     "decode_state",
+    "fsync_dir",
     "save_checkpoint",
     "load_checkpoint",
 ]

@@ -1,0 +1,798 @@
+"""Incremental (delta) checkpoints: base snapshot + per-quantum edit log.
+
+A *delta checkpoint* is a directory::
+
+    <path>/
+        MANIFEST.json      {"format": ..., "version": 4, "generation": g,
+                            "base": "base-<g>.ckpt", "log": "deltas-<g>.log",
+                            "base_quantum": q}
+        base-<g>.ckpt      ordinary monolithic checkpoint (v3 reader format)
+        deltas-<g>.log     framed, length-prefixed per-quantum edit records
+
+The leader writes the base once, then appends one *edit script* per
+completed quantum: a structural diff of the session's serialized state tree
+against the previous quantum's tree.  Edit scripts are churn-proportional —
+dict entries are set/deleted per key, sets add/remove members, lists are
+spliced (with nested patches for elements that changed in place) — so a
+quantum's record costs bytes proportional to what the quantum *touched*,
+not to the window content the way a full snapshot does.  Diffing the
+serialized tree (rather than replaying the pipeline's ``ChangeBatch`` /
+``SlideDelta`` layer deltas) keeps the consumer pipeline-free: a follower
+applies records with :func:`patch_tree` alone, no engine logic, and the
+guarantee ``patch(a, diff(a, b)) == b`` makes replay *provably*
+bit-identical — it holds for every stateful layer at once, including ones
+(timings, pending buffer, notified table) that emit no layer delta.
+
+Log framing is crash-oriented: each record is ``>II`` (payload length,
+CRC32) followed by the JSON payload, the file opens with a 4-byte magic,
+and every append fsyncs the file and its directory.  A torn tail (short
+header, short payload, or CRC mismatch on the final frame) is *expected*
+after a crash and the reader silently loads the last consistent prefix; a
+quantum-discontinuous record — which a sequential appender cannot produce
+by crashing — raises :class:`~repro.errors.CheckpointError` instead of
+returning silently wrong state.
+
+Compaction bounds replay cost: once the log grows past ``compact_ratio``
+times the base size, the writer rewrites a fresh base from the current
+state, starts an empty log, and atomically flips ``MANIFEST.json`` to the
+new generation (old-generation files are then unlinked; a follower holding
+an open descriptor on POSIX keeps reading safely and switches generations
+at its next manifest poll).
+
+The transport seam (:class:`DeltaTransport` / :class:`FileTailTransport`)
+is what a future socket-based replication channel plugs into: a follower
+only ever calls ``manifest()`` / ``load_base()`` / ``read_records()``.
+"""
+
+from __future__ import annotations
+
+import copy
+import difflib
+import json
+import os
+import struct
+import tempfile
+import time
+import zlib
+from pathlib import Path
+from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.api.checkpoint import (
+    decode_state,
+    encode_state,
+    fsync_dir,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.errors import CheckpointError
+
+DELTA_FORMAT = "repro-session-delta-checkpoint"
+DELTA_VERSION = 4
+"""Version 4 of the checkpoint lineage: versions 1–3 are monolithic
+snapshot layouts (:mod:`repro.api.checkpoint`); version 4 is this
+base-plus-delta-log directory format.  The base file inside a delta
+checkpoint is itself a version-3 monolithic snapshot, so the v4 reader is
+a strict layer on top of the v3 reader."""
+
+MANIFEST_NAME = "MANIFEST.json"
+_LOG_MAGIC = b"RDLG"
+_FRAME_HEADER = struct.Struct(">II")
+_MAX_FRAME = 1 << 31
+
+_SCALARS = (bool, int, float, str)
+
+
+# =====================================================================
+# Structural diff/patch over decoded state trees
+# =====================================================================
+
+
+def _same(a: Any, b: Any) -> bool:
+    """Strict deep equality: ``==`` plus scalar *identity of representation*.
+
+    Plain ``==`` would call ``1 == 1.0`` and ``0.0 == -0.0`` equal, but the
+    checkpoint codec serializes them differently — skipping such a "change"
+    would silently break the byte-identity of replayed state.  Floats
+    compare by shortest-roundtrip repr, and type switches always differ.
+    """
+    if a is b:
+        return True
+    ta = type(a)
+    if ta is not type(b):
+        return False
+    if ta is float:
+        return repr(a) == repr(b)
+    if ta is list or ta is tuple:
+        return len(a) == len(b) and all(map(_same, a, b))
+    if ta is dict:
+        if len(a) != len(b):
+            return False
+        for key, value in a.items():
+            if key not in b or not _same(value, b[key]):
+                return False
+        return True
+    return a == b
+
+
+def _canon_key(value: Any) -> Any:
+    """Hashable, deterministic alignment key for sequence diffing."""
+    if value is None or isinstance(value, _SCALARS):
+        return (type(value).__name__, repr(value))
+    return json.dumps(
+        encode_state(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def _sort_key(value: Any) -> str:
+    return json.dumps(
+        encode_state(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def diff_trees(a: Any, b: Any) -> Optional[list]:
+    """Edit script turning state tree ``a`` into ``b``; None when identical.
+
+    The script is itself a state-tree-safe structure (nested lists mixing
+    tag strings with literal state values), so it rides the checkpoint
+    codec unchanged.  Guarantee: ``patch_tree(a, diff_trees(a, b))``
+    reproduces ``b`` exactly, including float representations and
+    container types.
+    """
+    if _same(a, b):
+        return None
+    return _op(a, b)
+
+
+def _op(a: Any, b: Any) -> list:
+    """Edit op for two trees already known to differ."""
+    if type(a) is not type(b):
+        return ["r", b]
+    if isinstance(a, dict):
+        return _shrink(_dict_op(a, b), b)
+    if isinstance(a, (list, tuple)):
+        return _shrink(_seq_op(a, b), b)
+    if isinstance(a, (set, frozenset)):
+        added = sorted((x for x in b if x not in a), key=_sort_key)
+        removed = sorted((x for x in a if x not in b), key=_sort_key)
+        return _shrink(["s", added, removed], b)
+    return ["r", b]
+
+
+def _shrink(op: list, b: Any) -> list:
+    """Cap an edit op at the cost of plain replacement.
+
+    When most of a container changed (small windows, heavy churn), the
+    structural script's per-edit overhead can exceed simply shipping the
+    new value — compare wire sizes (the :func:`encode_op` form records
+    actually travel in) and emit whichever is smaller, so a delta record
+    is never pathologically larger than the state it moves.
+    """
+    replacement = ["r", b]
+    wire = lambda o: len(
+        json.dumps(encode_op(o), separators=(",", ":"))
+    )
+    if wire(op) >= wire(replacement):
+        return replacement
+    return op
+
+
+def _dict_op(a: dict, b: dict) -> list:
+    sets: List[list] = []
+    dels = sorted((k for k in a if k not in b), key=_sort_key)
+    for key, value in b.items():
+        if key in a:
+            if not _same(a[key], value):
+                sets.append([key, _op(a[key], value)])
+        else:
+            sets.append([key, ["r", value]])
+    sets.sort(key=lambda pair: _sort_key(pair[0]))
+    return ["d", sets, dels]
+
+
+def _seq_op(a, b) -> list:
+    """Splice-style edit script for lists/tuples.
+
+    Common prefix/suffix are trimmed first (the dominant sliding-window
+    pattern — expire at the head, append at the tail — reduces to pure
+    splices), then the middles are aligned with ``difflib`` over canonical
+    element keys so scattered single-element changes (a touched keyword's
+    window entries inside the sorted per-keyword list) become nested
+    patches instead of wholesale replacement.
+    """
+    prefix = 0
+    limit = min(len(a), len(b))
+    while prefix < limit and _same(a[prefix], b[prefix]):
+        prefix += 1
+    suffix = 0
+    limit = min(len(a), len(b)) - prefix
+    while suffix < limit and _same(a[-1 - suffix], b[-1 - suffix]):
+        suffix += 1
+    mid_a = list(a[prefix : len(a) - suffix])
+    mid_b = list(b[prefix : len(b) - suffix])
+    edits: List[list] = []
+    if prefix:
+        edits.append(["k", prefix])
+    keys_a = [_canon_key(x) for x in mid_a]
+    keys_b = [_canon_key(x) for x in mid_b]
+    matcher = difflib.SequenceMatcher(None, keys_a, keys_b, autojunk=False)
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            edits.append(["k", i2 - i1])
+        elif tag == "delete":
+            edits.append(["x", i2 - i1])
+        elif tag == "insert":
+            edits.append(["i", mid_b[j1:j2]])
+        elif i2 - i1 == j2 - j1:
+            # positional replacement run: patch element-wise so an entry
+            # that changed in place costs its own small edit script
+            edits.append(
+                ["p", [_op(x, y) for x, y in zip(mid_a[i1:i2], mid_b[j1:j2])]]
+            )
+        else:
+            edits.append(["x", i2 - i1])
+            edits.append(["i", mid_b[j1:j2]])
+    return ["l", edits]
+
+
+def encode_op(op: Optional[list]) -> Optional[list]:
+    """JSON-safe form of an edit script: plain structure, tagged payloads.
+
+    The script *structure* (tags, splice counts, nesting) is plain JSON
+    arrays — running it through the tagged state codec would roughly
+    triple its size, and structure is most of a churn-heavy record.  Only
+    the embedded *state values* (replacement payloads, inserted elements,
+    set members, dict keys) need :func:`encode_state`, because they can
+    hold tuples/sets/non-string keys that raw JSON cannot represent.
+    """
+    if op is None:
+        return None
+    tag = op[0]
+    if tag == "r":
+        return ["r", encode_state(op[1])]
+    if tag == "d":
+        return [
+            "d",
+            [[encode_state(k), encode_op(sub)] for k, sub in op[1]],
+            [encode_state(k) for k in op[2]],
+        ]
+    if tag == "s":
+        return [
+            "s",
+            [encode_state(x) for x in op[1]],
+            [encode_state(x) for x in op[2]],
+        ]
+    if tag == "l":
+        edits = []
+        for edit in op[1]:
+            kind = edit[0]
+            if kind in ("k", "x"):
+                edits.append([kind, edit[1]])
+            elif kind == "i":
+                edits.append(["i", [encode_state(x) for x in edit[1]]])
+            elif kind == "p":
+                edits.append(["p", [encode_op(sub) for sub in edit[1]]])
+            else:
+                raise CheckpointError(f"unknown sequence edit {kind!r}")
+        return ["l", edits]
+    raise CheckpointError(f"unknown state edit tag: {tag!r}")
+
+
+def decode_op(op: Optional[list]) -> Optional[list]:
+    """Inverse of :func:`encode_op`; raises on a malformed script."""
+    if op is None:
+        return None
+    if not isinstance(op, list) or not op:
+        raise CheckpointError(f"malformed state edit op: {op!r}")
+    tag = op[0]
+    if tag == "r":
+        return ["r", decode_state(op[1])]
+    if tag == "d":
+        return [
+            "d",
+            [[decode_state(k), decode_op(sub)] for k, sub in op[1]],
+            [decode_state(k) for k in op[2]],
+        ]
+    if tag == "s":
+        return [
+            "s",
+            [decode_state(x) for x in op[1]],
+            [decode_state(x) for x in op[2]],
+        ]
+    if tag == "l":
+        edits = []
+        for edit in op[1]:
+            kind = edit[0]
+            if kind in ("k", "x"):
+                edits.append([kind, edit[1]])
+            elif kind == "i":
+                edits.append(["i", [decode_state(x) for x in edit[1]]])
+            elif kind == "p":
+                edits.append(["p", [decode_op(sub) for sub in edit[1]]])
+            else:
+                raise CheckpointError(f"unknown sequence edit {kind!r}")
+        return ["l", edits]
+    raise CheckpointError(f"unknown state edit tag: {tag!r}")
+
+
+def patch_tree(a: Any, op: Optional[list]) -> Any:
+    """Apply an edit script produced by :func:`diff_trees`.
+
+    Non-mutating: returns a new tree sharing unchanged substructure with
+    ``a``.  A script that does not fit the tree (missing dict key, splice
+    overrun, unknown tag) raises :class:`CheckpointError` — a delta log
+    must never be applied to the wrong base state silently.
+    """
+    if op is None:
+        return a
+    if not isinstance(op, list) or not op:
+        raise CheckpointError(f"malformed state edit op: {op!r}")
+    tag = op[0]
+    if tag == "r":
+        return op[1]
+    if tag == "d":
+        if not isinstance(a, dict):
+            raise CheckpointError(
+                f"dict edit applied to {type(a).__name__} state"
+            )
+        out = dict(a)
+        for key in op[2]:
+            if key not in out:
+                raise CheckpointError(
+                    f"state edit deletes missing dict key {key!r}"
+                )
+            del out[key]
+        for key, sub in op[1]:
+            if key in out:
+                out[key] = patch_tree(out[key], sub)
+            elif isinstance(sub, list) and sub and sub[0] == "r":
+                out[key] = sub[1]
+            else:
+                raise CheckpointError(
+                    f"state edit patches missing dict key {key!r}"
+                )
+        return out
+    if tag == "s":
+        if not isinstance(a, (set, frozenset)):
+            raise CheckpointError(
+                f"set edit applied to {type(a).__name__} state"
+            )
+        out = set(a)
+        for value in op[2]:
+            if value not in out:
+                raise CheckpointError(
+                    f"state edit removes missing set member {value!r}"
+                )
+            out.discard(value)
+        out.update(op[1])
+        return frozenset(out) if isinstance(a, frozenset) else out
+    if tag == "l":
+        if not isinstance(a, (list, tuple)):
+            raise CheckpointError(
+                f"sequence edit applied to {type(a).__name__} state"
+            )
+        out: List[Any] = []
+        i = 0
+        for edit in op[1]:
+            kind = edit[0]
+            if kind == "k":
+                out.extend(a[i : i + edit[1]])
+                i += edit[1]
+            elif kind == "x":
+                i += edit[1]
+            elif kind == "i":
+                out.extend(edit[1])
+            elif kind == "p":
+                for sub in edit[1]:
+                    if i >= len(a):
+                        raise CheckpointError(
+                            "sequence edit script overruns the state"
+                        )
+                    out.append(patch_tree(a[i], sub))
+                    i += 1
+            else:
+                raise CheckpointError(f"unknown sequence edit {kind!r}")
+            if i > len(a):
+                raise CheckpointError(
+                    "sequence edit script overruns the state"
+                )
+        out.extend(a[i:])
+        return tuple(out) if isinstance(a, tuple) else out
+    raise CheckpointError(f"unknown state edit tag: {tag!r}")
+
+
+# =====================================================================
+# Frame codec
+# =====================================================================
+
+
+def encode_frame(record: dict) -> bytes:
+    """One framed log record: length + CRC32 header, JSON payload."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frames(data: bytes, *, offset: int = 0) -> Tuple[List[dict], int]:
+    """Parse frames from ``data[offset:]``; stops at the first torn frame.
+
+    Returns ``(records, end_offset)`` where ``end_offset`` is the byte
+    position after the last *complete, checksummed* frame — the consistent
+    prefix.  A short header, a payload extending past EOF, an absurd
+    length, or a CRC mismatch all mark the torn tail a crash can leave; a
+    checksummed frame that is not valid JSON means the writer itself was
+    broken and raises :class:`CheckpointError`.
+    """
+    records: List[dict] = []
+    position = offset
+    size = len(data)
+    while True:
+        if position + _FRAME_HEADER.size > size:
+            break
+        length, crc = _FRAME_HEADER.unpack_from(data, position)
+        if length > _MAX_FRAME or position + _FRAME_HEADER.size + length > size:
+            break
+        start = position + _FRAME_HEADER.size
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            records.append(json.loads(payload.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"delta log record at byte {position} passed its checksum "
+                f"but is not valid JSON: {exc}"
+            ) from exc
+        position = start + length
+    return records, position
+
+
+# =====================================================================
+# Manifest
+# =====================================================================
+
+
+def _base_name(generation: int) -> str:
+    return f"base-{generation}.ckpt"
+
+
+def _log_name(generation: int) -> str:
+    return f"deltas-{generation}.log"
+
+
+def write_manifest(directory: Path, manifest: dict) -> None:
+    """Atomically replace ``MANIFEST.json`` (temp file + rename + dir fsync)."""
+    target = directory / MANIFEST_NAME
+    data = json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8")
+    try:
+        fd, scratch_name = tempfile.mkstemp(
+            dir=directory, prefix=MANIFEST_NAME + ".", suffix=".tmp"
+        )
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write delta-checkpoint manifest in {directory}: {exc}"
+        ) from exc
+    scratch = Path(scratch_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(scratch, target)
+        fsync_dir(directory)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write delta-checkpoint manifest {target}: {exc}"
+        ) from exc
+    finally:
+        scratch.unlink(missing_ok=True)
+
+
+def read_manifest(directory: Path) -> dict:
+    """Read and validate ``MANIFEST.json``; raises readable errors."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(
+            f"{directory} is not a delta checkpoint: cannot read "
+            f"{MANIFEST_NAME}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"{path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != DELTA_FORMAT:
+        raise CheckpointError(
+            f"{path} is not a repro delta-checkpoint manifest"
+        )
+    if manifest.get("version") != DELTA_VERSION:
+        raise CheckpointError(
+            f"{path} has delta-checkpoint version "
+            f"{manifest.get('version')!r}; this build reads version "
+            f"{DELTA_VERSION}"
+        )
+    for field in ("generation", "base", "log", "base_quantum"):
+        if field not in manifest:
+            raise CheckpointError(
+                f"{path} is missing the {field!r} manifest field"
+            )
+    return manifest
+
+
+# =====================================================================
+# Transport seam
+# =====================================================================
+
+
+@runtime_checkable
+class DeltaTransport(Protocol):
+    """How a follower reaches a leader's delta checkpoint.
+
+    ``FileTailTransport`` implements it over a shared filesystem; a socket
+    transport only has to serve the same three calls to plug a follower
+    into a network replication channel.
+    """
+
+    def manifest(self) -> dict:
+        """Current manifest (generation pointer)."""
+        ...
+
+    def load_base(self, manifest: dict) -> dict:
+        """Decoded state tree of the manifest's base snapshot."""
+        ...
+
+    def read_records(
+        self, manifest: dict, offset: int
+    ) -> Tuple[List[dict], int]:
+        """Records appended past ``offset``; returns (records, new offset)."""
+        ...
+
+
+class FileTailTransport:
+    """Tail a delta-checkpoint directory on a (shared) filesystem."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def manifest(self) -> dict:
+        return read_manifest(self.path)
+
+    def load_base(self, manifest: dict) -> dict:
+        return load_checkpoint(self.path / manifest["base"])
+
+    def read_records(
+        self, manifest: dict, offset: int
+    ) -> Tuple[List[dict], int]:
+        path = self.path / manifest["log"]
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read delta log {path}: {exc}"
+            ) from exc
+        if offset == 0:
+            if data[: len(_LOG_MAGIC)] != _LOG_MAGIC:
+                raise CheckpointError(
+                    f"{path} is not a repro delta log (bad magic)"
+                )
+            offset = len(_LOG_MAGIC)
+        return decode_frames(data, offset=offset)
+
+
+# =====================================================================
+# Reader: replay base + deltas into one state tree
+# =====================================================================
+
+
+def apply_record(state: dict, record: dict) -> dict:
+    """Apply one log record to a state tree, enforcing quantum continuity."""
+    if not isinstance(record, dict) or "q" not in record or "op" not in record:
+        raise CheckpointError(f"malformed delta log record: {record!r}")
+    expected = state["quantum"] + 1
+    if record["q"] != expected:
+        raise CheckpointError(
+            f"delta log is discontinuous: expected the record for quantum "
+            f"{expected}, found quantum {record['q']!r}"
+        )
+    try:
+        return patch_tree(state, decode_op(record["op"]))
+    except CheckpointError as exc:
+        raise CheckpointError(
+            f"cannot apply delta record for quantum {record['q']}: {exc}"
+        ) from exc
+
+
+def read_delta_checkpoint(path) -> dict:
+    """Replay a delta-checkpoint directory into one decoded state tree.
+
+    The result is bit-identical (through the canonical codec, byte-
+    identical on re-serialization) to a monolithic snapshot taken at the
+    same stream position — the v4 reader the monolithic
+    :func:`~repro.api.checkpoint.load_checkpoint` dispatches to for
+    directories.
+    """
+    transport = FileTailTransport(path)
+    manifest = transport.manifest()
+    state = transport.load_base(manifest)
+    if state.get("quantum") != manifest["base_quantum"]:
+        raise CheckpointError(
+            f"{path}: base snapshot is at quantum {state.get('quantum')!r} "
+            f"but the manifest says {manifest['base_quantum']!r}"
+        )
+    records, _ = transport.read_records(manifest, 0)
+    for record in records:
+        state = apply_record(state, record)
+    return state
+
+
+# =====================================================================
+# Writer (leader side)
+# =====================================================================
+
+
+class DeltaCheckpointWriter:
+    """Leader-side delta checkpoint: base snapshot + append-only edit log.
+
+    ``start(state)`` opens (or creates) the directory and writes a fresh
+    generation whose base is ``state``; ``append(state)`` logs one framed
+    edit script per quantum and compacts — rewrite base, truncate log,
+    flip manifest — once the log exceeds ``compact_ratio`` times the base
+    size.  Every append fsyncs the log file *and* its directory; base and
+    manifest writes are atomic-rename durable.  A writer whose append
+    failed mid-frame refuses further appends (the log tail is torn; the
+    next leader attaches with a fresh generation instead).
+    """
+
+    def __init__(self, path, *, compact_ratio: float = 4.0) -> None:
+        if compact_ratio <= 0:
+            raise CheckpointError(
+                f"compact_ratio must be positive, got {compact_ratio!r}"
+            )
+        self.path = Path(path)
+        self.compact_ratio = compact_ratio
+        self.generation = -1
+        self.base_bytes = 0
+        self.log_bytes = 0
+        self.records_written = 0
+        self.delta_bytes_total = 0
+        self.compactions = 0
+        self.append_seconds = 0.0
+        self._fh = None
+        self._last: Optional[dict] = None
+        self._broken = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self, state: dict) -> None:
+        """Create or attach to the directory; write a new generation."""
+        try:
+            self.path.mkdir(exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create delta checkpoint directory "
+                f"{self.path}: {exc}"
+            ) from exc
+        generation = 0
+        if (self.path / MANIFEST_NAME).exists():
+            generation = read_manifest(self.path)["generation"] + 1
+        self._roll(state, generation)
+
+    def append(self, state: dict) -> int:
+        """Log one quantum's edit script; returns the frame size in bytes."""
+        if self._fh is None:
+            raise CheckpointError("delta log writer is not started")
+        if self._broken:
+            raise CheckpointError(
+                "delta log writer is broken after a failed append; the log "
+                "tail may be torn — start a new leader (fresh generation) "
+                "instead of appending further"
+            )
+        started = time.perf_counter()
+        op = diff_trees(self._last, state)
+        frame = encode_frame(
+            {"q": state["quantum"], "op": encode_op(op)}
+        )
+        try:
+            self._fh.write(frame)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            fsync_dir(self.path)
+        except OSError as exc:
+            self._broken = True
+            raise CheckpointError(
+                f"cannot append to delta log in {self.path}: {exc}"
+            ) from exc
+        self._last = copy.deepcopy(state)
+        self.log_bytes += len(frame)
+        self.records_written += 1
+        self.delta_bytes_total += len(frame)
+        self.append_seconds += time.perf_counter() - started
+        if self.log_bytes > self.compact_ratio * max(self.base_bytes, 1):
+            self._roll(state, self.generation + 1)
+            self.compactions += 1
+        return len(frame)
+
+    def close(self) -> None:
+        """Close the log file handle (appends already fsynced)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "DeltaCheckpointWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ internals
+
+    def _roll(self, state: dict, generation: int) -> None:
+        """Write a fresh generation (new base, empty log, manifest flip)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        base = self.path / _base_name(generation)
+        log = self.path / _log_name(generation)
+        save_checkpoint(base, state)
+        try:
+            fh = open(log, "wb")
+            fh.write(_LOG_MAGIC)
+            fh.flush()
+            os.fsync(fh.fileno())
+            fsync_dir(self.path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create delta log {log}: {exc}"
+            ) from exc
+        write_manifest(
+            self.path,
+            {
+                "format": DELTA_FORMAT,
+                "version": DELTA_VERSION,
+                "generation": generation,
+                "base": base.name,
+                "log": log.name,
+                "base_quantum": state["quantum"],
+            },
+        )
+        self._fh = fh
+        self._last = copy.deepcopy(state)
+        previous = self.generation
+        self.generation = generation
+        self.base_bytes = base.stat().st_size
+        self.log_bytes = 0
+        if previous >= 0 and previous != generation:
+            # Old-generation files are garbage after the manifest flip; a
+            # follower mid-read keeps its open descriptor (POSIX) and picks
+            # up the new generation at its next manifest poll.
+            for stale in (
+                self.path / _base_name(previous),
+                self.path / _log_name(previous),
+            ):
+                try:
+                    stale.unlink(missing_ok=True)
+                except OSError:
+                    pass
+
+
+__all__ = [
+    "DELTA_FORMAT",
+    "DELTA_VERSION",
+    "MANIFEST_NAME",
+    "DeltaCheckpointWriter",
+    "DeltaTransport",
+    "FileTailTransport",
+    "apply_record",
+    "decode_frames",
+    "decode_op",
+    "diff_trees",
+    "encode_frame",
+    "encode_op",
+    "patch_tree",
+    "read_delta_checkpoint",
+    "read_manifest",
+    "write_manifest",
+]

@@ -291,6 +291,7 @@ class DetectorSession:
         self.total_timings = StageTimings()
         self._subscriptions: List[Subscription] = []
         self._notified: Dict[int, _Notified] = {}
+        self._delta_writer = None
 
     # ------------------------------------------------------------- access
 
@@ -398,6 +399,12 @@ class DetectorSession:
         self.total_seconds += report.elapsed_seconds
         self.total_timings.add(ctx.timings)
         self._dispatch(report)
+        if self._delta_writer is not None:
+            # One framed edit script per completed quantum: the durable
+            # stream a FollowerSession tails to stay warm (DESIGN.md
+            # Section 10).  An append failure propagates — a leader whose
+            # durability channel broke must not keep running silently.
+            self._delta_writer.append(self._state_tree())
         return report
 
     # -------------------------------------------------------- subscription
@@ -571,15 +578,19 @@ class DetectorSession:
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        """Release session resources (the sharded front-end's worker pool).
+        """Release session resources (worker pool, delta-log file handle).
 
-        Serial sessions hold no external resources and close() is a no-op;
-        sharded sessions should be closed (or used as a context manager) so
-        worker processes shut down promptly rather than at GC.
+        Serial sessions without a delta log hold no external resources and
+        close() is a no-op; sharded sessions should be closed (or used as a
+        context manager) so worker processes shut down promptly rather than
+        at GC.  A delta log's appends are fsynced as they happen, so close
+        only releases the handle — it never loses records.
         """
         close = getattr(self.builder, "close", None)
         if close is not None:
             close()
+        if self._delta_writer is not None:
+            self._delta_writer.close()
 
     def __enter__(self) -> "DetectorSession":
         return self
@@ -610,6 +621,38 @@ class DetectorSession:
         worker count — and resumes under any other (pass ``workers=`` to
         ``open_session``).
         """
+        save_checkpoint(path, self._state_tree())
+
+    def enable_delta_log(self, path, *, compact_ratio: float = 4.0) -> None:
+        """Start incremental checkpointing into the directory ``path``.
+
+        Writes a base snapshot of the current state now, then appends one
+        framed edit script per completed quantum (compacting — fresh base,
+        truncated log — once the log passes ``compact_ratio`` times the
+        base size).  The directory loads like any checkpoint
+        (``open_session(resume=path)``) and is what a
+        :class:`~repro.api.follower.FollowerSession` tails to stay warm.
+        An existing delta checkpoint directory is attached with a fresh
+        generation (new base from this session's state), which is how a
+        promoted follower chains its own standby.
+        """
+        from repro.api.deltalog import DeltaCheckpointWriter
+
+        if self._delta_writer is not None:
+            raise CheckpointError(
+                "a delta log is already enabled for this session"
+            )
+        writer = DeltaCheckpointWriter(path, compact_ratio=compact_ratio)
+        writer.start(self._state_tree())
+        self._delta_writer = writer
+
+    @property
+    def delta_writer(self):
+        """The active delta-log writer, or None (read-only by convention)."""
+        return self._delta_writer
+
+    def _state_tree(self) -> dict:
+        """Compose the full serializable session state (DESIGN.md S6/S10)."""
         try:
             maintainer_state = self.maintainer.to_state()
         except GraphError as exc:
@@ -652,7 +695,7 @@ class DetectorSession:
                 for cid, note in sorted(self._notified.items())
             ],
         }
-        save_checkpoint(path, state)
+        return state
 
     @classmethod
     def restore(
@@ -686,7 +729,41 @@ class DetectorSession:
         resume batched, and vice versa, continuing bit-identically either
         way.
         """
-        state = load_checkpoint(path)
+        return cls._from_state_tree(
+            load_checkpoint(path),
+            noun_tagger=noun_tagger,
+            tokenizer=tokenizer,
+            extractor=extractor,
+            workers=workers,
+            shard_count=shard_count,
+            worker_backend=worker_backend,
+            backend=backend,
+            profile=profile,
+        )
+
+    @classmethod
+    def _from_state_tree(
+        cls,
+        state: dict,
+        *,
+        noun_tagger: Optional[NounTagger] = None,
+        tokenizer=None,
+        extractor: Optional[EntityExtractor] = None,
+        workers: Optional[int] = None,
+        shard_count: Optional[int] = None,
+        worker_backend: Optional[str] = None,
+        backend: Optional[str] = None,
+        profile: bool = False,
+    ) -> "DetectorSession":
+        """Materialize a live session from a decoded state tree.
+
+        The common trunk under :meth:`restore` and
+        :meth:`~repro.api.follower.FollowerSession.promote`: the tree may
+        come from a monolithic snapshot, a replayed delta log, or a warm
+        follower — the execution-agnostic resume guarantees apply
+        identically.  The caller yields ownership of ``state``; layers may
+        keep references into it.
+        """
         config = DetectorConfig.from_dict(state["config"])
         overrides = {}
         if workers is not None:
@@ -804,6 +881,8 @@ def open_session(
     worker_backend: Optional[str] = None,
     backend: Optional[str] = None,
     profile: bool = False,
+    delta_log=None,
+    delta_compact_ratio: float = 4.0,
 ) -> DetectorSession:
     """Open a detector session — fresh, or resumed from a checkpoint.
 
@@ -824,6 +903,14 @@ def open_session(
     (results are bit-identical for any values, DESIGN.md Sections 7 and 9).
     ``profile=True`` collects a cProfile of the stage pipeline
     (``DetectorSession.profile_stats``).
+
+    ``delta_log=path`` enables incremental checkpointing: a base snapshot
+    now, then one durable edit-script record per completed quantum into
+    the directory ``path`` (compacted past ``delta_compact_ratio`` times
+    the base size) — the stream a warm-standby
+    :class:`~repro.api.follower.FollowerSession` tails (DESIGN.md
+    Section 10).  ``resume`` accepts a delta-checkpoint directory as well
+    as a monolithic snapshot file.
     """
     if resume is not None:
         if config is not None:
@@ -837,7 +924,7 @@ def open_session(
                 "keeps the modes it was snapshotted with, so the oracle_* "
                 "arguments cannot be combined with resume"
             )
-        return DetectorSession.restore(
+        session = DetectorSession.restore(
             resume,
             noun_tagger=noun_tagger,
             tokenizer=tokenizer,
@@ -848,6 +935,11 @@ def open_session(
             backend=backend,
             profile=profile,
         )
+        if delta_log is not None:
+            session.enable_delta_log(
+                delta_log, compact_ratio=delta_compact_ratio
+            )
+        return session
     if workers is not None or shard_count is not None or backend is not None:
         base = config if config is not None else DetectorConfig()
         overrides = {}
@@ -858,7 +950,7 @@ def open_session(
         if backend is not None:
             overrides["backend"] = backend
         config = base.with_overrides(**overrides)
-    return DetectorSession(
+    session = DetectorSession(
         config,
         noun_tagger=noun_tagger,
         tokenizer=tokenizer,
@@ -868,6 +960,9 @@ def open_session(
         worker_backend=worker_backend,
         profile=profile,
     )
+    if delta_log is not None:
+        session.enable_delta_log(delta_log, compact_ratio=delta_compact_ratio)
+    return session
 
 
 __all__ = ["DetectorSession", "Subscription", "open_session"]

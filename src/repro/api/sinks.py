@@ -54,11 +54,21 @@ class QueueSink:
         self.dropped = 0
 
     def emit(self, event: SessionEvent) -> None:
-        """Append one event, evicting the oldest when over ``maxlen``."""
-        self._events.append(event)
-        if self.maxlen is not None and len(self._events) > self.maxlen:
+        """Append one event, evicting the oldest first when at ``maxlen``.
+
+        Eviction happens *before* the append so the buffer never holds
+        more than ``maxlen`` events, even transiently — a concurrent
+        ``drain()``/``__iter__`` can otherwise observe ``maxlen + 1``.
+        A ``maxlen`` of zero accepts nothing and counts every event as
+        dropped.
+        """
+        if self.maxlen is not None and len(self._events) >= self.maxlen:
+            if self.maxlen == 0:
+                self.dropped += 1
+                return
             self._events.popleft()
             self.dropped += 1
+        self._events.append(event)
 
     def drain(self) -> List[SessionEvent]:
         """Remove and return everything buffered, in delivery order."""

@@ -5,6 +5,7 @@ Commands
 ``demo``       run the Figure 1 quickstart scenario
 ``generate``   build a synthetic trace (tw / es / ground-truth) as JSONL
 ``detect``     run the detector over a JSONL trace and print events
+``follow``     tail a delta log as a warm standby; optionally promote
 ``sweep``      print a small precision/recall parameter grid for a preset
 
 ``detect`` exposes the verification baselines: ``--oracle-ranking`` re-ranks
@@ -19,7 +20,10 @@ check and a speedup demo.
 full detector state after the trace (including a buffered partial quantum),
 and ``--resume-from PATH`` continues a checkpointed session over more data —
 the resumed stream is bit-identical to one that never stopped (DESIGN.md
-Section 6).
+Section 6).  ``--delta-log DIR`` switches durability to the incremental
+checkpoint format (base snapshot + per-quantum delta records, DESIGN.md
+Section 10); ``follow DIR --promote`` is the matching failover move: a warm
+standby replays the log and takes over bit-identically mid-stream.
 
 The engine is entity-agnostic: ``detect --extractor edges`` runs a raw
 actor–entity interaction stream (``generate edge``), ``--extractor fields``
@@ -128,7 +132,19 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume-from", metavar="PATH",
                         help="resume a session from a checkpoint before "
                              "ingesting the trace; the checkpoint's config "
-                             "overrides the config flags")
+                             "overrides the config flags (PATH may be a "
+                             "monolithic .ckpt file or a delta-checkpoint "
+                             "directory)")
+    parser.add_argument("--delta-log", metavar="DIR",
+                        help="write an incremental checkpoint to DIR while "
+                             "detecting: base snapshot now, then one "
+                             "durable delta record per completed quantum "
+                             "(tail it with 'repro follow DIR')")
+    parser.add_argument("--delta-compact-ratio", type=float, default=4.0,
+                        metavar="R",
+                        help="compact the delta log (fresh base, truncated "
+                             "log) once it exceeds R x the base size "
+                             "(default 4.0)")
 
 
 def _config_from(args: argparse.Namespace) -> DetectorConfig:
@@ -224,6 +240,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             shard_count=args.shard_count,
             backend=args.backend,
             profile=args.profile,
+            delta_log=args.delta_log,
+            delta_compact_ratio=args.delta_compact_ratio,
         )
         print(
             f"-- resumed from {args.resume_from} at quantum "
@@ -232,7 +250,19 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             f"config comes from the checkpoint"
         )
     else:
-        session = open_session(_config_from(args), profile=args.profile)
+        session = open_session(
+            _config_from(args),
+            profile=args.profile,
+            delta_log=args.delta_log,
+            delta_compact_ratio=args.delta_compact_ratio,
+        )
+    if args.delta_log:
+        writer = session.delta_writer
+        print(
+            f"-- delta log enabled at {args.delta_log} "
+            f"(generation {writer.generation}, "
+            f"base quantum {session.current_quantum})"
+        )
     printed = 0
     quanta = 0
     cache_hits = 0
@@ -282,6 +312,89 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 f"(quantum {session.current_quantum}, "
                 f"{session.batcher.pending} messages buffered)"
             )
+        if args.delta_log:
+            writer = session.delta_writer
+            print(
+                f"-- delta log: {writer.records_written} record(s), "
+                f"{writer.compactions} compaction(s), final generation "
+                f"{writer.generation}"
+            )
+    return 0
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    """Warm-standby follower over a delta-checkpoint directory."""
+    import time
+
+    from repro.api import FollowerSession
+
+    follower = FollowerSession(args.delta_log)
+    print(
+        f"-- following {args.delta_log}: generation {follower.generation}, "
+        f"quantum {follower.current_quantum} "
+        f"({follower.records_applied} delta record(s) replayed)"
+    )
+    if args.until_quantum is not None:
+        follower.wait_for_quantum(
+            args.until_quantum, timeout=args.timeout
+        )
+        print(f"-- caught up to quantum {follower.current_quantum}")
+    elif args.watch is not None:
+        deadline = time.monotonic() + args.watch
+        while time.monotonic() < deadline:
+            applied = follower.catch_up()
+            if applied:
+                print(
+                    f"-- applied {applied} record(s), now at quantum "
+                    f"{follower.current_quantum} "
+                    f"(generation {follower.generation})"
+                )
+            time.sleep(args.poll)
+    if args.checkpoint:
+        follower.snapshot(args.checkpoint)
+        print(
+            f"-- follower checkpoint written to {args.checkpoint} "
+            f"(quantum {follower.current_quantum})"
+        )
+    if args.promote:
+        session = follower.promote(
+            workers=args.workers,
+            shard_count=args.shard_count,
+            backend=args.backend,
+        )
+        print(
+            f"-- promoted to a live session at quantum "
+            f"{session.current_quantum}; feed the stream from this "
+            f"quantum boundary to continue bit-identically"
+        )
+        with session:
+            if args.trace:
+                printed = 0
+                read_stats = TraceReadStats()
+                for report in session.ingest_many(
+                    read_jsonl_trace(args.trace, stats=read_stats),
+                    flush=not args.promote_checkpoint,
+                ):
+                    for event in report.reported:
+                        if event.event_id in report.new_event_ids:
+                            printed += 1
+                            print(
+                                f"q{report.quantum:<5} NEW event "
+                                f"#{event.event_id}: "
+                                f"{', '.join(sorted(event.keywords))} "
+                                f"(rank {event.rank:.1f})"
+                            )
+                print(
+                    f"-- {printed} events, {session.total_messages} "
+                    f"messages total"
+                )
+            if args.promote_checkpoint:
+                session.snapshot(args.promote_checkpoint)
+                print(
+                    f"-- promoted-session checkpoint written to "
+                    f"{args.promote_checkpoint} "
+                    f"(quantum {session.current_quantum})"
+                )
     return 0
 
 
@@ -361,6 +474,50 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("trace", help="input JSONL path")
     _add_config_arguments(detect)
     detect.set_defaults(func=_cmd_detect)
+
+    follow = sub.add_parser(
+        "follow",
+        help="tail a delta log as a warm standby; optionally promote",
+    )
+    follow.add_argument(
+        "delta_log", metavar="DIR",
+        help="delta-checkpoint directory a leader writes with "
+             "'detect --delta-log DIR'",
+    )
+    follow.add_argument("--watch", type=float, default=None, metavar="SECS",
+                        help="keep tailing for SECS seconds, printing "
+                             "progress as records arrive")
+    follow.add_argument("--until-quantum", type=int, default=None,
+                        metavar="N",
+                        help="block until the log reaches quantum N "
+                             "(readable timeout error after --timeout)")
+    follow.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECS",
+                        help="give up on --until-quantum after SECS "
+                             "(default 30)")
+    follow.add_argument("--poll", type=float, default=0.2, metavar="SECS",
+                        help="poll interval while watching (default 0.2)")
+    follow.add_argument("--checkpoint", metavar="PATH",
+                        help="write the follower's state as a monolithic "
+                             "checkpoint (off-leader snapshotting)")
+    follow.add_argument("--promote", action="store_true",
+                        help="promote into a live session after catching "
+                             "up (the failover move)")
+    follow.add_argument("--trace", metavar="PATH",
+                        help="with --promote: JSONL trace to ingest on the "
+                             "promoted session (the stream from the last "
+                             "logged quantum boundary on)")
+    follow.add_argument("--promote-checkpoint", metavar="PATH",
+                        help="with --promote: snapshot the promoted "
+                             "session after the trace")
+    follow.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="workers for the promoted session "
+                             "(results identical for any N)")
+    follow.add_argument("--shard-count", type=int, default=None, metavar="S")
+    follow.add_argument("--backend", choices=("reference", "batched"),
+                        default=None,
+                        help="hot-path backend for the promoted session")
+    follow.set_defaults(func=_cmd_follow)
 
     sweep = sub.add_parser("sweep", help="print a small parameter-sweep grid")
     sweep.add_argument("preset", choices=sorted(_TRACE_BUILDERS))

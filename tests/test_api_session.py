@@ -348,6 +348,36 @@ class TestSinks:
         assert sink.drain() == [3, 4]
         assert sink.dropped == 3
 
+    def test_queue_sink_never_exceeds_maxlen_even_transiently(self):
+        # emit used to append first and evict after, so a bounded sink
+        # momentarily held maxlen + 1 events — observable from a sink
+        # subclass (or a concurrent drain).  Instrument the underlying
+        # deque to record the high-water mark across every append.
+        from collections import deque
+
+        observed = []
+
+        class SpyingDeque(deque):
+            def append(self, event):
+                super().append(event)
+                observed.append(len(self))
+
+        sink = QueueSink(maxlen=3)
+        sink._events = SpyingDeque()
+        for i in range(10):
+            sink.emit(i)
+        assert max(observed) == 3
+        assert sink.drain() == [7, 8, 9]
+        assert sink.dropped == 7
+
+    def test_queue_sink_maxlen_zero_drops_everything(self):
+        sink = QueueSink(maxlen=0)
+        for i in range(4):
+            sink.emit(i)
+        assert len(sink) == 0
+        assert sink.drain() == []
+        assert sink.dropped == 4
+
     def test_queue_sink_iteration_preserves_buffer(self):
         sink = QueueSink()
         sink.emit(1)

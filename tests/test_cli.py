@@ -195,6 +195,98 @@ class TestCheckpointFlags:
         assert split_events == whole_events
 
 
+class TestDeltaLogAndFollow:
+    def test_detect_writes_delta_log_and_resume_reads_it(
+        self, tmp_path, capsys
+    ):
+        trace_path = str(tmp_path / "trace.jsonl")
+        dlog = str(tmp_path / "dlog")
+        main(["generate", "tw", trace_path, "--messages", "3000"])
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--gamma", "0.15",
+            "--quantum-size", "100", "--delta-log", dlog,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "delta log enabled at" in out
+        assert "record(s)" in out
+        assert (tmp_path / "dlog" / "MANIFEST.json").exists()
+        # --resume-from accepts the delta directory just like a .ckpt file
+        assert main([
+            "detect", trace_path, "--resume-from", dlog,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+
+    def test_follow_promote_equals_uninterrupted_run(
+        self, tmp_path, capsys
+    ):
+        """The CLI face of the failover gate: leader killed mid-stream,
+        follower promotes, continuation prints the same detection lines
+        the uninterrupted run prints past the takeover point."""
+        trace_path = tmp_path / "trace.jsonl"
+        dlog = str(tmp_path / "dlog")
+        main(["generate", "tw", str(trace_path), "--messages", "3000"])
+        capsys.readouterr()
+
+        assert main([
+            "detect", str(trace_path), "--gamma", "0.15",
+            "--quantum-size", "100",
+        ]) == 0
+        whole_out = capsys.readouterr().out
+        whole_events = [
+            l for l in whole_out.splitlines() if "NEW event" in l
+        ]
+
+        # Split at an exact quantum boundary: promote continues from the
+        # last *logged* quantum, and a clean split means the leader's
+        # pending buffer (the data-loss window) is empty.
+        lines = trace_path.read_text().splitlines(keepends=True)
+        half_a = tmp_path / "a.jsonl"
+        half_b = tmp_path / "b.jsonl"
+        half_a.write_text("".join(lines[:1500]))
+        half_b.write_text("".join(lines[1500:]))
+        assert main([
+            "detect", str(half_a), "--gamma", "0.15",
+            "--quantum-size", "100", "--delta-log", dlog,
+            "--checkpoint", str(tmp_path / "lead.ckpt"),
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "follow", dlog, "--promote", "--trace", str(half_b),
+        ]) == 0
+        second = capsys.readouterr().out
+        assert "following" in second
+        assert "promoted to a live session at quantum 14" in second
+        split_events = [
+            l for l in (first + second).splitlines() if "NEW event" in l
+        ]
+        assert split_events == whole_events
+
+    def test_follow_snapshot_without_promote(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        dlog = str(tmp_path / "dlog")
+        follower_ckpt = tmp_path / "follower.ckpt"
+        main(["generate", "tw", trace_path, "--messages", "2000"])
+        capsys.readouterr()
+        assert main([
+            "detect", trace_path, "--gamma", "0.15",
+            "--quantum-size", "100", "--delta-log", dlog,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "follow", dlog, "--checkpoint", str(follower_ckpt),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "follower checkpoint written to" in out
+        assert follower_ckpt.exists()
+        # The off-leader snapshot resumes like any monolithic checkpoint.
+        assert main([
+            "detect", trace_path, "--resume-from", str(follower_ckpt),
+        ]) == 0
+        assert "resumed from" in capsys.readouterr().out
+
+
 class TestBackendAndProfileFlags:
     def test_batched_backend_matches_reference_output(
         self, tmp_path, capsys

@@ -1,0 +1,306 @@
+"""Hot-standby failover: a promoted follower equals the uninterrupted run.
+
+The contract under test (DESIGN.md Section 10): a ``FollowerSession``
+tailing a leader's delta log, promoted mid-stream and fed the stream from
+the last logged quantum boundary, produces reports, sink notifications,
+event histories, and a final checkpoint bit-identical to a session that
+never stopped — across serial/sharded execution and batched/reference
+backends, for both the leader and the promoted session.  A crashed leader
+(SIGKILL mid-append in a subprocess) must leave a log the follower loads
+to a consistent quantum boundary.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+import golden
+from repro.api import FollowerSession, QueueSink, open_session
+from repro.errors import CheckpointError
+
+from test_api_checkpoint import (
+    bursty_stream,
+    history_key,
+    make_config,
+    notification_key,
+    report_key,
+)
+
+
+def uninterrupted_run(config, messages, **kwargs):
+    session = open_session(config, **kwargs)
+    sink = QueueSink()
+    session.subscribe(sink)
+    reports = [report_key(r) for r in session.ingest_many(messages)]
+    notes = [notification_key(e) for e in sink.drain()]
+    return reports, notes, session
+
+
+# Leader execution x promoted execution: the delta log is execution-
+# agnostic, so any leader's log must promote identically under any mode.
+MATRIX = [
+    ({}, {}),
+    ({"workers": 2}, {}),
+    ({}, {"workers": 2}),
+    ({"backend": "batched"}, {}),
+    ({}, {"backend": "batched"}),
+]
+
+
+class TestPromoteParity:
+    @pytest.mark.parametrize("leader_kwargs,promote_kwargs", MATRIX)
+    def test_promoted_follower_equals_uninterrupted(
+        self, leader_kwargs, promote_kwargs, tmp_path
+    ):
+        config = make_config()
+        messages = bursty_stream(21, 900)
+        expected_reports, expected_notes, whole = uninterrupted_run(
+            config, messages
+        )
+        whole.snapshot(tmp_path / "whole.ckpt")
+
+        # leader runs the first 600 messages (30 quanta), then "dies"
+        with open_session(
+            config, delta_log=tmp_path / "d", **leader_kwargs
+        ) as leader:
+            lead_sink = QueueSink()
+            leader.subscribe(lead_sink)
+            reports = [
+                report_key(r) for r in leader.ingest_many(messages[:600])
+            ]
+            notes = [notification_key(e) for e in lead_sink.drain()]
+
+        follower = FollowerSession(tmp_path / "d")
+        takeover = follower.current_quantum
+        assert takeover == 29  # all 30 leader quanta were logged
+        session = follower.promote(**promote_kwargs)
+        sink = QueueSink()
+        session.subscribe(sink)
+        reports += [
+            report_key(r)
+            for r in session.ingest_many(
+                messages[(takeover + 1) * config.quantum_size :]
+            )
+        ]
+        notes += [notification_key(e) for e in sink.drain()]
+
+        assert reports == expected_reports
+        assert notes == expected_notes
+        assert [history_key(r) for r in session.events()] == [
+            history_key(r) for r in whole.events()
+        ]
+        session.snapshot(tmp_path / "prom.ckpt")
+        assert golden.fingerprint(
+            golden.normalized_checkpoint_state(tmp_path / "prom.ckpt")
+        ) == golden.fingerprint(
+            golden.normalized_checkpoint_state(tmp_path / "whole.ckpt")
+        )
+        session.close()
+
+    def test_live_tail_while_leader_runs(self, tmp_path):
+        """catch_up() mid-stream tracks the leader quantum by quantum,
+        across compactions (generation flips)."""
+        config = make_config()
+        messages = bursty_stream(23, 800)
+        with open_session(
+            config, delta_log=tmp_path / "d", delta_compact_ratio=1.0
+        ) as leader:
+            list(leader.ingest_many(messages[:200]))
+            follower = FollowerSession(tmp_path / "d")
+            assert follower.current_quantum == leader.current_quantum
+            for lo in range(200, 800, 100):
+                list(leader.ingest_many(messages[lo : lo + 100]))
+                follower.catch_up()
+                assert follower.current_quantum == leader.current_quantum
+            assert leader.delta_writer.compactions > 0
+            assert follower.generations_seen > 1
+
+    def test_chained_failover(self, tmp_path):
+        """The promoted session can itself lead: enable a delta log, die,
+        and promote a second follower — still equal to the straight run."""
+        config = make_config()
+        messages = bursty_stream(27, 900)
+        expected_reports, _, whole = uninterrupted_run(config, messages)
+        whole.snapshot(tmp_path / "whole.ckpt")
+
+        with open_session(config, delta_log=tmp_path / "d1") as first:
+            reports = [
+                report_key(r) for r in first.ingest_many(messages[:300])
+            ]
+        second = FollowerSession(tmp_path / "d1").promote()
+        q1 = second.current_quantum
+        second.enable_delta_log(tmp_path / "d2")
+        reports += [
+            report_key(r)
+            for r in second.ingest_many(
+                messages[(q1 + 1) * config.quantum_size : 600]
+            )
+        ]
+        second.close()
+        third = FollowerSession(tmp_path / "d2").promote()
+        q2 = third.current_quantum
+        reports += [
+            report_key(r)
+            for r in third.ingest_many(
+                messages[(q2 + 1) * config.quantum_size :]
+            )
+        ]
+        assert reports == expected_reports
+        third.snapshot(tmp_path / "final.ckpt")
+        assert golden.fingerprint(
+            golden.normalized_checkpoint_state(tmp_path / "final.ckpt")
+        ) == golden.fingerprint(
+            golden.normalized_checkpoint_state(tmp_path / "whole.ckpt")
+        )
+        third.close()
+
+    def test_mid_quantum_death_loses_only_the_pending_buffer(
+        self, tmp_path
+    ):
+        """A leader dying mid-quantum loses exactly its partial pending
+        buffer: the follower stands at the last completed quantum, and
+        re-feeding from that boundary reproduces the uninterrupted run."""
+        config = make_config()
+        messages = bursty_stream(29, 900)
+        expected_reports, _, _ = uninterrupted_run(config, messages)
+
+        split = 617  # mid-quantum: 617 = 30 * 20 + 17
+        with open_session(config, delta_log=tmp_path / "d") as leader:
+            reports = [
+                report_key(r) for r in leader.ingest_many(messages[:split])
+            ]
+            assert leader.batcher.pending == 17
+        follower = FollowerSession(tmp_path / "d")
+        assert follower.current_quantum == 29  # quantum 30 never completed
+        session = follower.promote()
+        reports += [
+            report_key(r)
+            for r in session.ingest_many(
+                messages[(follower.current_quantum + 1) * 20 :]
+            )
+        ]
+        assert reports == expected_reports
+        session.close()
+
+
+class TestFollowerLifecycle:
+    def test_promote_is_one_shot(self, tmp_path):
+        config = make_config()
+        with open_session(config, delta_log=tmp_path / "d") as leader:
+            list(leader.ingest_many(bursty_stream(1, 100)))
+        follower = FollowerSession(tmp_path / "d")
+        follower.promote().close()
+        assert follower.promoted
+        with pytest.raises(CheckpointError, match="promoted"):
+            follower.promote()
+        with pytest.raises(CheckpointError, match="promoted"):
+            follower.catch_up()
+
+    def test_follower_snapshot_resumes_like_any_checkpoint(self, tmp_path):
+        config = make_config()
+        messages = bursty_stream(31, 600)
+        expected_reports, _, _ = uninterrupted_run(config, messages)
+        with open_session(config, delta_log=tmp_path / "d") as leader:
+            reports = [
+                report_key(r) for r in leader.ingest_many(messages[:400])
+            ]
+        follower = FollowerSession(tmp_path / "d")
+        follower.snapshot(tmp_path / "standby.ckpt")
+        resumed = open_session(resume=tmp_path / "standby.ckpt")
+        reports += [
+            report_key(r) for r in resumed.ingest_many(messages[400:])
+        ]
+        assert reports == expected_reports
+
+    def test_missing_directory_is_a_readable_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="MANIFEST"):
+            FollowerSession(tmp_path / "nothing")
+
+    def test_needs_path_or_transport(self):
+        with pytest.raises(CheckpointError, match="path"):
+            FollowerSession()
+
+    def test_wait_for_quantum_times_out_readably(self, tmp_path):
+        config = make_config()
+        with open_session(config, delta_log=tmp_path / "d") as leader:
+            list(leader.ingest_many(bursty_stream(1, 100)))
+        follower = FollowerSession(tmp_path / "d")
+        with pytest.raises(CheckpointError, match="timed out"):
+            follower.wait_for_quantum(
+                follower.current_quantum + 1, timeout=0.05, poll=0.01
+            )
+
+
+class TestCrashedLeader:
+    def test_sigkilled_leader_leaves_a_loadable_log(self, tmp_path):
+        """SIGKILL a real leader process mid-stream; the follower must load
+        a consistent quantum boundary and continue to the exact same final
+        state as an uninterrupted run over the same seeded stream."""
+        script = textwrap.dedent(
+            """
+            import sys
+            sys.path.insert(0, {src!r})
+            sys.path.insert(0, {tests!r})
+            from repro.api import open_session
+            from test_api_checkpoint import bursty_stream, make_config
+
+            session = open_session(
+                make_config(), delta_log={dlog!r}
+            )
+            messages = bursty_stream(37, 100000)
+            print("ready", flush=True)
+            for message in messages:
+                session.ingest(message)
+            """
+        ).format(
+            src=str(Path("src").resolve()),
+            tests=str(Path("tests").resolve()),
+            dlog=str(tmp_path / "d"),
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            assert proc.stdout.readline().strip() == b"ready"
+            # let it log a few quanta, then kill it without ceremony
+            deadline = time.monotonic() + 30
+            log_dir = tmp_path / "d"
+            while time.monotonic() < deadline:
+                logs = list(log_dir.glob("deltas-*.log"))
+                if logs and max(p.stat().st_size for p in logs) > 2000:
+                    break
+                time.sleep(0.02)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        follower = FollowerSession(tmp_path / "d")
+        q = follower.current_quantum
+        assert q >= 1  # it logged something before dying
+
+        # reference: uninterrupted run over the same prefix of the stream
+        config = make_config()
+        messages = bursty_stream(37, (q + 1) * config.quantum_size)
+        reference = open_session(config)
+        list(reference.ingest_many(messages))
+        reference.snapshot(tmp_path / "ref.ckpt")
+        promoted = follower.promote()
+        promoted.snapshot(tmp_path / "prom.ckpt")
+        assert golden.fingerprint(
+            golden.normalized_checkpoint_state(tmp_path / "prom.ckpt")
+        ) == golden.fingerprint(
+            golden.normalized_checkpoint_state(tmp_path / "ref.ckpt")
+        )
+        promoted.close()
