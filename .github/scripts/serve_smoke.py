@@ -1,0 +1,99 @@
+"""CI serve-smoke: drive a real `repro serve` process end to end.
+
+Start the server as a subprocess, create a tenant, ingest a canned trace
+through the stdlib client, assert subscriber events and /metrics sanity,
+kill -9 the process, restart it, and resume the tenant from its delta
+checkpoint.  Exits non-zero on any failed assertion.
+"""
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+sys.path.insert(0, SRC)
+
+from repro.serve import ServeClient
+from repro.stream.sources import read_jsonl_trace
+
+PORT = 8931
+CONFIG = {"quantum_size": 80, "high_state_threshold": 3}
+ENV = dict(os.environ, PYTHONPATH=SRC)
+
+
+def start_server():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(PORT), "--state-dir", "serve-state"],
+        env=ENV,
+    )
+    client = ServeClient(port=PORT)
+    for _ in range(100):
+        try:
+            client.healthz()
+            return proc, client
+        except OSError:
+            assert proc.poll() is None, "server process died during startup"
+            time.sleep(0.1)
+    raise AssertionError("server never became healthy")
+
+
+messages = list(read_jsonl_trace("serve-trace.jsonl"))
+half = len(messages) // 2
+assert half % CONFIG["quantum_size"] == 0, "split must be a quantum boundary"
+
+# Leg 1: create, subscribe, ingest the first half, then SIGKILL.
+proc, client = start_server()
+created = client.create_tenant("smoke", CONFIG)
+assert created["tenant"] == "smoke" and not created["resumed"], created
+
+ws = client.subscribe("smoke")
+client.ingest("smoke", messages[:half], wait=True)
+
+stats = client.stats("smoke")
+assert stats["messages"] == half, stats["messages"]
+assert stats["reports"] > 0, "canned trace produced no cluster reports"
+quantum_before = stats["quantum"]
+assert quantum_before == half // CONFIG["quantum_size"] - 1, quantum_before
+
+events = []
+ws.sock.settimeout(5.0)
+try:
+    while True:
+        record = ws.recv_json()
+        if record is None:
+            break
+        events.append(record)
+except OSError:
+    pass  # drained: no frame for 5s
+assert events, "subscriber received no events"
+assert all(e["quantum"] <= quantum_before for e in events), events[-1]
+sent = client.stats("smoke")["fanout"]["subscribers"][0]
+assert sent["sent"] == len(events) and sent["dropped"] == 0, sent
+
+metrics = client.metrics()
+assert metrics["tenants"]["smoke"]["messages"] == half, metrics
+assert metrics["baselines"], "committed bench baselines missing from /metrics"
+
+proc.send_signal(signal.SIGKILL)
+proc.wait(timeout=30)
+print(f"-- leg 1 OK: {half} msgs, {len(events)} events delivered, SIGKILLed")
+
+# Leg 2: restart, resume from the delta log, finish the trace.
+proc, client = start_server()
+resumed = client.create_tenant("smoke", resume=True)
+assert resumed["resumed"] and resumed["quantum"] == quantum_before, resumed
+
+client.ingest("smoke", messages[half:], wait=True)
+stats = client.stats("smoke")
+assert stats["messages"] == len(messages), stats["messages"]
+assert stats["quantum"] == len(messages) // CONFIG["quantum_size"] - 1, stats
+
+proc.send_signal(signal.SIGINT)
+assert proc.wait(timeout=60) == 0, "graceful shutdown exited non-zero"
+assert os.path.exists("serve-state/smoke/final.ckpt"), \
+    "graceful shutdown left no final checkpoint"
+print(f"-- leg 2 OK: resumed at quantum {quantum_before}, "
+      f"finished {len(messages)} msgs, graceful stop checkpointed")

@@ -1,0 +1,265 @@
+"""Serving-layer fan-out and overhead: the PR 8 tentpole gate.
+
+Two phases over churny synthetic streams (every quantum reshuffles cluster
+ranks, so lifecycle events keep flowing):
+
+* **fan-out phase** — 2 tenants x 100 WebSocket subscribers each in one
+  ``repro.serve`` process, all 200 draining concurrently while both
+  tenants ingest.  Asserted (the ISSUE acceptance): zero event loss for
+  keep-up consumers — every subscriber receives its tenant's library-run
+  note sequence exactly, in order, and the hub counts zero drops.
+  Delivery throughput is reported in ``config``.
+* **overhead phase** — one tenant, no subscribers, a longer stream.  The
+  headline ``speedup`` is the *serving efficiency*: in-executor detection
+  seconds (``/stats`` throughput) divided by end-to-end serve wall from
+  first ingest POST to idle.  Both sides come from the same run, so
+  machine noise cancels; the ratio drops — and ``check_regression.py``
+  fires — exactly when the front door, wire codec, queueing, or executor
+  plumbing get slower relative to the detection work they carry.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_serve_fanout.py
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _results import smoke_scale, write_json_result  # noqa: E402
+
+from repro.api import QueueSink, open_session  # noqa: E402
+from repro.config import DetectorConfig  # noqa: E402
+from repro.serve import ServeClient, ServerThread  # noqa: E402
+from repro.stream.messages import Message  # noqa: E402
+
+TENANTS = 2
+SUBSCRIBERS = 100  # per tenant — the ISSUE's scale point
+FANOUT_MESSAGES = smoke_scale(9600, 4800)
+OVERHEAD_MESSAGES = smoke_scale(48_000, 24_000)
+SEED = 61
+
+# The efficiency floor asserted in-bench (the committed baseline re-gates
+# the measured value at 25% tolerance; this absolute floor also holds on
+# boxes where the ratio gate is skipped).
+EFFICIENCY_FLOOR = 0.20
+
+CONFIG = dict(
+    quantum_size=24,
+    window_quanta=5,
+    high_state_threshold=2,
+    ec_threshold=0.1,
+    use_minhash_filter=False,
+)
+
+
+def churny_stream(seed: int, n: int):
+    """Bursty keyword traffic over a small vocabulary: clusters form,
+    reshuffle and dissolve every few quanta, so events keep flowing."""
+    rng = random.Random(seed)
+    keywords = [f"k{i}" for i in range(6)]
+    return [
+        Message(
+            f"u{rng.randrange(20)}",
+            tokens=tuple(rng.sample(keywords, rng.randint(2, 4))),
+        )
+        for _ in range(n)
+    ]
+
+
+def note(event_or_record) -> list:
+    """One comparable shape for both legs (library event / wire record)."""
+    if isinstance(event_or_record, dict):
+        r = event_or_record
+        return [r["kind"], r["quantum"], r["event_id"], r["keywords"],
+                r["rank"], r["size"]]
+    e = event_or_record
+    return [e.kind.value, e.quantum, e.event_id, sorted(e.keywords),
+            e.rank, e.size]
+
+
+def library_notes(messages):
+    """The delivery oracle: the library run's note sequence."""
+    session = open_session(DetectorConfig(**CONFIG))
+    inbox = QueueSink()
+    session.subscribe(inbox)
+    for _ in session.ingest_many(list(messages)):
+        pass
+    notes = [note(e) for e in inbox.drain()]
+    session.close()
+    return notes
+
+
+def fanout_phase():
+    """2 tenants x 100 subscribers: full delivery, zero loss, in order."""
+    streams = {
+        f"tenant-{i}": churny_stream(SEED + i, FANOUT_MESSAGES)
+        for i in range(TENANTS)
+    }
+    expected = {name: library_notes(msgs) for name, msgs in streams.items()}
+
+    server = ServerThread(workers=2)
+    server.start()
+    try:
+        client = ServeClient(port=server.port)
+        sockets = {}
+        for name in streams:
+            client.create_tenant(name, CONFIG)
+            sockets[name] = [
+                client.subscribe(name) for _ in range(SUBSCRIBERS)
+            ]
+        received = {name: [None] * SUBSCRIBERS for name in streams}
+
+        def drain(name, idx, ws, count):
+            got = []
+            ws.sock.settimeout(120.0)
+            while len(got) < count:
+                record = ws.recv_json()
+                if record is None:
+                    break
+                got.append(note(record))
+            received[name][idx] = got
+
+        threads = [
+            threading.Thread(
+                target=drain,
+                args=(name, idx, ws, len(expected[name])),
+                daemon=True,
+            )
+            for name, subs in sockets.items()
+            for idx, ws in enumerate(subs)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        # Interleave the tenants' ingest so they genuinely contend for the
+        # shared worker budget.
+        chunk = 1200
+        for lo in range(0, FANOUT_MESSAGES, chunk):
+            for name, messages in streams.items():
+                client.ingest(name, messages[lo:lo + chunk])
+        for name in streams:
+            client.ingest(name, [], wait=True)
+        for thread in threads:
+            thread.join(timeout=300)
+            assert not thread.is_alive(), "a subscriber never finished"
+        wall = time.perf_counter() - started
+
+        mismatches = []
+        drop_counts = {}
+        for name in streams:
+            drop_counts[name] = (
+                client.stats(name)["fanout"]["total_dropped"]
+            )
+            for idx, got in enumerate(received[name]):
+                if got != expected[name]:
+                    mismatches.append(
+                        (name, idx, len(got or []), len(expected[name]))
+                    )
+        for subs in sockets.values():
+            for ws in subs:
+                ws.close()
+    finally:
+        server.stop(graceful=True)
+
+    events_total = sum(len(v) for v in expected.values())
+    delivered = events_total * SUBSCRIBERS
+    assert not mismatches, (
+        f"{len(mismatches)} subscriber(s) diverged from the library "
+        f"sequence: {mismatches[:5]}"
+    )
+    assert sum(drop_counts.values()) == 0, (
+        f"keep-up consumers must lose nothing, counted {drop_counts}"
+    )
+    return {
+        "wall_s": wall,
+        "events_total": events_total,
+        "deliveries": delivered,
+        "deliveries_per_s": delivered / wall,
+    }
+
+
+def overhead_phase():
+    """One tenant, no subscribers: serving efficiency, same-run ratio."""
+    messages = churny_stream(SEED, OVERHEAD_MESSAGES)
+    server = ServerThread(workers=2)
+    server.start()
+    try:
+        client = ServeClient(port=server.port)
+        client.create_tenant("solo", CONFIG)
+        started = time.perf_counter()
+        chunk = 6000
+        for lo in range(0, OVERHEAD_MESSAGES, chunk):
+            client.ingest("solo", messages[lo:lo + chunk])
+        client.ingest("solo", [], wait=True)
+        wall = time.perf_counter() - started
+        stats = client.stats("solo")
+    finally:
+        server.stop(graceful=True)
+    detect_s = stats["messages"] / stats["throughput"]
+    return {
+        "wall_s": wall,
+        "detect_s": detect_s,
+        "efficiency": detect_s / wall,
+        "quanta": stats["quantum"] + 1,
+    }
+
+
+def main() -> int:
+    fanout = fanout_phase()
+    overhead = overhead_phase()
+    efficiency = overhead["efficiency"]
+
+    print(f"serve fan-out bench  ({TENANTS} tenants x {SUBSCRIBERS} "
+          f"subscribers, {FANOUT_MESSAGES} msgs/tenant, quantum "
+          f"{CONFIG['quantum_size']})")
+    print(f"  fan-out delivery       {fanout['wall_s']:8.2f} s for "
+          f"{fanout['deliveries']:,} deliveries "
+          f"({fanout['deliveries_per_s']:,.0f}/s to "
+          f"{TENANTS * SUBSCRIBERS} sockets)")
+    print(f"  delivery parity        OK (every subscriber == library "
+          f"sequence, zero drops)")
+    print(f"  overhead run           {overhead['wall_s']:8.2f} s wall for "
+          f"{overhead['detect_s']:.2f} s of detection "
+          f"({OVERHEAD_MESSAGES} msgs, no subscribers)")
+    print(f"  serving efficiency     {efficiency:8.2f} "
+          f"(detection seconds / serve wall; floor "
+          f"{EFFICIENCY_FLOOR:.2f})")
+
+    assert efficiency >= EFFICIENCY_FLOOR, (
+        f"serving efficiency {efficiency:.2f} fell below the absolute "
+        f"floor {EFFICIENCY_FLOOR:.2f}: the front door is eating the "
+        f"detector's lunch"
+    )
+
+    write_json_result(
+        "serve_fanout",
+        config={
+            "tenants": TENANTS,
+            "subscribers": SUBSCRIBERS,
+            "fanout_messages_per_tenant": FANOUT_MESSAGES,
+            "overhead_messages": OVERHEAD_MESSAGES,
+            "quantum_size": CONFIG["quantum_size"],
+            "seed": SEED,
+            "events_total": fanout["events_total"],
+            "deliveries": fanout["deliveries"],
+            "deliveries_per_s": round(fanout["deliveries_per_s"], 1),
+            "fanout_wall_s": round(fanout["wall_s"], 4),
+            "detect_s": round(overhead["detect_s"], 4),
+            "cores": os.cpu_count(),
+            "smoke": bool(os.environ.get("PERF_SMOKE")),
+        },
+        wall_s=overhead["wall_s"],
+        speedup=efficiency,
+        quanta=overhead["quanta"],
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of 'Real Time Discovery of Dense Clusters in Highly "
         "Dynamic Graphs' (PVLDB 2012): streaming AKG maintenance and dense "
@@ -31,5 +31,10 @@ setup(
     python_requires=">=3.10",
     extras_require={
         "fast": ["numpy"],
+        # The serving layer (repro.serve / `repro serve`) is deliberately
+        # stdlib-only: asyncio front door, hand-rolled HTTP + RFC 6455.
+        # The empty marker documents that, and gives deployments a stable
+        # name to pin should the layer ever grow optional accelerators.
+        "serve": [],
     },
 )

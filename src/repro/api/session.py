@@ -63,7 +63,7 @@ from repro.core.events import EventRecord, EventTracker
 from repro.core.incremental import IncrementalRanker
 from repro.core.maintenance import ClusterMaintainer
 from repro.core.ranking import minimum_rank
-from repro.errors import CheckpointError, ConfigError, GraphError
+from repro.errors import CheckpointError, ConfigError, GraphError, PipelineError
 from repro.extract import (
     EntityExtractor,
     KeywordExtractor,
@@ -292,6 +292,7 @@ class DetectorSession:
         self._subscriptions: List[Subscription] = []
         self._notified: Dict[int, _Notified] = {}
         self._delta_writer = None
+        self._closed = False
 
     # ------------------------------------------------------------- access
 
@@ -373,6 +374,11 @@ class DetectorSession:
 
     def process_quantum(self, messages: Sequence[Message]) -> QuantumReport:
         """Advance the window by one full quantum of messages."""
+        if self._closed:
+            raise PipelineError(
+                "session is closed; open a new session (or resume from a "
+                "checkpoint) to keep ingesting"
+            )
         start = time.perf_counter()
         self._quantum += 1
         ctx = QuantumContext(quantum=self._quantum, messages=messages)
@@ -578,19 +584,38 @@ class DetectorSession:
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        """Release session resources (worker pool, delta-log file handle).
+        """Release session resources (worker pool, delta log, sinks).
 
-        Serial sessions without a delta log hold no external resources and
-        close() is a no-op; sharded sessions should be closed (or used as a
-        context manager) so worker processes shut down promptly rather than
-        at GC.  A delta log's appends are fsynced as they happen, so close
-        only releases the handle — it never loses records.
+        Idempotent and safe mid-quantum: the first call closes the worker
+        pool, the delta-log writer, and every subscribed sink exposing a
+        ``close()`` method **exactly once**; subsequent calls are no-ops.
+        A buffered partial quantum is *never* force-processed — it stays
+        readable through :meth:`snapshot` (which remains callable on a
+        closed session) and is otherwise discarded with the object, so
+        teardown is deterministic regardless of where in a quantum the
+        caller stopped.  Further ``ingest``/``process_quantum`` calls
+        raise :class:`~repro.errors.PipelineError`.
+
+        A delta log's appends are fsynced as they happen, so close only
+        releases the handle — it never loses records.
         """
+        if self._closed:
+            return
+        self._closed = True
         close = getattr(self.builder, "close", None)
         if close is not None:
             close()
         if self._delta_writer is not None:
             self._delta_writer.close()
+        for subscription in list(self._subscriptions):
+            sink_close = getattr(subscription.sink, "close", None)
+            if sink_close is not None:
+                sink_close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (ingestion refused afterwards)."""
+        return self._closed
 
     def __enter__(self) -> "DetectorSession":
         return self

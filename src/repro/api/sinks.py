@@ -10,6 +10,7 @@ events first, matching a dashboard that only cares about fresh state).
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Callable, Deque, Iterator, List, Optional, Protocol, runtime_checkable
 
@@ -46,11 +47,26 @@ class QueueSink:
 
     ``maxlen`` bounds the buffer (oldest events are discarded once full and
     counted in ``dropped``); ``drain()`` empties it in delivery order.
+    ``on_drop`` is invoked with each evicted event so consumers — the
+    serving layer's fan-out hub, an alerting path — can *observe* evictions
+    instead of only counting them.  The callback runs on the emitting
+    thread, outside the sink's lock, after the eviction has been counted.
+
+    Emit and drain are serialized by an internal lock: a producer on the
+    session's ingest thread and a consumer draining from another thread
+    (the :mod:`repro.serve` fan-out pattern) never lose or duplicate an
+    event between them.
     """
 
-    def __init__(self, maxlen: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        maxlen: Optional[int] = None,
+        on_drop: Optional[Callable[[SessionEvent], None]] = None,
+    ) -> None:
         self._events: Deque[SessionEvent] = deque()
+        self._lock = threading.Lock()
         self.maxlen = maxlen
+        self.on_drop = on_drop
         self.dropped = 0
 
     def emit(self, event: SessionEvent) -> None:
@@ -62,25 +78,34 @@ class QueueSink:
         A ``maxlen`` of zero accepts nothing and counts every event as
         dropped.
         """
-        if self.maxlen is not None and len(self._events) >= self.maxlen:
-            if self.maxlen == 0:
-                self.dropped += 1
-                return
-            self._events.popleft()
-            self.dropped += 1
-        self._events.append(event)
+        evicted = None
+        with self._lock:
+            if self.maxlen is not None and len(self._events) >= self.maxlen:
+                if self.maxlen == 0:
+                    self.dropped += 1
+                    evicted = event
+                else:
+                    evicted = self._events.popleft()
+                    self.dropped += 1
+                    self._events.append(event)
+            else:
+                self._events.append(event)
+        if evicted is not None and self.on_drop is not None:
+            self.on_drop(evicted)
 
     def drain(self) -> List[SessionEvent]:
         """Remove and return everything buffered, in delivery order."""
-        out = list(self._events)
-        self._events.clear()
+        with self._lock:
+            out = list(self._events)
+            self._events.clear()
         return out
 
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self) -> Iterator[SessionEvent]:
-        return iter(list(self._events))
+        with self._lock:
+            return iter(list(self._events))
 
 
 __all__ = ["Sink", "CallbackSink", "QueueSink"]

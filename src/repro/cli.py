@@ -7,6 +7,7 @@ Commands
 ``detect``     run the detector over a JSONL trace and print events
 ``follow``     tail a delta log as a warm standby; optionally promote
 ``sweep``      print a small precision/recall parameter grid for a preset
+``serve``      run the multi-tenant serving layer (HTTP + WebSocket)
 
 ``detect`` exposes the verification baselines: ``--oracle-ranking`` re-ranks
 every cluster from scratch each quantum, and ``--oracle-akg`` rebuilds the
@@ -420,6 +421,41 @@ def _render_timing(
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant serving layer until interrupted."""
+    import asyncio
+
+    from repro.serve.server import serve_forever
+
+    def _announce(bound) -> None:
+        host, port = bound
+        print(f"-- serving on http://{host}:{port} "
+              f"({args.workers} worker(s), state_dir={args.state_dir})")
+        print(f"   PUT  /v1/<tenant>          create or resume a tenant")
+        print(f"   POST /v1/<tenant>/ingest   batch ingest (JSONL body)")
+        print(f"   GET  /v1/<tenant>/events   WebSocket event fan-out")
+        print(f"   GET  /metrics              live stats + bench baselines")
+
+    try:
+        # On Ctrl-C asyncio.run cancels the task; serve_forever's shutdown
+        # path drains every tenant and checkpoints the persistent ones.
+        asyncio.run(
+            serve_forever(
+                host=args.host,
+                port=args.port,
+                ready=_announce,
+                state_dir=args.state_dir,
+                workers=args.workers,
+                max_queue=args.max_queue,
+                subscriber_buffer=args.subscriber_buffer,
+                stall_deadline=args.stall_deadline,
+            )
+        )
+    except KeyboardInterrupt:
+        print("-- interrupted; tenants drained and checkpointed")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     builder = _TRACE_BUILDERS[args.preset]
     trace = builder(total_messages=args.messages, seed=args.seed)
@@ -518,6 +554,34 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="hot-path backend for the promoted session")
     follow.set_defaults(func=_cmd_follow)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant serving layer (HTTP + WebSocket)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (default 8765; 0 = ephemeral)")
+    serve.add_argument("--state-dir", metavar="DIR", default=None,
+                       help="per-tenant durability root: delta log while "
+                            "running, monolithic snapshot on graceful "
+                            "close; omit for in-memory tenants")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="shared executor threads all tenants' quanta "
+                            "interleave over (default 2)")
+    serve.add_argument("--max-queue", type=int, default=100_000, metavar="M",
+                       help="per-tenant ingest queue bound in messages; "
+                            "overflow is shed and counted (default 100000)")
+    serve.add_argument("--subscriber-buffer", type=int, default=1024,
+                       metavar="E",
+                       help="per-subscriber event buffer; a slow consumer "
+                            "loses oldest events first (default 1024)")
+    serve.add_argument("--stall-deadline", type=float, default=10.0,
+                       metavar="SECS",
+                       help="disconnect a subscriber whose socket write "
+                            "stalls longer than SECS (default 10)")
+    serve.set_defaults(func=_cmd_serve)
 
     sweep = sub.add_parser("sweep", help="print a small parameter-sweep grid")
     sweep.add_argument("preset", choices=sorted(_TRACE_BUILDERS))

@@ -65,3 +65,7 @@ class PipelineError(ReproError):
 
 class CheckpointError(ReproError):
     """A session checkpoint could not be written or restored."""
+
+
+class ServeError(ReproError):
+    """The multi-tenant serving layer rejected a request or operation."""

@@ -1,0 +1,29 @@
+"""``repro.serve`` — the async multi-tenant serving layer (DESIGN.md §11).
+
+One ``repro serve`` process multiplexes many named detector sessions
+("tenants") over a shared worker budget: an asyncio front door (HTTP +
+WebSocket, stdlib only) routes ingest batches onto per-tenant bounded
+queues, a thread-pool executor runs the synchronous detector quanta, and a
+fan-out hub bridges each tenant's subscription sinks to N WebSocket
+subscribers with per-subscriber bounded buffers and a drop-oldest
+slow-consumer policy.  Results per tenant are bit-identical to a
+library-only run of the same stream.
+"""
+
+from repro.serve.client import ServeClient, WebSocketClient
+from repro.serve.hub import FanoutHub, FanoutSubscriber, event_record
+from repro.serve.manager import SessionManager, Tenant
+from repro.serve.server import ReproServer, ServerThread, serve_forever
+
+__all__ = [
+    "FanoutHub",
+    "FanoutSubscriber",
+    "ReproServer",
+    "ServeClient",
+    "ServerThread",
+    "SessionManager",
+    "Tenant",
+    "WebSocketClient",
+    "event_record",
+    "serve_forever",
+]

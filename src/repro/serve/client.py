@@ -1,0 +1,246 @@
+"""A blocking stdlib client for the serving layer.
+
+:class:`ServeClient` wraps the REST surface with ``http.client`` (one
+connection per call — the server answers ``Connection: close``);
+:class:`WebSocketClient` speaks RFC 6455 over a raw socket with the shared
+frame codec from :mod:`repro.serve.wire` (client frames are masked, as the
+RFC requires).  Both are synchronous on purpose: callers are scripts,
+tests and benches, not event loops.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+from typing import Iterable, List, Optional
+
+from repro.errors import ServeError
+from repro.serve import wire
+from repro.stream.messages import Message
+from repro.stream.sources import message_to_record
+
+
+class ServeClient:
+    """Blocking REST client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+
+    def _request(self, method: str, path: str, body=None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                if isinstance(body, bytes):
+                    payload = body
+                else:
+                    payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServeError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{decoded.get('error', decoded)}"
+                )
+            return decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------- surface
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def tenants(self) -> List[str]:
+        return self._request("GET", "/v1")["tenants"]
+
+    def create_tenant(self, name: str, config: Optional[dict] = None, *,
+                      resume: bool = False,
+                      persist: Optional[bool] = None) -> dict:
+        body: dict = {"resume": resume}
+        if config is not None:
+            body["config"] = config
+        if persist is not None:
+            body["persist"] = persist
+        return self._request("PUT", f"/v1/{name}", body)
+
+    def close_tenant(self, name: str, *, drain: bool = True) -> dict:
+        suffix = "" if drain else "?drain=0"
+        return self._request("DELETE", f"/v1/{name}{suffix}")
+
+    def stats(self, name: str) -> dict:
+        return self._request("GET", f"/v1/{name}/stats")
+
+    def ingest(self, name: str, messages: Iterable[Message], *,
+               wait: bool = False) -> dict:
+        body = "\n".join(
+            json.dumps(message_to_record(m), sort_keys=True)
+            for m in messages
+        ).encode("utf-8")
+        suffix = "?wait=1" if wait else ""
+        return self._request("POST", f"/v1/{name}/ingest{suffix}", body)
+
+    def checkpoint(self, name: str, path) -> dict:
+        return self._request(
+            "POST", f"/v1/{name}/checkpoint", {"path": str(path)}
+        )
+
+    # ----------------------------------------------------------- websocket
+
+    def subscribe(self, name: str, *, kinds: Optional[str] = None,
+                  top_k: Optional[int] = None,
+                  buffer: Optional[int] = None) -> "WebSocketClient":
+        """Open the fan-out WebSocket for a tenant's lifecycle events."""
+        params = []
+        if kinds:
+            params.append(f"kinds={kinds}")
+        if top_k is not None:
+            params.append(f"top_k={top_k}")
+        if buffer is not None:
+            params.append(f"buffer={buffer}")
+        query = ("?" + "&".join(params)) if params else ""
+        return WebSocketClient(
+            self.host, self.port, f"/v1/{name}/events{query}",
+            timeout=self.timeout,
+        )
+
+    def stream(self, name: str) -> "WebSocketClient":
+        """Open the ingest WebSocket (frame per batch, JSON ack back)."""
+        return WebSocketClient(
+            self.host, self.port, f"/v1/{name}/stream", timeout=self.timeout
+        )
+
+
+class WebSocketClient:
+    """One RFC 6455 connection (client side: frames out are masked)."""
+
+    def __init__(self, host: str, port: int, path: str, *,
+                 timeout: float = 60.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.rfile = self.sock.makefile("rb")
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        handshake = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        )
+        self.sock.sendall(handshake.encode("latin-1"))
+        status_line = self.rfile.readline().decode("latin-1").strip()
+        headers = {}
+        while True:
+            line = self.rfile.readline().decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "101" not in status_line:
+            body = b""
+            length = headers.get("content-length")
+            if length and length.isdigit():
+                body = self.rfile.read(int(length))
+            self.close()
+            raise ServeError(
+                f"WebSocket upgrade refused: {status_line} "
+                f"{body.decode('utf-8', 'replace').strip()}"
+            )
+        expected = wire.websocket_accept_key(key)
+        if headers.get("sec-websocket-accept") != expected:
+            self.close()
+            raise ServeError("WebSocket accept key mismatch")
+
+    # -------------------------------------------------------------- frames
+
+    def send_text(self, text: str) -> None:
+        self.sock.sendall(
+            wire.encode_frame(wire.OP_TEXT, text.encode("utf-8"), mask=True)
+        )
+
+    def send_json(self, payload) -> None:
+        self.send_text(json.dumps(payload, sort_keys=True))
+
+    def send_messages(self, messages: Iterable[Message]) -> None:
+        """One ingest frame carrying a JSON array of message records."""
+        self.send_json([message_to_record(m) for m in messages])
+
+    def recv(self) -> Optional[str]:
+        """Next text payload; None once the server sends its close frame.
+
+        Pings are answered transparently.
+        """
+        while True:
+            opcode, payload = wire.read_frame_blocking(self.rfile)
+            if opcode == wire.OP_TEXT:
+                return payload.decode("utf-8")
+            if opcode == wire.OP_CLOSE:
+                try:
+                    self.sock.sendall(
+                        wire.encode_frame(wire.OP_CLOSE, b"", mask=True)
+                    )
+                except OSError:
+                    pass
+                return None
+            if opcode == wire.OP_PING:
+                self.sock.sendall(
+                    wire.encode_frame(wire.OP_PONG, payload, mask=True)
+                )
+
+    def recv_json(self):
+        text = self.recv()
+        return None if text is None else json.loads(text)
+
+    def events(self):
+        """Iterate decoded event records until the server closes."""
+        while True:
+            record = self.recv_json()
+            if record is None:
+                return
+            yield record
+
+    def close(self) -> None:
+        try:
+            self.sock.sendall(
+                wire.encode_frame(wire.OP_CLOSE, b"", mask=True)
+            )
+        except OSError:
+            pass
+        try:
+            self.rfile.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WebSocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["ServeClient", "WebSocketClient"]

@@ -1,0 +1,496 @@
+"""Multi-tenant session management for the serving layer.
+
+A *tenant* is one named :class:`~repro.api.session.DetectorSession` (one
+topic, one region, one customer stream) plus the serving state around it: a
+bounded ingest queue, a drainer task that runs the session's synchronous
+``ingest_many`` on the shared executor so quanta from different tenants
+interleave, a :class:`~repro.serve.hub.FanoutHub` of WebSocket subscribers,
+and optional per-tenant durability (delta log while running, monolithic
+snapshot on graceful close).
+
+Backpressure model (DESIGN.md Section 11):
+
+* the ingest queue is bounded (``max_queue`` messages); a producer that
+  overruns it gets the overflow **shed** — counted and reported in the
+  ingest response and ``/stats``, never an OOM;
+* under sustained backlog the drainer grows the *effective ingest batch*
+  (adaptive quantum sizing): each executor hop feeds
+  ``max(quantum_size, backlog)`` messages (capped at
+  ``max_batch_quanta`` quanta), so per-hop overhead amortizes exactly when
+  the tenant is behind, and shrinks back to one quantum when it catches up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Deque, Dict, List, Optional
+
+from repro.api import open_session
+from repro.config import DetectorConfig
+from repro.errors import CheckpointError, ConfigError, ReproError, ServeError
+from repro.serve.hub import FanoutHub
+from repro.stream.messages import Message
+
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]{0,63}")
+
+#: Default bound on one tenant's ingest queue, in messages.
+DEFAULT_MAX_QUEUE = 100_000
+
+#: Cap on the adaptive batch, in quanta: a deeply backlogged tenant is fed
+#: at most this many quanta per executor hop, so no single hop starves the
+#: other tenants of the shared worker budget.
+DEFAULT_MAX_BATCH_QUANTA = 64
+
+
+def find_baselines_dir() -> Optional[Path]:
+    """Locate the committed ``benchmarks/results`` baselines, if any.
+
+    ``REPRO_BASELINES_DIR`` overrides; otherwise the source tree is walked
+    upward (works for an in-repo checkout; an installed wheel without the
+    benchmarks simply serves no baselines).
+    """
+    env = os.environ.get("REPRO_BASELINES_DIR")
+    if env:
+        path = Path(env)
+        return path if path.is_dir() else None
+    for parent in Path(__file__).resolve().parents:
+        candidate = parent / "benchmarks" / "results"
+        if candidate.is_dir():
+            return candidate
+    return None
+
+
+class Tenant:
+    """One named detector session and its serving state."""
+
+    def __init__(
+        self,
+        name: str,
+        session,
+        manager: "SessionManager",
+        *,
+        final_ckpt: Optional[Path] = None,
+    ) -> None:
+        self.name = name
+        self.session = session
+        self.manager = manager
+        self.final_ckpt = final_ckpt
+        self.hub = FanoutHub(
+            manager.loop,
+            default_buffer=manager.subscriber_buffer,
+            stall_deadline=manager.stall_deadline,
+        )
+        self._queue: Deque[Message] = deque()
+        # Serializes session access across executor threads: the drainer's
+        # ingest batches, on-demand snapshots, and final teardown never
+        # interleave on the (thread-unsafe) DetectorSession.
+        self._session_lock = threading.Lock()
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closing = False
+        self.closed = False
+        self.created_at = time.monotonic()
+        # Counters (all cumulative unless suffixed _hwm / current).
+        self.accepted = 0
+        self.shed = 0
+        self.deferred = 0
+        self.failed = 0
+        self.reports = 0
+        self.errors = 0
+        self.last_error: Optional[str] = None
+        self.queue_hwm = 0
+        self.batch_size = session.config.quantum_size
+        self.batch_hwm = session.config.quantum_size
+        self._runner = manager.loop.create_task(self._run())
+
+    # ------------------------------------------------------------- ingest
+
+    def enqueue(self, messages: List[Message]) -> Dict[str, int]:
+        """Queue messages for ingestion (event-loop thread only).
+
+        Messages beyond the queue bound are shed — counted, reported,
+        dropped.  Returns the per-call accounting.
+        """
+        if self._closing or self.closed:
+            raise ServeError(f"tenant {self.name!r} is closed")
+        accepted = 0
+        shed = 0
+        max_queue = self.manager.max_queue
+        for message in messages:
+            if len(self._queue) >= max_queue:
+                shed += 1
+                continue
+            if self._queue:
+                self.deferred += 1
+            self._queue.append(message)
+            accepted += 1
+        self.accepted += accepted
+        self.shed += shed
+        depth = len(self._queue)
+        if depth > self.queue_hwm:
+            self.queue_hwm = depth
+        if accepted:
+            self._idle.clear()
+            self._wake.set()
+        return {
+            "accepted": accepted,
+            "shed": shed,
+            "queued": depth,
+        }
+
+    def _effective_batch(self, backlog: int) -> int:
+        """Adaptive quantum sizing: grow the batch with the backlog."""
+        base = self.session.config.quantum_size
+        cap = base * self.manager.max_batch_quanta
+        return max(base, min(backlog, cap))
+
+    def _ingest_sync(self, batch: List[Message]) -> int:
+        """Run on the shared executor: feed one batch through the session."""
+        produced = 0
+        with self._session_lock:
+            for _report in self.session.ingest_many(batch):
+                produced += 1
+        return produced
+
+    async def _run(self) -> None:
+        """Drainer: move queued messages into the session, batch by batch."""
+        loop = self.manager.loop
+        while True:
+            if not self._queue:
+                self._idle.set()
+                if self._closing:
+                    return
+                self._wake.clear()
+                if not self._queue and not self._closing:
+                    await self._wake.wait()
+                continue
+            self._idle.clear()
+            backlog = len(self._queue)
+            size = self._effective_batch(backlog)
+            self.batch_size = size
+            if size > self.batch_hwm:
+                self.batch_hwm = size
+            take = min(backlog, size)
+            batch = [self._queue.popleft() for _ in range(take)]
+            try:
+                self.reports += await loop.run_in_executor(
+                    self.manager.executor, self._ingest_sync, batch
+                )
+            except ReproError as exc:
+                # A poisoned batch must not kill the tenant: count it,
+                # remember why, keep draining.
+                self.errors += 1
+                self.failed += len(batch)
+                self.last_error = f"{type(exc).__name__}: {exc}"
+
+    async def wait_idle(self) -> None:
+        """Block until the queue is empty and no batch is in flight."""
+        await self._idle.wait()
+
+    async def snapshot(self, path) -> None:
+        """Write a monolithic checkpoint of the tenant's current state."""
+
+        def _snap() -> None:
+            with self._session_lock:
+                self.session.snapshot(path)
+
+        await self.manager.loop.run_in_executor(
+            self.manager.executor, _snap
+        )
+
+    # ----------------------------------------------------------- teardown
+
+    async def close(self, *, drain: bool = True) -> Dict[str, object]:
+        """Close the tenant: optionally drain, checkpoint, release.
+
+        With ``drain=True`` (default) every queued message is processed
+        first; with ``drain=False`` the queue is shed.  A persistent tenant
+        then writes a monolithic snapshot next to its delta log — the
+        graceful-shutdown image that preserves even the buffered partial
+        quantum — before the session is closed (idempotently) and the
+        fan-out hub delivers its tails and disconnects.
+        """
+        if self.closed:
+            return {"closed": True, "quantum": self.session.current_quantum}
+        self._closing = True
+        if not drain:
+            shed = len(self._queue)
+            self.shed += shed
+            self._queue.clear()
+        self._wake.set()
+        await self._idle.wait()
+        await self._runner
+        loop = self.manager.loop
+
+        def _finalize() -> None:
+            with self._session_lock:
+                if self.final_ckpt is not None:
+                    self.session.snapshot(self.final_ckpt)
+                self.session.close()
+
+        await loop.run_in_executor(self.manager.executor, _finalize)
+        self.closed = True
+        self.hub.close_all()
+        return {
+            "closed": True,
+            "quantum": self.session.current_quantum,
+            "shed": self.shed,
+            "checkpoint": (
+                str(self.final_ckpt) if self.final_ckpt is not None else None
+            ),
+        }
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, object]:
+        session = self.session
+        return {
+            "tenant": self.name,
+            "closed": self.closed,
+            "quantum": session.current_quantum,
+            "messages": session.total_messages,
+            "pending": session.batcher.pending,
+            "throughput": round(session.throughput(), 1),
+            "queued": len(self._queue),
+            "queue_hwm": self.queue_hwm,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "deferred": self.deferred,
+            "failed": self.failed,
+            "errors": self.errors,
+            "last_error": self.last_error,
+            "reports": self.reports,
+            "batch_size": self.batch_size,
+            "batch_hwm": self.batch_hwm,
+            "uptime_s": round(time.monotonic() - self.created_at, 3),
+            "timings": session.total_timings.as_dict(),
+            "fanout": self.hub.stats(),
+        }
+
+
+class SessionManager:
+    """Creates, resumes, serves and closes named tenants.
+
+    All public methods must be called from the owning event loop's thread
+    (the server's request handlers); the synchronous detector work is
+    pushed onto the shared :class:`~concurrent.futures.ThreadPoolExecutor`
+    — the "shared worker budget" all tenants' quanta interleave over.
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        state_dir: Optional[os.PathLike] = None,
+        workers: int = 2,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_batch_quanta: int = DEFAULT_MAX_BATCH_QUANTA,
+        subscriber_buffer: int = 1024,
+        stall_deadline: float = 10.0,
+        baselines_dir: Optional[os.PathLike] = None,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch_quanta < 1:
+            raise ServeError(
+                f"max_batch_quanta must be >= 1, got {max_batch_quanta}"
+            )
+        self.loop = loop
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.workers = workers
+        self.max_queue = max_queue
+        self.max_batch_quanta = max_batch_quanta
+        self.subscriber_buffer = subscriber_buffer
+        self.stall_deadline = stall_deadline
+        self.baselines_dir = (
+            Path(baselines_dir)
+            if baselines_dir is not None
+            else find_baselines_dir()
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self.tenants: Dict[str, Tenant] = {}
+        self.started_at = time.monotonic()
+
+    # ---------------------------------------------------------- lifecycle
+
+    def _tenant_dir(self, name: str) -> Optional[Path]:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / name
+
+    async def create(
+        self,
+        name: str,
+        *,
+        config: Optional[dict] = None,
+        resume: bool = False,
+        persist: Optional[bool] = None,
+    ) -> Tenant:
+        """Create (or resume) the named tenant.
+
+        ``config`` is a :meth:`DetectorConfig.to_dict`-shaped mapping for a
+        fresh tenant (omit on resume — a resumed tenant runs under its
+        checkpoint's configuration).  ``persist`` defaults to whether the
+        manager has a ``state_dir``; a persistent tenant delta-logs every
+        completed quantum under ``state_dir/<name>/delta`` and snapshots to
+        ``state_dir/<name>/final.ckpt`` on graceful close, which is exactly
+        what ``resume=True`` picks back up (snapshot preferred — it also
+        carries the partial quantum — falling back to the delta log after a
+        crash).
+        """
+        if not _NAME_RE.fullmatch(name or ""):
+            raise ServeError(
+                f"invalid tenant name {name!r} (want [A-Za-z0-9][A-Za-z0-9_.-]*, "
+                f"max 64 chars)"
+            )
+        if name in self.tenants and not self.tenants[name].closed:
+            raise ServeError(f"tenant {name!r} already exists")
+        if persist is None:
+            persist = self.state_dir is not None
+        if persist and self.state_dir is None:
+            raise ServeError(
+                "persist requested but the server has no --state-dir"
+            )
+        tenant_dir = self._tenant_dir(name) if persist else None
+        delta_dir = tenant_dir / "delta" if tenant_dir is not None else None
+        final_ckpt = (
+            tenant_dir / "final.ckpt" if tenant_dir is not None else None
+        )
+        if resume:
+            if tenant_dir is None:
+                raise ServeError(
+                    "resume requires a persistent tenant (server --state-dir)"
+                )
+            if config is not None:
+                raise ServeError(
+                    "pass either config or resume, not both: a resumed "
+                    "tenant runs under its checkpoint's configuration"
+                )
+            resume_from = None
+            if final_ckpt.exists():
+                resume_from = final_ckpt
+            elif delta_dir is not None and (delta_dir / "MANIFEST.json").exists():
+                resume_from = delta_dir
+            if resume_from is None:
+                raise ServeError(
+                    f"tenant {name!r} has no state to resume under "
+                    f"{tenant_dir}"
+                )
+        else:
+            if tenant_dir is not None and (
+                final_ckpt.exists()
+                or (delta_dir / "MANIFEST.json").exists()
+            ):
+                raise ServeError(
+                    f"tenant {name!r} has existing state under {tenant_dir}; "
+                    f"pass resume=true to pick it up (or remove the "
+                    f"directory for a fresh start)"
+                )
+            resume_from = None
+
+        def _open():
+            if resume_from is not None:
+                session = open_session(
+                    resume=resume_from, delta_log=delta_dir
+                )
+                if resume_from == final_ckpt:
+                    # The snapshot is folded into the fresh delta-log
+                    # generation now; leaving it would shadow newer state
+                    # on the next resume.
+                    final_ckpt.unlink()
+                return session
+            parsed = (
+                DetectorConfig.from_dict(config)
+                if config is not None
+                else DetectorConfig()
+            )
+            if delta_dir is not None:
+                delta_dir.parent.mkdir(parents=True, exist_ok=True)
+            return open_session(parsed, delta_log=delta_dir)
+
+        try:
+            session = await self.loop.run_in_executor(self.executor, _open)
+        except (ConfigError, CheckpointError) as exc:
+            raise ServeError(str(exc)) from exc
+        tenant = Tenant(name, session, self, final_ckpt=final_ckpt)
+        self.tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        tenant = self.tenants.get(name)
+        if tenant is None or tenant.closed:
+            raise ServeError(f"no such tenant: {name!r}")
+        return tenant
+
+    async def close_tenant(self, name: str, *, drain: bool = True) -> dict:
+        tenant = self.get(name)
+        summary = await tenant.close(drain=drain)
+        del self.tenants[name]
+        return summary
+
+    async def shutdown(self, *, graceful: bool = True) -> None:
+        """Close every tenant (checkpointing persistent ones), then the pool.
+
+        ``graceful=False`` skips the drain/checkpoint path entirely — the
+        crash-test twin of ``kill -9``; durability then rests on the delta
+        log alone, which is the point.
+        """
+        if graceful:
+            for name in list(self.tenants):
+                tenant = self.tenants.get(name)
+                if tenant is not None and not tenant.closed:
+                    await tenant.close(drain=True)
+            self.tenants.clear()
+        self.executor.shutdown(wait=graceful, cancel_futures=not graceful)
+
+    # -------------------------------------------------------------- stats
+
+    def baselines(self) -> Dict[str, object]:
+        """The committed bench baselines, served live (may be empty)."""
+        import json
+
+        out: Dict[str, object] = {}
+        if self.baselines_dir is None:
+            return out
+        try:
+            paths = sorted(self.baselines_dir.glob("*.json"))
+        except OSError:
+            return out
+        for path in paths:
+            try:
+                out[path.stem] = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+        return out
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "workers": self.workers,
+            "max_queue": self.max_queue,
+            "tenants": {
+                name: tenant.stats() for name, tenant in self.tenants.items()
+            },
+            "baselines": self.baselines(),
+        }
+
+
+__all__ = [
+    "DEFAULT_MAX_BATCH_QUANTA",
+    "DEFAULT_MAX_QUEUE",
+    "SessionManager",
+    "Tenant",
+    "find_baselines_dir",
+]

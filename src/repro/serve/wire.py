@@ -1,0 +1,247 @@
+"""Wire primitives of the serving layer: HTTP/1.1 parsing + WebSocket frames.
+
+Everything here is stdlib-only (DESIGN.md Section 11): the front door must
+run on a bare python install, so instead of depending on an HTTP framework
+the server speaks the small subset of HTTP/1.1 and RFC 6455 it needs —
+request line + headers + ``Content-Length`` bodies on the REST side, and
+unfragmented text/close/ping/pong frames on the WebSocket side.  The frame
+codec is pure functions over bytes so the asyncio server and the blocking
+:mod:`repro.serve.client` share one implementation (and one set of tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ServeError
+
+# RFC 6455 Section 1.3: the fixed GUID concatenated to the client key.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+# Frame opcodes (the subset the serving layer speaks).
+OP_TEXT = 0x1
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024  # a 256 MB cap, not a promise
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (REST call or WebSocket upgrade)."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body decoded as JSON (``None`` for an empty body)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+
+    @property
+    def wants_websocket(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        upgrade = self.headers.get("upgrade", "").lower()
+        return "upgrade" in connection and upgrade == "websocket"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one HTTP request from the stream (None on clean EOF)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServeError("truncated HTTP request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ServeError("HTTP header section too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ServeError("HTTP header section too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise ServeError(f"malformed request line: {lines[0]!r}") from exc
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parts = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(parts.query, keep_blank_values=True).items()
+    }
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError as exc:
+            raise ServeError(f"bad Content-Length: {length!r}") from exc
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise ServeError(f"unreasonable Content-Length: {n}")
+        body = await reader.readexactly(n)
+    return Request(method.upper(), parts.path, query, headers, body)
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def http_response(status: int, payload, *, content_type: str = "application/json") -> bytes:
+    """Serialize one ``Connection: close`` HTTP response."""
+    if isinstance(payload, (dict, list)):
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    elif isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = payload
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's key (RFC 6455)."""
+    digest = hashlib.sha1((client_key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def websocket_upgrade_response(client_key: str) -> bytes:
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept_key(client_key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def encode_frame(opcode: int, payload: bytes, *, mask: bool = False) -> bytes:
+    """Encode one unfragmented WebSocket frame.
+
+    Servers send unmasked frames; clients MUST mask (RFC 6455 Section 5.3),
+    so the blocking client passes ``mask=True``.
+    """
+    header = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+def decode_frame_header(first_two: bytes) -> Tuple[int, bool, bool, int]:
+    """Split the fixed 2-byte header: (opcode, fin, masked, length-code)."""
+    fin = bool(first_two[0] & 0x80)
+    opcode = first_two[0] & 0x0F
+    masked = bool(first_two[1] & 0x80)
+    length = first_two[1] & 0x7F
+    return opcode, fin, masked, length
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
+    """Read one frame from an asyncio stream; returns (opcode, payload).
+
+    Raises :class:`~repro.errors.ServeError` on protocol violations and
+    :class:`asyncio.IncompleteReadError` on EOF mid-frame.
+    """
+    first_two = await reader.readexactly(2)
+    opcode, fin, masked, length = decode_frame_header(first_two)
+    if not fin:
+        raise ServeError("fragmented WebSocket frames are not supported")
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(f"WebSocket frame too large: {length} bytes")
+    key = await reader.readexactly(4) if masked else None
+    payload = await reader.readexactly(length) if length else b""
+    if key is not None:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+def read_frame_blocking(rfile) -> Tuple[int, bytes]:
+    """Blocking twin of :func:`read_frame` over a ``makefile('rb')`` object."""
+
+    def exactly(n: int) -> bytes:
+        data = rfile.read(n)
+        if data is None or len(data) != n:
+            raise ServeError("WebSocket connection closed mid-frame")
+        return data
+
+    first_two = exactly(2)
+    opcode, fin, masked, length = decode_frame_header(first_two)
+    if not fin:
+        raise ServeError("fragmented WebSocket frames are not supported")
+    if length == 126:
+        (length,) = struct.unpack(">H", exactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", exactly(8))
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(f"WebSocket frame too large: {length} bytes")
+    key = exactly(4) if masked else None
+    payload = exactly(length) if length else b""
+    if key is not None:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+__all__ = [
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "Request",
+    "encode_frame",
+    "http_response",
+    "read_frame",
+    "read_frame_blocking",
+    "read_request",
+    "websocket_accept_key",
+    "websocket_upgrade_response",
+]

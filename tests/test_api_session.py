@@ -334,6 +334,48 @@ class TestSubscription:
         ]
 
 
+class TestClose:
+    def test_close_is_idempotent(self):
+        session = open_session(exact_config())
+        session.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+        session.close()
+        assert session.closed
+        session.close()  # second close is a no-op, not an error
+        assert session.closed
+
+    def test_ingest_after_close_raises(self):
+        from repro.errors import PipelineError
+
+        session = open_session(exact_config(quantum_size=3))
+        session.close()
+        with pytest.raises(PipelineError, match="closed"):
+            session.process_quantum(burst(["a1", "b1", "c1"], range(3)))
+
+    def test_close_safe_mid_quantum(self):
+        # A partial quantum buffered in the batcher must not block close,
+        # and the buffered messages stay snapshot-able right up to close.
+        session = open_session(exact_config(quantum_size=4))
+        list(session.ingest_many(burst(["a1", "b1"], range(6))))
+        assert session.batcher.pending == 2
+        session.close()
+        assert session.closed
+
+    def test_close_with_delta_log_closes_writer(self, tmp_path):
+        session = open_session(
+            exact_config(quantum_size=3), delta_log=tmp_path / "delta"
+        )
+        session.process_quantum(burst(["a1", "b1", "c1"], range(3)))
+        session.close()
+        session.close()  # must not double-close the writer
+        assert session.closed
+
+    def test_context_manager_still_closes_once(self):
+        with open_session(exact_config()) as session:
+            session.process_quantum(burst(["a1", "b1", "c1"], range(6)))
+        assert session.closed
+        session.close()
+
+
 class TestSinks:
     def test_callback_sink(self):
         seen = []
@@ -377,6 +419,30 @@ class TestSinks:
         assert len(sink) == 0
         assert sink.drain() == []
         assert sink.dropped == 4
+
+    def test_queue_sink_on_drop_sees_evictions(self):
+        evicted = []
+        sink = QueueSink(maxlen=2, on_drop=evicted.append)
+        for i in range(5):
+            sink.emit(i)
+        assert evicted == [0, 1, 2]
+        assert sink.drain() == [3, 4]
+        assert sink.dropped == 3
+
+    def test_queue_sink_on_drop_maxlen_zero_gets_the_event_itself(self):
+        evicted = []
+        sink = QueueSink(maxlen=0, on_drop=evicted.append)
+        for i in range(3):
+            sink.emit(i)
+        assert evicted == [0, 1, 2]
+
+    def test_queue_sink_on_drop_not_called_within_bound(self):
+        evicted = []
+        sink = QueueSink(maxlen=10, on_drop=evicted.append)
+        for i in range(5):
+            sink.emit(i)
+        assert evicted == []
+        assert sink.dropped == 0
 
     def test_queue_sink_iteration_preserves_buffer(self):
         sink = QueueSink()

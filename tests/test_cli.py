@@ -352,3 +352,20 @@ class TestParser:
     def test_missing_arguments_rejected(self):
         with pytest.raises(SystemExit):
             main(["generate"])
+
+    def test_help_lists_serve_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "multi-tenant serving layer" in out
+
+    def test_serve_help_documents_knobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--state-dir", "--workers", "--max-queue",
+                     "--subscriber-buffer", "--stall-deadline"):
+            assert flag in out
