@@ -1,0 +1,136 @@
+"""CI distributed-smoke: real `repro shard-worker` daemons over TCP.
+
+Three legs, all against genuine subprocesses on localhost:
+
+1. serial reference: `repro detect` with a checkpoint;
+2. distributed run: two `repro shard-worker` daemons (auto-allocated
+   ports parsed from their "listening on HOST:PORT" announcement), the
+   same detect scattered to them — stdout event lines and the golden
+   checkpoint fingerprint must equal the serial run's exactly;
+3. fault injection: a fresh worker pair, kill -9 one of them mid-stream —
+   the detect process must fail fast with a readable shard-worker error
+   (no hang), and the surviving daemon must still shut down cleanly.
+
+Exits non-zero on any failed assertion.
+"""
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+sys.path.insert(0, str(REPO / "tests"))
+
+import golden  # noqa: E402  (tests/golden.py — the CI parity idiom)
+
+TRACE = "dist-trace.jsonl"
+DETECT = [sys.executable, "-u", "-m", "repro", "detect", TRACE,
+          "--quantum-size", "80"]
+ENV = dict(os.environ, PYTHONPATH=SRC)
+
+
+def start_worker():
+    """One real shard-worker daemon; returns (proc, 'host:port')."""
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "shard-worker"],
+        stdout=subprocess.PIPE, env=ENV, text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        assert line, "shard worker exited before announcing its port"
+        if "listening on" in line:
+            endpoint = line.rsplit(" ", 1)[-1].strip()
+            host, _, port = endpoint.rpartition(":")
+            assert host and port.isdigit(), f"bad announcement: {line!r}"
+            return proc, endpoint
+    raise AssertionError("shard worker never announced its port")
+
+
+def stop_worker(proc):
+    """SIGINT must shut a daemon down cleanly (exit 0)."""
+    proc.send_signal(signal.SIGINT)
+    assert proc.wait(timeout=30) == 0, "worker did not exit cleanly on SIGINT"
+    proc.stdout.close()
+
+
+def event_lines(stdout):
+    return [line for line in stdout.splitlines() if "NEW" in line]
+
+
+# Leg 1: serial reference.
+serial = subprocess.run(
+    DETECT + ["--checkpoint", "serial.ckpt"],
+    env=ENV, capture_output=True, text=True, timeout=600,
+)
+assert serial.returncode == 0, serial.stderr
+serial_events = event_lines(serial.stdout)
+assert serial_events, "serial detect reported no events; trace too quiet"
+serial_fp = golden.fingerprint(
+    golden.normalized_checkpoint_state("serial.ckpt")
+)
+print(f"-- leg 1 OK: serial run, {len(serial_events)} event lines, "
+      f"fingerprint {serial_fp}")
+
+# Leg 2: the same stream scattered to two real TCP shard workers.
+worker_a, endpoint_a = start_worker()
+worker_b, endpoint_b = start_worker()
+try:
+    distributed = subprocess.run(
+        DETECT + ["--checkpoint", "dist.ckpt",
+                  "--workers", f"{endpoint_a},{endpoint_b}",
+                  "--shard-count", "4"],
+        env=ENV, capture_output=True, text=True, timeout=600,
+    )
+    assert distributed.returncode == 0, distributed.stderr
+    assert event_lines(distributed.stdout) == serial_events, (
+        "distributed event lines diverged from serial"
+    )
+    dist_fp = golden.fingerprint(
+        golden.normalized_checkpoint_state("dist.ckpt")
+    )
+    assert dist_fp == serial_fp, (serial_fp, dist_fp)
+finally:
+    stop_worker(worker_a)
+    stop_worker(worker_b)
+print(f"-- leg 2 OK: distributed run over {endpoint_a},{endpoint_b} "
+      f"bit-identical to serial")
+
+# Leg 3: kill -9 one worker mid-stream; detect must fail readably and the
+# surviving worker must still tear down cleanly.
+worker_a, endpoint_a = start_worker()
+worker_b, endpoint_b = start_worker()
+victim = None
+try:
+    detect = subprocess.Popen(
+        DETECT + ["--workers", f"{endpoint_a},{endpoint_b}",
+                  "--shard-count", "4"],
+        env=ENV, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    # The first event line proves the pipeline is mid-stream.
+    while True:
+        line = detect.stdout.readline()
+        assert line, "detect exited before its first event"
+        if "NEW" in line:
+            break
+    victim = worker_b
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=30)
+    victim.stdout.close()
+    stdout, stderr = detect.communicate(timeout=120)
+    assert detect.returncode != 0, "detect succeeded despite a dead worker"
+    assert "shard worker" in stderr, f"unreadable failure: {stderr!r}"
+finally:
+    if detect.poll() is None:
+        detect.kill()
+        detect.wait(timeout=30)
+    stop_worker(worker_a)  # the survivor still stops cleanly
+    if victim is None:
+        stop_worker(worker_b)
+print("-- leg 3 OK: kill -9 mid-stream -> readable failure "
+      "(exit {}, '{}...'), clean teardown".format(
+          detect.returncode, stderr.strip().splitlines()[-1][:80]))

@@ -18,16 +18,23 @@ Gates (asserted here, ratio re-gated by ``check_regression.py``):
   ``speedup`` is ``snapshot_bytes / mean_delta_bytes``, so the gate floor
   is ``1 / GATE_RATIO`` = 10x;
 * replaying base+deltas reproduces the monolithic snapshot's state tree
-  byte-for-byte (the v4 reader parity contract, DESIGN.md Section 10).
+  byte-for-byte (the v4 reader parity contract, DESIGN.md Section 10);
+* huge-vocabulary append cost: the memoized diff profile (writer default
+  since the socket-shard PR) must beat the exhaustive PR 7/8 profile by
+  >= ``MEMOIZE_GATE`` on a wide mostly-unchanged state — the regime where
+  the old profile paid a full-state serialization per quantum.
 
 Run standalone:  PYTHONPATH=src python benchmarks/bench_delta_checkpoint.py
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import os
+import random
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -37,6 +44,10 @@ from _results import smoke_scale, write_json_result  # noqa: E402
 
 from repro.api import open_session  # noqa: E402
 from repro.api.checkpoint import encode_state, load_checkpoint  # noqa: E402
+from repro.api.deltalog import (  # noqa: E402
+    DeltaCheckpointWriter,
+    read_delta_checkpoint,
+)
 from repro.config import DetectorConfig  # noqa: E402
 from repro.datasets.traces import build_tw_trace  # noqa: E402
 
@@ -48,6 +59,72 @@ WINDOW_QUANTA = 40
 N_QUANTA = smoke_scale(60, 48)
 SEED = 7
 GATE_RATIO = 0.10
+
+# Huge-vocabulary regime: a wide window index (tens of thousands of
+# keywords) where ~1% changes per quantum.  The exhaustive diff profile
+# pays O(state) per append here; the memoized one pays O(churn).
+HUGE_VOCAB = smoke_scale(20_000, 4_000)
+HUGE_CHURN = max(1, HUGE_VOCAB // 100)
+HUGE_APPENDS = 5
+MEMOIZE_GATE = 2.0
+
+
+def _huge_vocab_states() -> list:
+    """Deterministic state sequence shaped like a wide window index."""
+    rng = random.Random(SEED)
+    state = {
+        "quantum": 0,
+        "idsets": {
+            f"kw{i:06d}": [
+                [q, sorted(rng.sample(range(5000), rng.randint(3, 10)))]
+                for q in range(3)
+            ]
+            for i in range(HUGE_VOCAB)
+        },
+        "clusters": [[i, f"kw{i:06d}", rng.random()] for i in range(500)],
+    }
+    states = [state]
+    for q in range(1, HUGE_APPENDS + 1):
+        state = copy.deepcopy(state)
+        state["quantum"] = q
+        for i in rng.sample(range(HUGE_VOCAB), HUGE_CHURN):
+            entries = state["idsets"][f"kw{i:06d}"]
+            entries.append([q + 2, sorted(rng.sample(range(5000), 6))])
+            del entries[0]
+        for j in rng.sample(range(500), 20):
+            state["clusters"][j][2] = rng.random()
+        states.append(state)
+    return states
+
+
+def bench_huge_vocab() -> dict:
+    """Append the same state sequence through both diff profiles."""
+    states = _huge_vocab_states()
+    timing = {}
+    for memoize in (False, True):
+        with tempfile.TemporaryDirectory() as scratch:
+            writer = DeltaCheckpointWriter(
+                Path(scratch) / "ckpt", memoize=memoize
+            )
+            writer.start(states[0])
+            for state in states[1:]:
+                writer.append(state)
+            writer.close()
+            replayed = read_delta_checkpoint(Path(scratch) / "ckpt")
+            assert replayed == states[-1], (
+                f"huge-vocab replay diverged (memoize={memoize})"
+            )
+            timing[memoize] = (
+                1000.0 * writer.append_seconds / writer.records_written
+            )
+    return {
+        "vocabulary": HUGE_VOCAB,
+        "churn_per_quantum": HUGE_CHURN,
+        "appends": HUGE_APPENDS,
+        "exhaustive_append_ms": round(timing[False], 2),
+        "memoized_append_ms": round(timing[True], 2),
+        "memoize_speedup": round(timing[False] / timing[True], 2),
+    }
 
 
 def main() -> int:
@@ -117,9 +194,25 @@ def main() -> int:
         f"above the {100.0 * GATE_RATIO:.0f}% gate"
     )
 
+    huge = bench_huge_vocab()
+    print(f"huge-vocabulary append  (vocab={huge['vocabulary']:,}, "
+          f"churn={huge['churn_per_quantum']:,}/quantum)")
+    print(f"  exhaustive profile     {huge['exhaustive_append_ms']:.1f} "
+          f"ms/append (the PR 7/8 writer)")
+    print(f"  memoized profile       {huge['memoized_append_ms']:.1f} "
+          f"ms/append")
+    print(f"  memoize speedup        {huge['memoize_speedup']:.1f}x "
+          f"(gate >= {MEMOIZE_GATE:.0f}x)")
+    assert huge["memoize_speedup"] >= MEMOIZE_GATE, (
+        f"memoized append is only {huge['memoize_speedup']:.2f}x faster "
+        f"than the exhaustive profile on the huge-vocabulary regime, "
+        f"below the {MEMOIZE_GATE:.0f}x gate"
+    )
+
     write_json_result(
         "delta_checkpoint",
         config={
+            "huge_vocab": huge,
             "quantum_size": QUANTUM,
             "window_quanta": WINDOW_QUANTA,
             "window_messages": QUANTUM * WINDOW_QUANTA,

@@ -1,0 +1,250 @@
+"""Pipelined maintenance overlap + socket shard transport throughput.
+
+Two questions about the cluster-scale front-end (DESIGN.md Section 12):
+
+1. **Overlap** — with ``overlap=True`` the serial tail of quantum *q*
+   (exchange-merge, maintain, propagate, rank, report) runs on a
+   background thread while quantum *q+1*'s scatter+extract is already in
+   flight.  Measured at 4 local workers on a *tail-heavy* raw-text
+   stream — hundreds of live clusters re-bursting every quantum, so
+   maintenance and ranking have real weight: how much of the
+   maintain+propagate+rank+report tail does the pipeline actually hide
+   (``overlap_saved`` / tail wall; the saving can exceed the tail sum
+   because the background thread also carries the exchange-merge), and
+   what does that do to end-to-end wall time?
+2. **Remote transport** — the same session against two ``repro
+   shard-worker`` daemons over loopback TCP: end-to-end throughput with
+   every window operation crossing a socket, reports asserted
+   bit-identical to the local run.
+
+Gates:
+
+* every mode's reports are bit-identical to overlap-off (always);
+* the overlap must hide >= ``HIDE_GATE`` (50%) of the
+  maintain+propagate+rank+report tail at 4 workers — asserted when the
+  host has >= 4 usable cores; below that the JSON records
+  ``speedup: null`` (the documented skip, as in ``bench_parallel_akg``).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_distributed_pipeline.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _results import smoke_scale, write_json_result  # noqa: E402
+from bench_parallel_akg import report_fingerprint, usable_cores  # noqa: E402
+
+from repro.api import open_session  # noqa: E402
+from repro.config import DetectorConfig  # noqa: E402
+from repro.eval.reporting import render_table  # noqa: E402
+from repro.parallel import ShardWorkerServer  # noqa: E402
+from repro.stream.messages import Message  # noqa: E402
+
+QUANTUM = 1800
+WORKERS = 4
+REMOTE_WORKERS = 2
+REPEATS = 3
+HIDE_GATE = 0.50
+SPEEDUP_CORES_REQUIRED = 4
+
+# Tail-heavy regime: N_GROUPS clusters stay alive the whole stream and
+# every one of them re-bursts each quantum with a rotating user cohort,
+# so every cluster is dirty every quantum — maintenance, ranking, and
+# report-index work all scale with the live-event count.
+N_GROUPS = 300
+GROUP_SIZE = 6
+COHORT = 5
+FILLER_VOCAB = 1500
+
+CONFIG = DetectorConfig(
+    quantum_size=QUANTUM,
+    window_quanta=6,
+    high_state_threshold=4,
+    ec_threshold=0.15,
+    node_grace_quanta=1,
+    require_noun=False,
+)
+
+FILLER = [f"w{i:04d}" for i in range(FILLER_VOCAB)]
+
+TAIL_STAGES = ("maintain", "propagate", "rank", "report")
+
+
+def build_stream(n_quanta: int, seed: int = 29) -> List[Message]:
+    rng = random.Random(seed)
+    messages: List[Message] = []
+    for quantum in range(n_quanta):
+        batch: List[Message] = []
+        for group in range(N_GROUPS):
+            words = " ".join(f"g{group}kw{k}" for k in range(GROUP_SIZE))
+            base = group * 20 + (quantum % 4) * COHORT
+            for user in range(COHORT):
+                batch.append(
+                    Message(
+                        f"fan{base + user}",
+                        text=f"{words} {rng.choice(FILLER)}",
+                    )
+                )
+        while len(batch) < QUANTUM:
+            batch.append(
+                Message(
+                    f"user{rng.randrange(5000)}",
+                    text=" ".join(rng.sample(FILLER, 6)),
+                )
+            )
+        rng.shuffle(batch)
+        messages.extend(batch[:QUANTUM])
+    return messages
+
+
+def run_mode(stream, **session_kwargs):
+    """Returns (total wall s, fingerprint, total timings dict)."""
+    session = open_session(CONFIG, **session_kwargs)
+    started = time.perf_counter()
+    reports = list(session.ingest_many(stream))
+    wall = time.perf_counter() - started
+    timings = session.total_timings.as_dict()
+    fingerprint = report_fingerprint(reports)
+    session.close()
+    return wall, fingerprint, timings
+
+
+def run_remote(stream, reference_fingerprint):
+    """The whole session against loopback TCP shard workers."""
+    servers, threads = [], []
+    try:
+        for _ in range(REMOTE_WORKERS):
+            server = ShardWorkerServer()
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            servers.append(server)
+            threads.append(thread)
+        endpoints = ",".join(server.endpoint for server in servers)
+        wall, fingerprint, _ = run_mode(stream, workers=endpoints)
+        assert fingerprint == reference_fingerprint, (
+            "remote-transport reports diverged from the local session"
+        )
+        return wall
+    finally:
+        for server in servers:
+            server.stop()
+        for thread in threads:
+            thread.join(timeout=10)
+
+
+def main() -> int:
+    n_quanta = smoke_scale(default=16, smoke=6)
+    stream = build_stream(n_quanta)
+    cores = usable_cores()
+
+    run_mode(stream[: 2 * QUANTUM], workers=WORKERS)  # warm-up
+
+    # Alternate the two gate-critical modes and keep each one's best run
+    # (shared runners are noisy; minima compare like against like).
+    best_off = best_on = None
+    for _ in range(REPEATS):
+        off = run_mode(stream, workers=WORKERS)
+        if best_off is None or off[0] < best_off[0]:
+            best_off = off
+        on = run_mode(stream, workers=WORKERS, overlap=True)
+        assert on[1] == off[1], (
+            "overlap=True reports diverged from overlap=False"
+        )
+        if best_on is None or on[0] < best_on[0]:
+            best_on = on
+    wall_off, fingerprint, timings_off = best_off
+    wall_on, _, timings_on = best_on
+
+    tail_s = sum(timings_on[stage] for stage in TAIL_STAGES)
+    saved_s = timings_on["overlap_saved"]
+    # saved can exceed the maintain+propagate+rank+report sum (the tail
+    # thread also carries the exchange-merge); cap the *fraction* at 1.0
+    # so "how much of the tail was hidden" stays interpretable.
+    hidden = min(1.0, saved_s / tail_s) if tail_s > 0 else 0.0
+    wall_speedup = wall_off / wall_on
+
+    remote_wall = run_remote(stream, fingerprint)
+    remote_msgs = len(stream) / remote_wall
+
+    table = render_table(
+        ["mode", "wall s", "note"],
+        [
+            [f"W={WORKERS} overlap=off", f"{wall_off:.2f}", "-"],
+            [
+                f"W={WORKERS} overlap=on",
+                f"{wall_on:.2f}",
+                f"{wall_speedup:.2f}x wall, tail {100 * hidden:.0f}% hidden",
+            ],
+            [
+                f"remote W={REMOTE_WORKERS} (loopback TCP)",
+                f"{remote_wall:.2f}",
+                f"{remote_msgs:,.0f} msg/s",
+            ],
+        ],
+        title=(
+            f"distributed pipeline, {n_quanta} quanta x {QUANTUM} raw-text "
+            f"messages ({cores} usable cores) — all reports bit-identical"
+        ),
+    )
+    print(table)
+    print(f"  overlap hides          {saved_s:.2f}s of the {tail_s:.2f}s "
+          f"maintain+propagate+rank+report tail "
+          f"({100 * hidden:.0f}%, gate >= {100 * HIDE_GATE:.0f}% "
+          f"on >= {SPEEDUP_CORES_REQUIRED} cores)")
+
+    gated = cores >= SPEEDUP_CORES_REQUIRED
+    write_json_result(
+        "distributed_pipeline",
+        config={
+            "quanta": n_quanta,
+            "quantum_size": QUANTUM,
+            "workers": WORKERS,
+            "cores": cores,
+            "speedup_cores_required": SPEEDUP_CORES_REQUIRED,
+            "wall_overlap_off_s": round(wall_off, 4),
+            "wall_overlap_on_s": round(wall_on, 4),
+            "tail_s": round(tail_s, 4),
+            "overlap_saved_s": round(saved_s, 4),
+            "tail_hidden_fraction": round(hidden, 4),
+            "remote_workers": REMOTE_WORKERS,
+            "remote_wall_s": round(remote_wall, 4),
+            "remote_messages_per_s": round(remote_msgs, 1),
+            "stage_timings_s": {
+                "overlap_off": {
+                    k: round(v, 4) for k, v in timings_off.items()
+                },
+                "overlap_on": {
+                    k: round(v, 4) for k, v in timings_on.items()
+                },
+            },
+        },
+        wall_s=wall_on,
+        speedup=wall_speedup if gated else None,
+        quanta=n_quanta,
+    )
+    if gated:
+        assert hidden >= HIDE_GATE, (
+            f"overlap hides only {100 * hidden:.0f}% of the serial tail at "
+            f"{WORKERS} workers (gate >= {100 * HIDE_GATE:.0f}%)"
+        )
+    else:
+        print(
+            f"-- overlap gate skipped: {cores} usable core(s) < "
+            f"{SPEEDUP_CORES_REQUIRED} (measured {100 * hidden:.0f}% "
+            f"hidden; enforced on multi-core CI)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

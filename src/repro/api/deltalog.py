@@ -129,7 +129,7 @@ def _sort_key(value: Any) -> str:
     )
 
 
-def diff_trees(a: Any, b: Any) -> Optional[list]:
+def diff_trees(a: Any, b: Any, *, memoize: bool = False) -> Optional[list]:
     """Edit script turning state tree ``a`` into ``b``; None when identical.
 
     The script is itself a state-tree-safe structure (nested lists mixing
@@ -137,28 +137,109 @@ def diff_trees(a: Any, b: Any) -> Optional[list]:
     codec unchanged.  Guarantee: ``patch_tree(a, diff_trees(a, b))``
     reproduces ``b`` exactly, including float representations and
     container types.
+
+    ``memoize=True`` selects the churn-proportional cost profile for huge
+    mostly-unchanged states: replacement capping uses a budget-limited
+    streaming sizer (identical decisions, but an unchanged megabyte is
+    never serialized just to learn it is big), and sequence alignment uses
+    coarse signatures repaired by a per-element equality pass (scripts may
+    differ in shape from the exhaustive path, never in effect — the patch
+    guarantee above holds identically).
     """
     if _same(a, b):
         return None
-    return _op(a, b)
+    return _op(a, b, memoize)
 
 
-def _op(a: Any, b: Any) -> list:
+def _op(a: Any, b: Any, memoize: bool = False) -> list:
     """Edit op for two trees already known to differ."""
     if type(a) is not type(b):
         return ["r", b]
     if isinstance(a, dict):
-        return _shrink(_dict_op(a, b), b)
+        return _shrink(_dict_op(a, b, memoize), b, memoize)
     if isinstance(a, (list, tuple)):
-        return _shrink(_seq_op(a, b), b)
+        return _shrink(_seq_op(a, b, memoize), b, memoize)
     if isinstance(a, (set, frozenset)):
         added = sorted((x for x in b if x not in a), key=_sort_key)
         removed = sorted((x for x in a if x not in b), key=_sort_key)
-        return _shrink(["s", added, removed], b)
+        return _shrink(["s", added, removed], b, memoize)
     return ["r", b]
 
 
-def _shrink(op: list, b: Any) -> list:
+_CONTAINER_WIRE = {
+    kind: len(json.dumps({"t": kind, "v": []}, separators=(",", ":")))
+    for kind in ("list", "tuple", "set", "frozenset", "dict")
+}
+"""Compact-JSON overhead of an *empty* tagged container — the fixed part
+of :func:`_wire_size`'s per-container accounting."""
+
+
+def _wire_size(obj: Any, budget: int) -> Optional[int]:
+    """Exact compact-JSON wire length of ``encode_state(obj)``, or None as
+    soon as the running total exceeds ``budget``.
+
+    This is the memoized :func:`_shrink`'s early exit: sizing an unchanged
+    multi-megabyte window subtree stops after ``budget`` bytes instead of
+    serializing all of it.  Exactness matters — the shrink *decision* must
+    be byte-identical to actually encoding the replacement — so every
+    scalar is measured with the same ``json.dumps`` the frame writer uses
+    (string escapes, float reprs), and container overheads mirror the
+    tagged codec's envelope precisely (verified against the real encoder
+    in the test suite).
+    """
+    if budget < 0:
+        return None
+    if obj is None or obj is True:
+        size = 4
+    elif obj is False:
+        size = 5
+    elif type(obj) is int:
+        size = len(str(obj))
+    elif isinstance(obj, _SCALARS):
+        # str (escapes) and float (shortest repr) — and any bool/int
+        # subclass oddity — measured by the real serializer on the leaf.
+        size = len(json.dumps(obj))
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        if isinstance(obj, list):
+            kind = "list"
+        elif isinstance(obj, tuple):
+            kind = "tuple"
+        elif isinstance(obj, set):
+            kind = "set"
+        else:
+            kind = "frozenset"
+        size = _CONTAINER_WIRE[kind] + max(0, len(obj) - 1)
+        if size > budget:
+            return None
+        for x in obj:  # member order never changes the total
+            child = _wire_size(x, budget - size)
+            if child is None:
+                return None
+            size += child
+    elif isinstance(obj, dict):
+        # {"t":"dict","v":[[k,v],...]} — 3 bytes per pair ("[", ",", "]")
+        # plus the commas between pairs; pair sort order is size-neutral.
+        n = len(obj)
+        size = _CONTAINER_WIRE["dict"] + (4 * n - 1 if n else 0)
+        if size > budget:
+            return None
+        for key, value in obj.items():
+            child = _wire_size(key, budget - size)
+            if child is None:
+                return None
+            size += child
+            child = _wire_size(value, budget - size)
+            if child is None:
+                return None
+            size += child
+    else:
+        raise CheckpointError(
+            f"cannot checkpoint object of type {type(obj).__name__}: {obj!r}"
+        )
+    return size if size <= budget else None
+
+
+def _shrink(op: list, b: Any, memoize: bool = False) -> list:
     """Cap an edit op at the cost of plain replacement.
 
     When most of a container changed (small windows, heavy churn), the
@@ -166,30 +247,65 @@ def _shrink(op: list, b: Any) -> list:
     new value — compare wire sizes (the :func:`encode_op` form records
     actually travel in) and emit whichever is smaller, so a delta record
     is never pathologically larger than the state it moves.
+
+    The memoized path makes the same decision without paying for it: the
+    op's wire size (churn-proportional) sets the budget, and
+    :func:`_wire_size` streams the replacement's size only up to that
+    budget — a huge mostly-unchanged subtree bails out after a few edit-
+    script-sized bytes instead of being fully serialized at every level
+    of the recursion.
     """
+    op_wire = len(json.dumps(encode_op(op), separators=(",", ":")))
+    if memoize:
+        # wire(["r", b]) == 6 + wire(encode_state(b)):  '["r",' ... ']'
+        if _wire_size(b, op_wire - 6) is not None:
+            return ["r", b]
+        return op
     replacement = ["r", b]
-    wire = lambda o: len(
-        json.dumps(encode_op(o), separators=(",", ":"))
-    )
-    if wire(op) >= wire(replacement):
+    if op_wire >= len(
+        json.dumps(encode_op(replacement), separators=(",", ":"))
+    ):
         return replacement
     return op
 
 
-def _dict_op(a: dict, b: dict) -> list:
+def _dict_op(a: dict, b: dict, memoize: bool = False) -> list:
     sets: List[list] = []
     dels = sorted((k for k in a if k not in b), key=_sort_key)
     for key, value in b.items():
         if key in a:
             if not _same(a[key], value):
-                sets.append([key, _op(a[key], value)])
+                sets.append([key, _op(a[key], value, memoize)])
         else:
             sets.append([key, ["r", value]])
     sets.sort(key=lambda pair: _sort_key(pair[0]))
     return ["d", sets, dels]
 
 
-def _seq_op(a, b) -> list:
+def _coarse_key(value: Any) -> tuple:
+    """Cheap deterministic alignment signature (the memoize path).
+
+    Type + length + (recursively) the head element, never a full canonical
+    encoding — so aligning a thousand untouched multi-kilobyte window
+    entries costs tuple hashing, not serialization.  Equal values always
+    produce equal keys; *unequal* values may collide, which costs script
+    shape only (the ``equal``-run demotion pass in :func:`_seq_op` repairs
+    any collision with real ``_same`` checks), never patch correctness.
+    """
+    if value is None or isinstance(value, _SCALARS):
+        return (type(value).__name__, repr(value))
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return (type(value).__name__, 0)
+        return (type(value).__name__, len(value), _coarse_key(value[0]))
+    if isinstance(value, (set, frozenset)):
+        return (type(value).__name__, len(value))
+    if isinstance(value, dict):
+        return ("dict", len(value))
+    return (type(value).__name__,)
+
+
+def _seq_op(a, b, memoize: bool = False) -> list:
     """Splice-style edit script for lists/tuples.
 
     Common prefix/suffix are trimmed first (the dominant sliding-window
@@ -198,6 +314,12 @@ def _seq_op(a, b) -> list:
     element keys so scattered single-element changes (a touched keyword's
     window entries inside the sorted per-keyword list) become nested
     patches instead of wholesale replacement.
+
+    With ``memoize`` the alignment keys are the coarse signatures of
+    :func:`_coarse_key`; the matcher's ``equal`` runs are then re-checked
+    element-wise with :func:`_same` and any collision demoted to an
+    in-place patch, so a false alignment can never leak a stale element
+    through a ``keep`` op.
     """
     prefix = 0
     limit = min(len(a), len(b))
@@ -212,12 +334,38 @@ def _seq_op(a, b) -> list:
     edits: List[list] = []
     if prefix:
         edits.append(["k", prefix])
-    keys_a = [_canon_key(x) for x in mid_a]
-    keys_b = [_canon_key(x) for x in mid_b]
+    key_of = _coarse_key if memoize else _canon_key
+    keys_a = [key_of(x) for x in mid_a]
+    keys_b = [key_of(x) for x in mid_b]
     matcher = difflib.SequenceMatcher(None, keys_a, keys_b, autojunk=False)
     for tag, i1, i2, j1, j2 in matcher.get_opcodes():
         if tag == "equal":
-            edits.append(["k", i2 - i1])
+            if not memoize:
+                edits.append(["k", i2 - i1])
+                continue
+            # Coarse keys may collide; keep only truly-equal runs, patch
+            # the rest in place.
+            count = i2 - i1
+            flags = [
+                _same(mid_a[i1 + k], mid_b[j1 + k]) for k in range(count)
+            ]
+            k = 0
+            while k < count:
+                run_start, same = k, flags[k]
+                while k < count and flags[k] == same:
+                    k += 1
+                if same:
+                    edits.append(["k", k - run_start])
+                else:
+                    edits.append(
+                        [
+                            "p",
+                            [
+                                _op(mid_a[i1 + t], mid_b[j1 + t], memoize)
+                                for t in range(run_start, k)
+                            ],
+                        ]
+                    )
         elif tag == "delete":
             edits.append(["x", i2 - i1])
         elif tag == "insert":
@@ -226,7 +374,13 @@ def _seq_op(a, b) -> list:
             # positional replacement run: patch element-wise so an entry
             # that changed in place costs its own small edit script
             edits.append(
-                ["p", [_op(x, y) for x, y in zip(mid_a[i1:i2], mid_b[j1:j2])]]
+                [
+                    "p",
+                    [
+                        _op(x, y, memoize)
+                        for x, y in zip(mid_a[i1:i2], mid_b[j1:j2])
+                    ],
+                ]
             )
         else:
             edits.append(["x", i2 - i1])
@@ -644,15 +798,28 @@ class DeltaCheckpointWriter:
     manifest writes are atomic-rename durable.  A writer whose append
     failed mid-frame refuses further appends (the log tail is torn; the
     next leader attaches with a fresh generation instead).
+
+    ``memoize`` (default on) keeps append cost proportional to what
+    actually changed: the edit script is computed with the churn-
+    proportional :func:`diff_trees` profile, and the writer's reference
+    copy of the previous state is maintained by *patching it forward*
+    with the (deep-copied) op — sharing every unchanged subtree across
+    quanta — instead of deep-copying the entire state each append.
+    ``memoize=False`` restores the exhaustive profile for comparison
+    (``benchmarks/bench_delta_checkpoint.py`` gates the speedup).  Log
+    contents decode to identical states either way.
     """
 
-    def __init__(self, path, *, compact_ratio: float = 4.0) -> None:
+    def __init__(
+        self, path, *, compact_ratio: float = 4.0, memoize: bool = True
+    ) -> None:
         if compact_ratio <= 0:
             raise CheckpointError(
                 f"compact_ratio must be positive, got {compact_ratio!r}"
             )
         self.path = Path(path)
         self.compact_ratio = compact_ratio
+        self.memoize = bool(memoize)
         self.generation = -1
         self.base_bytes = 0
         self.log_bytes = 0
@@ -691,7 +858,7 @@ class DeltaCheckpointWriter:
                 "instead of appending further"
             )
         started = time.perf_counter()
-        op = diff_trees(self._last, state)
+        op = diff_trees(self._last, state, memoize=self.memoize)
         frame = encode_frame(
             {"q": state["quantum"], "op": encode_op(op)}
         )
@@ -705,7 +872,14 @@ class DeltaCheckpointWriter:
             raise CheckpointError(
                 f"cannot append to delta log in {self.path}: {exc}"
             ) from exc
-        self._last = copy.deepcopy(state)
+        if self.memoize:
+            # patch(last, diff(last, state)) == state exactly, and the op's
+            # replacement values are deep-copied — so the reference tree
+            # shares unchanged subtrees with the *previous* reference (all
+            # writer-owned), never with the caller's live state.
+            self._last = patch_tree(self._last, copy.deepcopy(op))
+        else:
+            self._last = copy.deepcopy(state)
         self.log_bytes += len(frame)
         self.records_written += 1
         self.delta_bytes_total += len(frame)

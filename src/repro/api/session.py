@@ -39,7 +39,9 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field as dataclass_field
 from typing import (
     Dict,
@@ -135,6 +137,7 @@ class DetectorSession:
         oracle_ranking: bool = False,
         oracle_akg: bool = False,
         worker_backend: Optional[str] = None,
+        overlap: bool = False,
         profile: bool = False,
     ) -> None:
         """Build a fresh session (use :func:`open_session` in client code).
@@ -156,8 +159,14 @@ class DetectorSession:
         knob only, results are bit-identical either way.
         ``config.backend`` selects the hot-path implementation
         (``reference``/``batched``, DESIGN.md Section 9) — also execution
-        only.  ``profile=True`` runs the stage pipeline under cProfile;
-        read the accumulated data with :meth:`profile_stats`.
+        only.  ``overlap=True`` double-buffers :meth:`ingest_many` on the
+        sharded front-end: quantum *q*'s serial tail (exchange merge,
+        maintenance, ranking, reporting) runs on a background thread while
+        quantum *q+1*'s extract+scatter proceeds on the calling thread —
+        again execution only, reports and sink events stay bit-identical
+        (DESIGN.md Section 12).  ``profile=True`` runs the stage pipeline
+        under cProfile; read the accumulated data with
+        :meth:`profile_stats`.
         """
         self.config = config if config is not None else DetectorConfig()
         if extractor is not None and tokenizer is not None:
@@ -192,6 +201,26 @@ class DetectorSession:
                 "oracle_akg runs the reference components by definition; "
                 "it cannot run on the batched backend"
             )
+        if overlap:
+            if not self.config.sharded:
+                raise ConfigError(
+                    "overlap pipelines the sharded front-end's scatter "
+                    "against the previous quantum's tail; a serial session "
+                    "(workers=1, no shard_count) has no scatter to overlap"
+                )
+            if profile:
+                raise ConfigError(
+                    "overlap runs each quantum's tail on a background "
+                    "thread and cProfile instruments a single thread; "
+                    "use profile or overlap, not both"
+                )
+            if self.config.track_ckg_stats:
+                raise ConfigError(
+                    "overlap would race the CKG-stats tracker (the next "
+                    "quantum's extract stage updates it while the previous "
+                    "tail still reads it); disable track_ckg_stats to "
+                    "pipeline"
+                )
         if self.config.sharded:
             from repro.parallel import ShardedAkgFrontend
 
@@ -259,6 +288,7 @@ class DetectorSession:
                 not self._custom_extractor
                 and self.ckg_stats is None
                 and self.builder.pool.workers > 1
+                and self.builder.pool.can_extract
             ):
                 stages[0] = ShardedExtractStage(
                     self.builder,
@@ -284,6 +314,8 @@ class DetectorSession:
             )
             stages[1] = BatchedAkgUpdateStage(self.builder, self.maintainer)
         self.pipeline = Pipeline(stages)
+        self._overlap = overlap
+        self._overlap_active = False
         self._profiler = cProfile.Profile() if profile else None
         self._quantum = -1
         self.total_messages = 0
@@ -353,13 +385,25 @@ class DetectorSession:
         *kept buffered* by default so the session (and its checkpoints)
         composes across calls; pass ``flush=True`` — or call :meth:`flush` —
         to force-process the remainder as a final short quantum.
+
+        With ``overlap=True`` the quanta are double-buffered (see
+        :meth:`_ingest_many_pipelined`): while the caller consumes a
+        yielded report, the *next* quantum's tail may still be running on
+        the background thread — sink callbacks fire on that thread, and
+        the session's live structures (graph, registry, ranker) should be
+        treated as read-only-between-iterations only after the iterator is
+        exhausted or closed.  Reports and sink events themselves are
+        bit-identical to the unpipelined path.
         """
         stream = iter(messages)
-        while True:
-            quantum = self.batcher.fill(stream)
-            if quantum is None:
-                break
-            yield self.process_quantum(quantum)
+        if self._overlap:
+            yield from self._ingest_many_pipelined(stream)
+        else:
+            while True:
+                quantum = self.batcher.fill(stream)
+                if quantum is None:
+                    break
+                yield self.process_quantum(quantum)
         if flush:
             tail = self.flush()
             if tail is not None:
@@ -379,6 +423,12 @@ class DetectorSession:
                 "session is closed; open a new session (or resume from a "
                 "checkpoint) to keep ingesting"
             )
+        if self._overlap_active:
+            raise PipelineError(
+                "a pipelined ingest_many iteration is in progress; exhaust "
+                "or close that iterator before ingesting through another "
+                "path"
+            )
         start = time.perf_counter()
         self._quantum += 1
         ctx = QuantumContext(quantum=self._quantum, messages=messages)
@@ -390,8 +440,17 @@ class DetectorSession:
                 self._profiler.disable()
         else:
             self.pipeline.run(ctx)
+        return self._finalize_report(ctx, start)
+
+    def _finalize_report(self, ctx: QuantumContext, start: float) -> QuantumReport:
+        """Fill and publish the report of a fully-run quantum context.
+
+        Shared by the serial path and the pipelined tail; everything here
+        (totals, sink dispatch, delta-log append) belongs to the quantum's
+        tail and must run before the *next* quantum's tail starts.
+        """
         report = ctx.report
-        report.messages_processed = len(messages)
+        report.messages_processed = len(ctx.messages)
         report.timings = ctx.timings
         report.changes = len(ctx.batch)
         report.dirty_clusters = len(ctx.dirty)
@@ -401,7 +460,7 @@ class DetectorSession:
             report.ckg_nodes = self.ckg_stats.ckg_nodes
             report.ckg_edges = self.ckg_stats.ckg_edges
         report.elapsed_seconds = time.perf_counter() - start
-        self.total_messages += len(messages)
+        self.total_messages += len(ctx.messages)
         self.total_seconds += report.elapsed_seconds
         self.total_timings.add(ctx.timings)
         self._dispatch(report)
@@ -412,6 +471,134 @@ class DetectorSession:
             # durability channel broke must not keep running silently.
             self._delta_writer.append(self._state_tree())
         return report
+
+    # ------------------------------------------------- pipelined ingestion
+
+    def _run_head(self, messages: Sequence[Message]) -> QuantumContext:
+        """Front half of one quantum: extract + phase-one scatter.
+
+        Runs on the calling thread.  Touches no parent graph state — the
+        extract stage and the front-end's :meth:`~repro.parallel.frontend
+        .ShardedAkgFrontend.scatter` read only the quantum's messages and
+        the worker pool — so it may overlap the *previous* quantum's tail.
+        """
+        if self._closed:
+            raise PipelineError(
+                "session is closed; open a new session (or resume from a "
+                "checkpoint) to keep ingesting"
+            )
+        self._quantum += 1
+        ctx = QuantumContext(quantum=self._quantum, messages=messages)
+        stages = self.pipeline.stages
+        stages[0].run(ctx)
+        stages[1].scatter(ctx)
+        return ctx
+
+    def _run_tail(self, ctx, start, exchange_done):
+        """Back half of one quantum: exchange merge, maintain, rank, report.
+
+        Runs on the pipeline thread.  ``exchange_done`` is set the moment
+        the last worker round trip of this quantum finishes — the barrier
+        after which the next quantum may scatter — and is guaranteed set on
+        exit even when the tail fails, so the driver never deadlocks on a
+        dead tail.  Returns ``(report, tail_end_perf_counter)``.
+        """
+        try:
+            self.pipeline.stages[1].complete(
+                ctx, exchange_done=exchange_done.set
+            )
+            for stage in self.pipeline.stages[2:]:
+                stage.run(ctx)
+            report = self._finalize_report(ctx, start)
+            return report, time.perf_counter()
+        finally:
+            exchange_done.set()
+
+    def _ingest_many_pipelined(
+        self, stream: Iterator[Message]
+    ) -> Iterator[QuantumReport]:
+        """Double-buffered quantum driver (``overlap=True``).
+
+        Quantum *q*'s tail runs on a single background thread while the
+        calling thread extracts and scatters quantum *q+1* — the only
+        ordering constraint is that *q*'s phase-two exchange finishes
+        before *q+1*'s scatter touches the workers, enforced by the
+        ``exchange_done`` barrier.  Tails never overlap each other
+        (single-thread executor), so every graph mutation, sink event and
+        report is produced in exactly the serial order — the pipelining is
+        execution-only.
+
+        The hidden wall time is recorded per quantum as
+        ``report.timings.overlap_saved``: the span of quantum *q+1*'s head
+        that ran while *q*'s tail was still active.
+
+        If the caller abandons the iterator after a head already scattered,
+        the orphaned quantum is completed inline (its report dropped) so
+        the session still lands on a quantum boundary.
+        """
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-tail"
+        )
+        inflight = None  # running tail's future
+        scattered = None  # (ctx, head_start): head done, tail not launched
+        failed = False
+        self._overlap_active = True
+        try:
+            while True:
+                quantum = self.batcher.fill(stream)
+                if quantum is None:
+                    break
+                head_start = time.perf_counter()
+                ctx = self._run_head(quantum)
+                scattered = (ctx, head_start)
+                head_end = time.perf_counter()
+                pending_report = None
+                if inflight is not None:
+                    report, tail_end = inflight.result()
+                    inflight = None
+                    saved = max(0.0, min(tail_end, head_end) - head_start)
+                    report.timings.overlap_saved = saved
+                    self.total_timings.overlap_saved += saved
+                    pending_report = report
+                exchange_done = threading.Event()
+                inflight = executor.submit(
+                    self._run_tail, ctx, head_start, exchange_done
+                )
+                scattered = None
+                exchange_done.wait()
+                if inflight.done() and inflight.exception() is not None:
+                    raise inflight.exception()
+                if pending_report is not None:
+                    yield pending_report
+            if inflight is not None:
+                report, _ = inflight.result()
+                inflight = None
+                yield report
+        except GeneratorExit:
+            raise
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            try:
+                if inflight is not None:
+                    try:
+                        inflight.result()
+                    except BaseException:
+                        if not failed:
+                            raise
+                if scattered is not None and not failed:
+                    # The head already consumed these messages and slid the
+                    # worker windows; finish the quantum inline so the
+                    # session lands on a quantum boundary.  Only reachable
+                    # when the caller abandons the iterator mid-stream.
+                    orphan_ctx, orphan_start = scattered
+                    self._run_tail(
+                        orphan_ctx, orphan_start, threading.Event()
+                    )
+            finally:
+                self._overlap_active = False
+                executor.shutdown(wait=True)
 
     # -------------------------------------------------------- subscription
 
@@ -646,6 +833,13 @@ class DetectorSession:
         worker count — and resumes under any other (pass ``workers=`` to
         ``open_session``).
         """
+        if self._overlap_active:
+            raise CheckpointError(
+                "cannot snapshot during a pipelined ingest_many iteration: "
+                "the next quantum's scatter has already advanced the "
+                "worker windows past the merged state; exhaust or close "
+                "the iterator first"
+            )
         save_checkpoint(path, self._state_tree())
 
     def enable_delta_log(self, path, *, compact_ratio: float = 4.0) -> None:
@@ -666,6 +860,13 @@ class DetectorSession:
         if self._delta_writer is not None:
             raise CheckpointError(
                 "a delta log is already enabled for this session"
+            )
+        if self._overlap:
+            raise CheckpointError(
+                "a pipelined (overlap=True) session cannot keep a delta "
+                "log: the per-quantum append would serialize worker "
+                "windows the next quantum's scatter has already advanced; "
+                "open the session without overlap to record one"
             )
         writer = DeltaCheckpointWriter(path, compact_ratio=compact_ratio)
         writer.start(self._state_tree())
@@ -730,10 +931,11 @@ class DetectorSession:
         noun_tagger: Optional[NounTagger] = None,
         tokenizer=None,
         extractor: Optional[EntityExtractor] = None,
-        workers: Optional[int] = None,
+        workers: Optional[Union[int, str]] = None,
         shard_count: Optional[int] = None,
         worker_backend: Optional[str] = None,
         backend: Optional[str] = None,
+        overlap: bool = False,
         profile: bool = False,
     ) -> "DetectorSession":
         """Reconstruct a session from a :meth:`snapshot` file.
@@ -763,6 +965,7 @@ class DetectorSession:
             shard_count=shard_count,
             worker_backend=worker_backend,
             backend=backend,
+            overlap=overlap,
             profile=profile,
         )
 
@@ -774,10 +977,11 @@ class DetectorSession:
         noun_tagger: Optional[NounTagger] = None,
         tokenizer=None,
         extractor: Optional[EntityExtractor] = None,
-        workers: Optional[int] = None,
+        workers: Optional[Union[int, str]] = None,
         shard_count: Optional[int] = None,
         worker_backend: Optional[str] = None,
         backend: Optional[str] = None,
+        overlap: bool = False,
         profile: bool = False,
     ) -> "DetectorSession":
         """Materialize a live session from a decoded state tree.
@@ -863,6 +1067,7 @@ class DetectorSession:
             oracle_ranking=state["oracle_ranking"],
             oracle_akg=state["oracle_akg"],
             worker_backend=worker_backend,
+            overlap=overlap,
             profile=profile,
         )
         session.maintainer.from_state(state["maintainer"])
@@ -901,10 +1106,11 @@ def open_session(
     extractor: Optional[EntityExtractor] = None,
     oracle_ranking: bool = False,
     oracle_akg: bool = False,
-    workers: Optional[int] = None,
+    workers: Optional[Union[int, str]] = None,
     shard_count: Optional[int] = None,
     worker_backend: Optional[str] = None,
     backend: Optional[str] = None,
+    overlap: bool = False,
     profile: bool = False,
     delta_log=None,
     delta_compact_ratio: float = 4.0,
@@ -926,6 +1132,11 @@ def open_session(
     fresh session they override the config fields of the same name, on
     resume they choose how the execution-agnostic checkpoint continues
     (results are bit-identical for any values, DESIGN.md Sections 7 and 9).
+    ``workers`` also accepts the remote form ``"host:port,host:port"`` —
+    each endpoint a running ``repro shard-worker`` daemon — which selects
+    the socket transport (DESIGN.md Section 12).  ``overlap=True``
+    double-buffers ``ingest_many`` on the sharded front-end (quantum
+    *q+1*'s scatter under quantum *q*'s tail) — also execution only.
     ``profile=True`` collects a cProfile of the stage pipeline
     (``DetectorSession.profile_stats``).
 
@@ -958,6 +1169,7 @@ def open_session(
             shard_count=shard_count,
             worker_backend=worker_backend,
             backend=backend,
+            overlap=overlap,
             profile=profile,
         )
         if delta_log is not None:
@@ -983,6 +1195,7 @@ def open_session(
         oracle_ranking=oracle_ranking,
         oracle_akg=oracle_akg,
         worker_backend=worker_backend,
+        overlap=overlap,
         profile=profile,
     )
     if delta_log is not None:

@@ -8,6 +8,9 @@ Commands
 ``follow``     tail a delta log as a warm standby; optionally promote
 ``sweep``      print a small precision/recall parameter grid for a preset
 ``serve``      run the multi-tenant serving layer (HTTP + WebSocket)
+``shard-worker``  host shard window state over TCP for a remote detector
+               (``detect --workers host:port,...`` scatters to them;
+               results stay bit-identical to a local run, DESIGN.md S12)
 
 ``detect`` exposes the verification baselines: ``--oracle-ranking`` re-ranks
 every cluster from scratch each quantum, and ``--oracle-akg`` rebuilds the
@@ -78,6 +81,15 @@ _ENTITY_TRACE_BUILDERS = {
 }
 
 
+def _workers_value(text: str):
+    """``--workers`` accepts an int (local pool) or ``host:port,...``
+    (remote shard-worker daemons); the config validates the endpoint form."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quantum-size", type=int, default=160,
                         help="messages per quantum (Table 2 nominal: 160)")
@@ -97,10 +109,21 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--extractor-options", metavar="JSON", default=None,
                         help="JSON object of options for --extractor "
                              '(e.g. \'{"fields": ["tags"]}\')')
-    parser.add_argument("--workers", type=int, default=1, metavar="N",
+    parser.add_argument("--workers", type=_workers_value, default=1,
+                        metavar="N|HOST:PORT,...",
                         help="parallel workers for the extract/AKG stages "
                              "(entity-range sharding; results are "
-                             "bit-identical for any N, default 1 = serial)")
+                             "bit-identical for any value, default 1 = "
+                             "serial); pass 'host:port,host:port' to "
+                             "scatter to running 'repro shard-worker' "
+                             "daemons over TCP instead of a local pool")
+    parser.add_argument("--overlap", action="store_true",
+                        help="pipeline quanta on the sharded front-end: "
+                             "run each quantum's maintain/rank/report tail "
+                             "on a background thread under the next "
+                             "quantum's extract+scatter (requires "
+                             "--workers > 1 or --shard-count; results stay "
+                             "bit-identical)")
     parser.add_argument("--shard-count", type=int, default=None, metavar="S",
                         help="entity hash ranges to partition into "
                              "(default: one per worker)")
@@ -240,6 +263,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_count=args.shard_count,
             backend=args.backend,
+            overlap=args.overlap,
             profile=args.profile,
             delta_log=args.delta_log,
             delta_compact_ratio=args.delta_compact_ratio,
@@ -253,6 +277,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     else:
         session = open_session(
             _config_from(args),
+            overlap=args.overlap,
             profile=args.profile,
             delta_log=args.delta_log,
             delta_compact_ratio=args.delta_compact_ratio,
@@ -456,6 +481,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    """Host shard window state over TCP for a remote detector."""
+    from repro.parallel.remote import serve_shard_worker
+
+    def _announce(server) -> None:
+        # The exact "listening on HOST:PORT" line is parsed by the CI
+        # distributed-smoke harness; keep it stable and flushed.
+        print(
+            f"-- shard worker listening on {server.host}:{server.port}",
+            flush=True,
+        )
+        print(
+            "   point a detector at it: repro detect ... "
+            "--workers HOST:PORT[,HOST:PORT...]",
+            flush=True,
+        )
+
+    serve_shard_worker(args.host, args.port, announce=_announce)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     builder = _TRACE_BUILDERS[args.preset]
     trace = builder(total_messages=args.messages, seed=args.seed)
@@ -546,9 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
     follow.add_argument("--promote-checkpoint", metavar="PATH",
                         help="with --promote: snapshot the promoted "
                              "session after the trace")
-    follow.add_argument("--workers", type=int, default=1, metavar="N",
-                        help="workers for the promoted session "
-                             "(results identical for any N)")
+    follow.add_argument("--workers", type=_workers_value, default=1,
+                        metavar="N|HOST:PORT,...",
+                        help="workers for the promoted session (results "
+                             "identical for any value; accepts remote "
+                             "shard-worker endpoints like detect)")
     follow.add_argument("--shard-count", type=int, default=None, metavar="S")
     follow.add_argument("--backend", choices=("reference", "batched"),
                         default=None,
@@ -582,6 +630,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disconnect a subscriber whose socket write "
                             "stalls longer than SECS (default 10)")
     serve.set_defaults(func=_cmd_serve)
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="host shard window state over TCP for a remote detector",
+    )
+    shard_worker.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1; use "
+                                   "0.0.0.0 to accept detectors from other "
+                                   "machines)")
+    shard_worker.add_argument("--port", type=int, default=0,
+                              help="bind port (default 0 = ephemeral; the "
+                                   "chosen port is announced on stdout)")
+    shard_worker.set_defaults(func=_cmd_shard_worker)
 
     sweep = sub.add_parser("sweep", help="print a small parameter-sweep grid")
     sweep.add_argument("preset", choices=sorted(_TRACE_BUILDERS))

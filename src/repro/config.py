@@ -104,9 +104,12 @@ class DetectorConfig:
     workers:
         Number of parallel workers for the tokenize and AKG-update stages
         (:mod:`repro.parallel`).  ``1`` (default) runs the classic serial
-        pipeline.  Workers are an *execution* parameter: results are
-        bit-identical for any value, and checkpoints neither record it nor
-        depend on it (resume with any worker count).
+        pipeline.  A string ``"host:port,host:port,..."`` instead selects
+        the remote transport: each endpoint is a ``repro shard-worker``
+        daemon hosting that worker's shard run over TCP (DESIGN.md
+        Section 12).  Workers are an *execution* parameter: results are
+        bit-identical for any value or transport, and checkpoints neither
+        record it nor depend on it (resume with any worker count).
     shard_count:
         Number of contiguous keyword hash ranges the window state is
         partitioned into.  ``None`` derives one shard per worker.  Like
@@ -147,7 +150,7 @@ class DetectorConfig:
     oracle_akg: bool = False
     oracle_ranking: bool = False
     seed: int = 0x5C9C1E
-    workers: int = 1
+    workers: int | str = 1
     shard_count: int | None = None
     backend: str = "reference"
 
@@ -204,13 +207,34 @@ class DetectorConfig:
             ) from exc
         object.__setattr__(self, "extractor_options", options)
         make_extractor(self.extractor, self.extractor_options)
-        if self.workers < 1:
+        if isinstance(self.workers, str):
+            endpoints = [
+                part.strip() for part in self.workers.split(",") if part.strip()
+            ]
+            if not endpoints:
+                raise ConfigError(
+                    "workers given as a string must list shard worker "
+                    "endpoints: 'host:port,host:port,...'"
+                )
+            for endpoint in endpoints:
+                host, _, port_text = endpoint.rpartition(":")
+                if not host or not port_text.isdigit():
+                    raise ConfigError(
+                        f"invalid shard worker endpoint {endpoint!r}; "
+                        f"expected 'host:port'"
+                    )
+            # Store the normalized comma-joined form so equal endpoint
+            # lists compare (and hash) equal however they were spelled.
+            object.__setattr__(self, "workers", ",".join(endpoints))
+        elif self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.shard_count is not None and self.shard_count < 1:
             raise ConfigError(
                 f"shard_count must be >= 1, got {self.shard_count}"
             )
-        if self.oracle_akg and (self.workers > 1 or self.shard_count is not None):
+        if self.oracle_akg and (
+            self.worker_count > 1 or self.shard_count is not None
+        ):
             raise ConfigError(
                 "oracle_akg is a serial verification baseline; it cannot be "
                 "combined with workers/shard_count"
@@ -243,14 +267,36 @@ class DetectorConfig:
         return self.quantum_size * self.window_quanta
 
     @property
+    def worker_endpoints(self) -> tuple[str, ...] | None:
+        """Remote shard worker ``host:port`` endpoints, or ``None`` for
+        local workers (``workers`` given as an int)."""
+        if isinstance(self.workers, str):
+            return tuple(self.workers.split(","))
+        return None
+
+    @property
+    def worker_count(self) -> int:
+        """Number of shard workers, whether local or remote."""
+        endpoints = self.worker_endpoints
+        return len(endpoints) if endpoints is not None else self.workers
+
+    @property
     def effective_shard_count(self) -> int:
         """Keyword hash ranges the sharded front-end partitions into."""
-        return self.shard_count if self.shard_count is not None else self.workers
+        return (
+            self.shard_count
+            if self.shard_count is not None
+            else self.worker_count
+        )
 
     @property
     def sharded(self) -> bool:
         """Whether the session runs the keyword-range-sharded front-end."""
-        return self.workers > 1 or self.shard_count is not None
+        return (
+            self.worker_count > 1
+            or self.shard_count is not None
+            or self.worker_endpoints is not None
+        )
 
     @property
     def batched(self) -> bool:

@@ -21,32 +21,59 @@ instantiation:
   data the workers shipped up (the exchange protocol of DESIGN.md S7);
 * :class:`~repro.parallel.stages.ShardedExtractStage` and
   :class:`~repro.parallel.stages.ShardedAkgUpdateStage` slot the whole
-  thing behind the existing :class:`repro.pipeline.stages.Stage` protocol.
+  thing behind the existing :class:`repro.pipeline.stages.Stage` protocol;
+* workers may live in *other processes on other machines*: the
+  :class:`~repro.parallel.transport.ShardTransport` seam
+  (:mod:`repro.parallel.transport`) abstracts the wire, and
+  :mod:`repro.parallel.remote` hosts shards behind a length-prefixed,
+  CRC-framed TCP daemon (``repro shard-worker``) the ``remote`` backend
+  scatters to (DESIGN.md Section 12).
 
-The headline invariant: **results are bit-identical for any worker count
-and any shard count** — reports, sink events, histories, and checkpoints
-(checkpoints use the serial layout, merged across shards), proven by
-``tests/test_parallel_shard_invariance.py``.
+The headline invariant: **results are bit-identical for any worker count,
+any shard count, and any transport** — reports, sink events, histories,
+and checkpoints (checkpoints use the serial layout, merged across
+shards), proven by ``tests/test_parallel_shard_invariance.py`` and
+``tests/test_distributed_transport.py``.
 """
 
-from repro.parallel.frontend import ShardedAkgFrontend
-from repro.parallel.pool import WorkerPool, make_pool
+from repro.parallel.frontend import PendingQuantum, ShardedAkgFrontend
+from repro.parallel.pool import WorkerPool, default_backend, make_pool
+from repro.parallel.remote import ShardWorkerServer, serve_shard_worker
 from repro.parallel.router import ShardRouter
-from repro.parallel.shard_state import ShardState, ShardUpdate
+from repro.parallel.shard_state import ShardParams, ShardState, ShardUpdate
 from repro.parallel.stages import (
     BatchedShardedExtractStage,
     ShardedAkgUpdateStage,
     ShardedExtractStage,
 )
+from repro.parallel.transport import (
+    ProcessShardTransport,
+    RemoteShardTransport,
+    SerialShardTransport,
+    ShardTransport,
+    ThreadShardTransport,
+    TransportError,
+)
 
 __all__ = [
     "BatchedShardedExtractStage",
+    "PendingQuantum",
+    "ProcessShardTransport",
+    "RemoteShardTransport",
+    "SerialShardTransport",
+    "ShardParams",
     "ShardRouter",
     "ShardState",
+    "ShardTransport",
     "ShardUpdate",
+    "ShardWorkerServer",
     "ShardedAkgFrontend",
     "ShardedAkgUpdateStage",
     "ShardedExtractStage",
+    "ThreadShardTransport",
+    "TransportError",
     "WorkerPool",
+    "default_backend",
     "make_pool",
+    "serve_shard_worker",
 ]

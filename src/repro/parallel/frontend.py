@@ -4,21 +4,24 @@
 :class:`~repro.akg.builder.AkgBuilder` — same constructor role, same
 ``process_quantum`` / ``node_weights`` / ``to_state`` / ``from_state``
 surface, so the session and the pipeline stages cannot tell them apart.
-Per quantum it:
+Per quantum it runs two worker phases around one merge:
 
-1. partitions the quantum's ``keyword -> users`` mapping by shard and
-   computes, per shard, the *exchange request*: window id sets the merge
-   will need for cross-shard exact ECs (graph neighbours of this quantum's
-   active keywords — new-edge partners are bursty and therefore already in
-   the slice);
-2. fans the slices out to the shard workers (:mod:`repro.parallel.pool`),
-   which do the keyword-local heavy lifting in parallel;
-3. merges the returned :class:`~repro.parallel.shard_state.ShardUpdate`\\ s
-   in global sorted-keyword order and drives the *identical* update
-   sequence the serial builder drives — the shared primitives of
-   :mod:`repro.akg.builder` (candidate pairing, EC qualification, incident
-   refresh, the dead-node predicate) are called with lookups over the
-   gathered data instead of over live indexes.
+1. **scatter** (:meth:`ShardedAkgFrontend.scatter`): partitions the
+   quantum's ``keyword -> users`` mapping by shard and fans the slices out
+   to the shard workers (:mod:`repro.parallel.pool`), which do the
+   keyword-local window slide in parallel.  This phase reads *no* graph
+   state, which is what lets the pipelined session overlap it with the
+   previous quantum's serial tail.
+2. **exchange + merge** (:meth:`ShardedAkgFrontend.complete`): merges the
+   returned :class:`~repro.parallel.shard_state.ShardUpdate`\\ s, then
+   classifies the quantum's candidate and refresh pairs against the
+   (pre-mutation) graph: pairs whose members share a shard are answered by
+   that worker as finished exact ECs; only the id sets of keywords in
+   *cross-shard* pairs ride the exchange.  With the gathered answers it
+   drives the *identical* update sequence the serial builder drives — the
+   shared primitives of :mod:`repro.akg.builder` (candidate pairing, EC
+   qualification, incident refresh, the dead-node predicate) are called
+   with lookups over the gathered data instead of over live indexes.
 
 Because every mutation applied to the authoritative
 ``DynamicGraph``/``ClusterMaintainer`` is ordered by keyword (never by
@@ -36,7 +39,19 @@ without a worker round-trip; both are reconstructed exactly on restore.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.akg.builder import (
     AkgQuantumStats,
@@ -59,6 +74,22 @@ Keyword = str
 UserId = Hashable
 
 
+@dataclass
+class PendingQuantum:
+    """A scattered-but-not-merged quantum (phase one in flight/landed).
+
+    Produced by :meth:`ShardedAkgFrontend.scatter`, consumed exactly once
+    by :meth:`ShardedAkgFrontend.complete`.  Holding the phase-one updates
+    here (instead of frontend attributes) is what lets the pipelined
+    session keep quantum *q+1*'s scatter result parked while quantum *q*'s
+    tail still runs.
+    """
+
+    quantum: int
+    keyword_users: Mapping[Keyword, Set[UserId]]
+    updates: List[ShardUpdate] = field(default_factory=list)
+
+
 class ShardedAkgFrontend:
     """Keyword-range-sharded drop-in for the serial ``AkgBuilder``."""
 
@@ -77,7 +108,7 @@ class ShardedAkgFrontend:
         self.router = ShardRouter(config.effective_shard_count)
         self.pool: WorkerPool = make_pool(
             config.effective_shard_count,
-            config.workers,
+            config.worker_count,
             ShardParams(
                 window_quanta=config.window_quanta,
                 minhash_size=config.effective_minhash_size,
@@ -86,7 +117,12 @@ class ShardedAkgFrontend:
                 use_minhash=config.use_minhash_filter,
             ),
             backend=backend,
+            endpoints=config.worker_endpoints,
         )
+        #: wall seconds the last quantum's phase-two exchange round trip
+        #: took (scatter-to-gather over all workers); surfaced as
+        #: ``StageTimings.exchange``.
+        self.last_exchange_seconds = 0.0
         self.burstiness = BurstinessTracker(config.high_state_threshold)
         # Parent-side support mirror: keyword -> window support, maintained
         # from the merged support deltas (exactly IdSetIndex.support).
@@ -101,52 +137,121 @@ class ShardedAkgFrontend:
 
     # ----------------------------------------------------------- main loop
 
-    def process_quantum(
+    def scatter(
         self,
         quantum: int,
         keyword_users: Mapping[Keyword, Set[UserId]],
         slices: Optional[List[Dict[Keyword, Set[UserId]]]] = None,
-    ) -> AkgQuantumStats:
-        """One quantum: scatter to shards, merge deterministically, apply.
+    ) -> PendingQuantum:
+        """Phase one: fan the quantum's slices out to the shard workers.
 
         ``slices`` may carry the quantum's mapping already partitioned by
-        shard (the sharded tokenize stage routes worker-side); otherwise it
-        is partitioned here.
+        shard (the sharded extract stage routes worker-side); otherwise it
+        is partitioned here.  Reads nothing from the graph or maintainer —
+        the pipelined session calls this for quantum *q+1* while quantum
+        *q*'s serial tail is still mutating them on another thread.
         """
+        if slices is None:
+            slices = self.router.partition(keyword_users)
+        updates = self.pool.ingest(quantum, slices)
+        return PendingQuantum(
+            quantum=quantum, keyword_users=keyword_users, updates=updates
+        )
+
+    def complete(
+        self,
+        pending: PendingQuantum,
+        on_exchange_done=None,
+    ) -> AkgQuantumStats:
+        """Phase two + merge: exchange ECs, then apply deterministically.
+
+        ``on_exchange_done`` (if given) fires the moment the last worker
+        round trip of this quantum has returned — after it the frontend
+        makes no further pool calls for this quantum, so the pipelined
+        session uses it as the barrier behind which the *next* quantum's
+        scatter may start.
+
+        Every mutation applied to the authoritative graph/maintainer is
+        ordered by keyword exactly as in the serial builder; where the EC
+        came from (worker-local intra-shard computation vs. a parent-side
+        evaluation over gathered id sets) never changes its value or the
+        order it is consumed in.
+        """
+        quantum = pending.quantum
+        keyword_users = pending.keyword_users
         stats = AkgQuantumStats(quantum=quantum)
         graph = self.maintainer.graph
         self.maintainer.current_quantum = quantum
         self._last_quantum = quantum
 
-        # -- scatter ------------------------------------------------------
-        # The EC exchange request: id sets the merge will read are those of
-        # this quantum's active graph keywords, their current neighbours
-        # (the refresh set), and the bursty candidates (added shard-side).
-        if slices is None:
-            slices = self.router.partition(keyword_users)
-        extras: List[Set[Keyword]] = [
-            set() for _ in range(self.router.shard_count)
-        ]
-        shard_of = self.router.shard_of
-        for kw in keyword_users:
-            if graph.has_node(kw):
-                extras[shard_of(kw)].add(kw)
-                for nbr in graph.neighbors(kw):
-                    extras[shard_of(nbr)].add(nbr)
-        updates = self.pool.ingest(quantum, slices, extras)
-
-        # -- merge the keyword-disjoint shard outputs ---------------------
+        # -- merge the keyword-disjoint phase-one outputs -----------------
         support_deltas: Dict[Keyword, tuple] = {}
         emptied: Set[Keyword] = set()
         bursty: Set[Keyword] = set()
         sketches: Dict[Keyword, tuple] = {}
-        id_sets: Dict[Keyword, FrozenSet[UserId]] = {}
-        for update in updates:  # shard order; keys disjoint across shards
+        for update in pending.updates:  # shard order; keys disjoint
             support_deltas.update(update.support_deltas)
             emptied |= update.emptied
             bursty |= update.bursty
             sketches.update(update.sketches)
-            id_sets.update(update.id_sets)
+
+        # -- classify this quantum's EC pairs against the pre-mutation ----
+        # graph.  Valid because nothing below mutates edges before the
+        # closure runs: node adds don't change ``has_edge``/``neighbors``
+        # of *existing* nodes, and the only edges unknown at classification
+        # time are the ones qualified this quantum — whose ECs are already
+        # in hand from their candidate-pair classification.
+        pairs = list(
+            candidate_edge_pairs(
+                sorted(bursty),
+                self.config.use_minhash_filter,
+                lambda kw: sketches.get(kw, ()),
+            )
+        )
+        shard_of = self.router.shard_of
+        intra: Dict[int, Set[Tuple[Keyword, Keyword]]] = {}
+        want: Dict[int, Set[Keyword]] = {}
+
+        def classify(kw1: Keyword, kw2: Keyword) -> None:
+            shard1 = shard_of(kw1)
+            shard2 = shard_of(kw2)
+            if shard1 == shard2:
+                intra.setdefault(shard1, set()).add((kw1, kw2))
+            else:
+                want.setdefault(shard1, set()).add(kw1)
+                want.setdefault(shard2, set()).add(kw2)
+
+        for kw1, kw2 in pairs:
+            if not graph.has_edge(kw1, kw2):  # mirrors qualify_new_edges
+                classify(kw1, kw2)
+        for kw in keyword_users:  # the refresh set (paper set (2)),
+            if not graph.has_node(kw):  # normalised as in the refresher
+                continue
+            for nbr in graph.neighbors(kw):
+                if kw <= nbr:
+                    classify(kw, nbr)
+                else:
+                    classify(nbr, kw)
+
+        # -- phase two: the EC exchange -----------------------------------
+        requests = [
+            (
+                shard,
+                sorted(intra.get(shard, ())),
+                sorted(want.get(shard, ())),
+            )
+            for shard in sorted(intra.keys() | want.keys())
+        ]
+        exchange_started = time.perf_counter()
+        answers = self.pool.exchange(requests)
+        self.last_exchange_seconds = time.perf_counter() - exchange_started
+        if on_exchange_done is not None:
+            on_exchange_done()
+        intra_ecs: Dict[Tuple[Keyword, Keyword], float] = {}
+        id_sets: Dict[Keyword, FrozenSet[UserId]] = {}
+        for _, ecs, answer_sets in answers:  # shard order; keys disjoint
+            intra_ecs.update(ecs)
+            id_sets.update(answer_sets)
 
         # Iteration order here is shard-then-slice order: deterministic for
         # a fixed shard count, and changelog event *order* is semantically
@@ -177,6 +282,9 @@ class ShardedAkgFrontend:
 
         # -- edges: candidates + refresh over the gathered exchange data --
         def jaccard(kw1: Keyword, kw2: Keyword) -> float:
+            ec = intra_ecs.get((kw1, kw2))
+            if ec is not None:
+                return ec
             set1 = id_sets.get(kw1)
             set2 = id_sets.get(kw2)
             if not set1 or not set2:
@@ -185,11 +293,6 @@ class ShardedAkgFrontend:
             union = len(set1) + len(set2) - intersection
             return intersection / union if union else 0.0
 
-        pairs = candidate_edge_pairs(
-            sorted(bursty),
-            self.config.use_minhash_filter,
-            lambda kw: sketches.get(kw, ()),
-        )
         new_edges = qualify_new_edges(
             pairs, graph, self.config.ec_threshold, jaccard, stats
         )
@@ -225,6 +328,16 @@ class ShardedAkgFrontend:
         stats.akg_nodes = graph.num_nodes
         stats.akg_edges = graph.num_edges
         return stats
+
+    def process_quantum(
+        self,
+        quantum: int,
+        keyword_users: Mapping[Keyword, Set[UserId]],
+        slices: Optional[List[Dict[Keyword, Set[UserId]]]] = None,
+    ) -> AkgQuantumStats:
+        """One quantum, unpipelined: scatter then complete back to back
+        (the ``AkgBuilder``-parity surface)."""
+        return self.complete(self.scatter(quantum, keyword_users, slices))
 
     # ---------------------------------------------------------- persistence
 

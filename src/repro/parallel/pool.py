@@ -1,136 +1,57 @@
-"""Worker pools hosting shard states: process, thread, or in-caller serial.
+"""Worker pools hosting shard states behind pluggable transports.
 
 The pool owns ``W`` workers; worker *w* hosts the shard states of its
 contiguous shard run (:func:`repro.parallel.router.worker_assignments`) for
-the whole session, so window state never moves between workers.  Three
+the whole session, so window state never moves between workers.  Each
+worker is one :class:`~repro.parallel.transport.ShardTransport`; four
 backends share one interface:
 
 ``process``
-    One single-process ``ProcessPoolExecutor`` per worker, using the
-    ``fork`` start method.  Dedicated executors (rather than one shared
-    pool) pin each shard's state to the process that owns it — a plain
-    shared pool routes tasks to arbitrary idle workers, which would scatter
-    the state.  This is the backend that actually buys multi-core
-    parallelism.
+    :class:`~repro.parallel.transport.ProcessShardTransport` — one forked
+    single-process executor per worker.  This is the backend that actually
+    buys multi-core parallelism on one machine.
 ``thread``
-    The same dispatch over a thread pool with in-process states — the
-    fallback for platforms without ``fork`` (correct, but GIL-bound).
+    :class:`~repro.parallel.transport.ThreadShardTransport` over one shared
+    thread pool — the fallback for platforms without ``fork`` (correct,
+    but GIL-bound).
 ``serial``
-    Direct in-caller execution, used for ``workers == 1``; the sharded
-    pipeline with this backend is the ``W=1`` baseline the overhead gate
-    measures.
+    :class:`~repro.parallel.transport.SerialShardTransport`, direct
+    in-caller execution for ``workers == 1``; the sharded pipeline with
+    this backend is the ``W=1`` baseline the overhead gate measures.
+``remote``
+    :class:`~repro.parallel.transport.RemoteShardTransport` — each worker
+    is a ``repro shard-worker`` daemon at a ``host:port`` endpoint,
+    reached over length-prefixed CRC-framed TCP.  Selected by passing
+    ``endpoints``; the worker count *is* the endpoint count.
 
-Every method takes and returns *values* (slices in, :class:`ShardUpdate`
-out) so the three backends are interchangeable and the merge upstairs never
-knows which one ran.
+Every phase scatters by calling ``begin`` on all participating transports
+before ``finish`` on any — W sockets (or executors) advance concurrently —
+and gathers into a deterministic shard-sorted merge, so the front-end
+upstairs never knows which backend ran (bit-identical results, DESIGN.md
+Section 7/12).
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.parallel.router import worker_assignments
-from repro.parallel.shard_state import ShardParams, ShardState, ShardUpdate
+from repro.parallel.shard_state import ShardParams, ShardUpdate
+from repro.parallel.transport import (
+    ProcessShardTransport,
+    RemoteShardTransport,
+    SerialShardTransport,
+    ShardTransport,
+    ThreadShardTransport,
+)
 
 Keyword = str
 UserId = Hashable
 
-# ---------------------------------------------------------------- worker side
-#
-# Module-level entry points + per-process state registry: a forked worker
-# process initialises its own ``_WORKER_STATES`` and every subsequent task
-# submitted to its (single-process) executor finds the states in place.
-
-_WORKER_STATES: Dict[int, ShardState] = {}
-
-
-def _init_worker(shard_ids: Sequence[int], params: ShardParams) -> None:
-    global _WORKER_STATES
-    _WORKER_STATES = {s: ShardState(s, params) for s in shard_ids}
-
-
-def _worker_ingest(
-    quantum: int,
-    requests: List[Tuple[int, dict, Set[Keyword]]],
-) -> List[ShardUpdate]:
-    return [
-        _WORKER_STATES[shard].ingest(quantum, keyword_users, extra)
-        for shard, keyword_users, extra in requests
-    ]
-
-
-def _worker_extract(
-    messages: Sequence, max_entities: int, shard_count: int, spec: dict
-) -> List[dict]:
-    """Extract one record chunk into per-shard ``entity -> actors`` maps.
-
-    Inversion and shard routing happen *here*, in the worker, so the parent
-    merge is a dict union over distinct entities instead of per-token set
-    inserts — the difference between a ~50% and a ~90% parallel fraction of
-    the front-end wall.  Per-quantum spatial-correlation semantics are
-    preserved exactly: an actor counts once per entity per quantum (set
-    dedupe across records and chunks), and the ``max_entities`` cap applies
-    per record, as in ``actor_entities_of_quantum``.
-
-    ``spec`` is the extractor's ``{"name", "options"}`` registry spec:
-    workers rebuild the extractor by value, which is why only
-    reconstructible extractors ride the sharded extract stage (custom
-    callables neither pickle nor checkpoint — the session keeps the serial
-    stage for those).
-    """
-    # Imported here (not at module top) so forked workers resolve them in
-    # their own interpreter.
-    from repro.extract import make_extractor
-    from repro.parallel.router import ShardRouter
-    from repro.stream.messages import Message
-
-    extractor = make_extractor(spec["name"], spec["options"])
-    shard_of = ShardRouter(shard_count).shard_of
-    shard_memo: Dict[str, int] = {}
-    slices: List[dict] = [{} for _ in range(shard_count)]
-    for item in messages:
-        if type(item) is tuple:  # wire form: (user_id, text, tokens, fields)
-            user = item[0]
-            message = Message(
-                user, tokens=item[2], text=item[1], fields=item[3]
-            )
-        else:
-            user = item.user_id
-            message = item
-        entities = extractor.entities(message)
-        if not entities:
-            continue
-        if max_entities is not None:
-            entities = entities[:max_entities]
-        for kw in entities:
-            shard = shard_memo.get(kw)
-            if shard is None:
-                shard = shard_memo[kw] = shard_of(kw)
-            piece = slices[shard]
-            users = piece.get(kw)
-            if users is None:
-                piece[kw] = {user}
-            else:
-                users.add(user)
-    return slices
-
-
-def _worker_export() -> List[Tuple[int, dict, dict]]:
-    return [
-        _WORKER_STATES[shard].export_state()
-        for shard in sorted(_WORKER_STATES)
-    ]
-
-
-def _worker_load(states: List[Tuple[int, dict, dict]]) -> None:
-    for shard, idsets_state, sketches_state in states:
-        _WORKER_STATES[shard].load_state(idsets_state, sketches_state)
-
-
-# ----------------------------------------------------------------- pool side
+_BACKENDS = ("process", "thread", "serial", "remote")
 
 
 class WorkerPool:
@@ -142,78 +63,98 @@ class WorkerPool:
         workers: int,
         params: ShardParams,
         backend: str,
+        endpoints: Optional[Sequence[str]] = None,
     ) -> None:
-        if backend not in ("process", "thread", "serial"):
+        if backend not in _BACKENDS:
             raise ConfigError(f"unknown worker backend: {backend!r}")
+        if backend == "remote":
+            if not endpoints:
+                raise ConfigError(
+                    "the remote backend needs shard worker endpoints "
+                    "(workers='host:port,...')"
+                )
+            workers = len(endpoints)
+        elif endpoints:
+            raise ConfigError(
+                f"shard worker endpoints given but backend is {backend!r}; "
+                f"endpoints imply the remote backend"
+            )
         self.shard_count = shard_count
         self.workers = min(workers, shard_count)
         self.params = params
         self.backend = backend
         self.assignments = worker_assignments(shard_count, self.workers)
+        self._owner = {
+            shard: w
+            for w, shards in enumerate(self.assignments)
+            for shard in shards
+        }
         self._closed = False
-        self._local_states: Dict[int, ShardState] = {}
-        self._executors: List[ProcessPoolExecutor] = []
         self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self.transports: List[ShardTransport]
         if backend == "process":
-            context = multiprocessing.get_context("fork")
-            self._executors = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    mp_context=context,
-                    initializer=_init_worker,
-                    initargs=(tuple(shards), params),
-                )
+            self.transports = [
+                ProcessShardTransport(shards, params)
                 for shards in self.assignments
             ]
+        elif backend == "thread":
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+            self.transports = [
+                ThreadShardTransport(shards, params, self._thread_pool)
+                for shards in self.assignments
+            ]
+        elif backend == "remote":
+            self.transports = [
+                RemoteShardTransport(endpoints[w], shards, params)
+                for w, shards in enumerate(self.assignments)
+            ]
+            connected = []
+            try:
+                for transport in self.transports:
+                    transport.connect()
+                    connected.append(transport)
+            except Exception:
+                for transport in connected:
+                    transport.close()
+                raise
         else:
-            self._local_states = {
-                shard: ShardState(shard, params)
-                for shard in range(shard_count)
-            }
-            if backend == "thread":
-                self._thread_pool = ThreadPoolExecutor(
-                    max_workers=self.workers,
-                    thread_name_prefix="repro-shard",
-                )
+            self.transports = [
+                SerialShardTransport(shards, params)
+                for shards in self.assignments
+            ]
+
+    @property
+    def can_extract(self) -> bool:
+        """Whether workers also serve the extract fan-out.
+
+        Remote daemons host *window state*; shipping every raw record over
+        TCP just to tokenize it would cost more than the tokenizing — the
+        session keeps extraction parent-side for remote pools.
+        """
+        return self.backend != "remote"
 
     # ------------------------------------------------------------- dispatch
 
-    def _run_per_worker(self, fn, arg_lists: List) -> List:
-        """Run ``fn(*args)`` once per worker; results in worker order."""
+    def _scatter(self, op: str, arg_lists: List[tuple]) -> List:
+        """Begin ``op`` on the first ``len(arg_lists)`` transports, then
+        gather; results in worker order."""
         assert len(arg_lists) <= self.workers, (
             f"{len(arg_lists)} work items for {self.workers} workers — "
             f"callers must fan out at most one item per worker"
         )
-        if self.backend == "process":
-            futures = [
-                executor.submit(fn, *args)
-                for executor, args in zip(self._executors, arg_lists)
-            ]
-            return [future.result() for future in futures]
-        if self._thread_pool is not None:
-            futures = [
-                self._thread_pool.submit(fn, *args) for args in arg_lists
-            ]
-            return [future.result() for future in futures]
-        return [fn(*args) for args in arg_lists]
-
-    def _local_ingest(
-        self, quantum: int, requests: List[Tuple[int, dict, Set[Keyword]]]
-    ) -> List[ShardUpdate]:
-        return [
-            self._local_states[shard].ingest(quantum, keyword_users, extra)
-            for shard, keyword_users, extra in requests
-        ]
+        active = list(zip(self.transports, arg_lists))
+        for transport, args in active:
+            transport.begin(op, args)
+        return [transport.finish() for transport, _ in active]
 
     # -------------------------------------------------------------- phases
 
     def ingest(
-        self,
-        quantum: int,
-        shard_slices: List[dict],
-        shard_extras: List[Set[Keyword]],
+        self, quantum: int, shard_slices: List[dict]
     ) -> List[ShardUpdate]:
-        """Run one quantum's shard phase; updates returned in shard order.
+        """Phase one of a quantum; updates returned in shard order.
 
         Every shard is advanced every quantum (an empty slice still expires
         window entries), so the request fan-out is exactly ``W`` messages.
@@ -221,20 +162,43 @@ class WorkerPool:
         arg_lists = [
             (
                 quantum,
-                [
-                    (shard, shard_slices[shard], shard_extras[shard])
-                    for shard in shards
-                ],
+                [(shard, shard_slices[shard]) for shard in shards],
             )
             for shards in self.assignments
         ]
-        if self.backend == "process":
-            results = self._run_per_worker(_worker_ingest, arg_lists)
-        else:
-            results = self._run_per_worker(self._local_ingest, arg_lists)
-        updates = [update for worker_updates in results for update in worker_updates]
+        results = self._scatter("ingest", arg_lists)
+        updates = [
+            update for worker_updates in results for update in worker_updates
+        ]
         updates.sort(key=lambda update: update.shard)
         return updates
+
+    def exchange(
+        self,
+        shard_requests: List[Tuple[int, list, list]],
+    ) -> List[Tuple[int, dict, dict]]:
+        """Phase two of a quantum: per-shard ``(shard, pairs, want_ids)``
+        EC requests in, ``(shard, ecs, id_sets)`` answers out (shard
+        order).
+
+        Dispatched to *every* worker each quantum — workers with no
+        requests answer an empty list — keeping the request/reply rhythm
+        uniform across quanta and backends (one frame per worker per
+        phase, whatever the graph did).
+        """
+        by_worker: List[List[Tuple[int, list, list]]] = [
+            [] for _ in self.assignments
+        ]
+        for request in shard_requests:
+            by_worker[self._owner[request[0]]].append(request)
+        results = self._scatter(
+            "exchange", [(requests,) for requests in by_worker]
+        )
+        answers = [
+            answer for worker_answers in results for answer in worker_answers
+        ]
+        answers.sort(key=lambda answer: answer[0])
+        return answers
 
     def extract_chunks(
         self, chunks: List[Sequence], max_entities: int, spec: dict
@@ -257,56 +221,42 @@ class WorkerPool:
         arg_lists = [
             (chunk, max_entities, self.shard_count, spec) for chunk in chunks
         ]
-        return self._run_per_worker(_worker_extract, arg_lists)
+        return self._scatter("extract", arg_lists)
 
     # ---------------------------------------------------------- persistence
 
     def export_states(self) -> List[Tuple[int, dict, dict]]:
         """Every shard's ``(shard, idsets, sketches)`` state, shard order."""
-        if self.backend == "process":
-            results = self._run_per_worker(
-                _worker_export, [() for _ in self.assignments]
-            )
-            states = [state for worker_states in results for state in worker_states]
-        else:
-            states = [
-                self._local_states[shard].export_state()
-                for shard in sorted(self._local_states)
-            ]
+        results = self._scatter("export", [() for _ in self.transports])
+        states = [
+            state for worker_states in results for state in worker_states
+        ]
         states.sort(key=lambda item: item[0])
         return states
 
     def load_states(self, states: List[Tuple[int, dict, dict]]) -> None:
         """Install per-shard states (checkpoint restore)."""
-        if self.backend == "process":
-            by_worker: List[List[Tuple[int, dict, dict]]] = [
-                [] for _ in self.assignments
-            ]
-            owner = {
-                shard: w
-                for w, shards in enumerate(self.assignments)
-                for shard in shards
-            }
-            for state in states:
-                by_worker[owner[state[0]]].append(state)
-            self._run_per_worker(
-                _worker_load, [(worker_states,) for worker_states in by_worker]
-            )
-        else:
-            for shard, idsets_state, sketches_state in states:
-                self._local_states[shard].load_state(
-                    idsets_state, sketches_state
-                )
+        by_worker: List[List[Tuple[int, dict, dict]]] = [
+            [] for _ in self.assignments
+        ]
+        for state in states:
+            by_worker[self._owner[state[0]]].append(state)
+        self._scatter(
+            "load", [(worker_states,) for worker_states in by_worker]
+        )
 
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        """Shut down executors; idempotent."""
+        """Shut down transports; idempotent."""
         if self._closed:
             return
         self._closed = True
-        for executor in self._executors:
-            executor.shutdown(wait=True, cancel_futures=True)
+        for transport in self.transports:
+            try:
+                transport.close()
+            except Exception:
+                pass  # best-effort: a dead worker must not block the rest
         if self._thread_pool is not None:
             self._thread_pool.shutdown(wait=True, cancel_futures=True)
 
@@ -332,11 +282,23 @@ def make_pool(
     workers: int,
     params: ShardParams,
     backend: Optional[str] = None,
+    endpoints: Optional[Sequence[str]] = None,
 ) -> WorkerPool:
-    """Build the pool for a sharded session (``backend=None`` auto-selects)."""
-    if backend is None:
+    """Build the pool for a sharded session.
+
+    ``endpoints`` selects the remote backend (the worker count is the
+    endpoint count); otherwise ``backend=None`` auto-selects a local one.
+    """
+    if endpoints:
+        if backend not in (None, "remote"):
+            raise ConfigError(
+                f"workers='host:port,...' selects the remote backend, but "
+                f"worker_backend={backend!r} was also given"
+            )
+        backend = "remote"
+    elif backend is None:
         backend = default_backend(workers)
-    return WorkerPool(shard_count, workers, params, backend)
+    return WorkerPool(shard_count, workers, params, backend, endpoints=endpoints)
 
 
 __all__ = ["WorkerPool", "default_backend", "make_pool"]

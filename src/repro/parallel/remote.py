@@ -1,0 +1,184 @@
+"""The ``repro shard-worker`` daemon: shard states hosted over TCP.
+
+One daemon serves one parent session at a time (shard workers are
+stateful peers of a single pipeline, not a shared service): it accepts a
+connection, checks the :data:`~repro.parallel.transport.PROTOCOL_MAGIC`
+preamble, builds the shard states the parent's ``init`` message names, and
+then loops the same :func:`~repro.parallel.transport.dispatch_op` the fork
+and thread backends run — which is precisely why a remote run is
+bit-identical to a local one.  When the parent says ``bye`` (or just goes
+away) the connection's states are dropped and the daemon returns to
+``accept``, ready for the next session.
+
+Operation errors are answered in-band (``{"ok": false, "error": ...}``) so
+a bad request fails one quantum loudly without killing the daemon; framing
+errors (bad magic, CRC mismatch) drop the connection, because a corrupt
+stream has no trustworthy resync point.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict
+
+from repro.api.checkpoint import decode_state, encode_state
+from repro.parallel.shard_state import ShardState
+from repro.parallel.transport import (
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    TransportError,
+    _recv_exact,
+    dispatch_op,
+    params_from_wire,
+    recv_frame,
+    send_frame,
+    update_to_wire,
+)
+
+
+class ShardWorkerServer:
+    """A bound, not-yet-serving shard worker daemon.
+
+    Binding in the constructor (with ``port=0`` allocating a free port)
+    lets a launcher read :attr:`port` before entering
+    :meth:`serve_forever` — the CLI prints it for operators, and tests
+    host the server on a thread without racing the client's connect.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self._stopped = threading.Event()
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------ lifecycle
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop` (or fatal error)."""
+        self._listener.settimeout(0.2)  # poll the stop flag between accepts
+        try:
+            while not self._stopped.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break  # listener closed under us
+                try:
+                    self._serve_connection(conn)
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+        finally:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        """Ask :meth:`serve_forever` to exit; safe from another thread."""
+        self._stopped.set()
+
+    # ----------------------------------------------------------- connection
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            magic = _recv_exact(conn, len(PROTOCOL_MAGIC))
+        except (ConnectionError, OSError):
+            return
+        if magic != PROTOCOL_MAGIC:
+            return  # not a shard-worker client; drop silently
+        states: Dict[int, ShardState] = {}
+        while True:
+            try:
+                message = recv_frame(conn)
+            except (ConnectionError, OSError):
+                return  # parent went away; drop its states
+            except TransportError as exc:
+                self._answer(conn, {"ok": False, "error": str(exc)})
+                return  # corrupt stream: no resync point
+            op = message.get("op")
+            if op == "bye":
+                return
+            if op == "ping":
+                self._answer(conn, {"ok": True})
+                continue
+            if op == "init":
+                reply = self._handle_init(message, states)
+            else:
+                reply = self._handle_op(message, states)
+            if not self._answer(conn, reply):
+                return
+
+    def _handle_init(
+        self, message: dict, states: Dict[int, ShardState]
+    ) -> dict:
+        if message.get("protocol") != PROTOCOL_VERSION:
+            # Answer with our version anyway — the client raises the
+            # readable mismatch error on its side.
+            return {"ok": True, "protocol": PROTOCOL_VERSION}
+        try:
+            params = params_from_wire(message["params"])
+            shards = [int(s) for s in message["shards"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"malformed init: {exc}"}
+        states.clear()
+        states.update({s: ShardState(s, params) for s in shards})
+        return {"ok": True, "protocol": PROTOCOL_VERSION, "shards": shards}
+
+    def _handle_op(
+        self, message: dict, states: Dict[int, ShardState]
+    ) -> dict:
+        op = message.get("op")
+        try:
+            args = tuple(decode_state(message.get("args")))
+            result = dispatch_op(states, op, args)
+            if op == "ingest":
+                result = [update_to_wire(update) for update in result]
+            return {"ok": True, "result": encode_state(result)}
+        except Exception as exc:  # answered in-band; daemon survives
+            return {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    @staticmethod
+    def _answer(conn: socket.socket, reply: dict) -> bool:
+        try:
+            send_frame(conn, reply)
+            return True
+        except (ConnectionError, OSError, TransportError):
+            return False
+
+
+def serve_shard_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    announce=None,
+) -> None:
+    """Blocking entry point behind ``repro shard-worker``.
+
+    ``announce(server)`` is called once the socket is bound (the CLI prints
+    ``listening on HOST:PORT`` there, which launchers — and the CI smoke
+    test — parse to learn an auto-allocated port).
+    """
+    server = ShardWorkerServer(host, port)
+    if announce is not None:
+        announce(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+
+
+__all__ = ["ShardWorkerServer", "serve_shard_worker"]

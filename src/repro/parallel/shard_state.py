@@ -9,16 +9,21 @@ the same slice sequence through a shard produces byte-for-byte the state the
 serial index would hold restricted to that range — which is what makes the
 merged checkpoint identical to a serial one.
 
-Per quantum a shard performs the *keyword-local* work — the id-set slide,
-hash-memo eviction, mini-sketch hashing, the ``count >= theta`` burst test —
-and ships a :class:`ShardUpdate` up to the merge: its slice of the
-:class:`~repro.akg.idsets.SlideDelta`, its bursty keywords with their
-merged sketches, and the window id sets the merge requested (the
-cross-shard exchange: active keywords, their graph neighbours, and burst
-candidates, so the parent can evaluate exact ECs that span shard
-boundaries).  Everything cross-keyword — candidate pairing, EC thresholds,
-graph mutation, cluster maintenance — happens in the deterministic merge
-(:mod:`repro.parallel.frontend`), never here.
+A shard serves two phases per quantum.  Phase one (:meth:`ShardState.
+ingest`) is the *keyword-local* work — the id-set slide, hash-memo
+eviction, mini-sketch hashing, the ``count >= theta`` burst test — shipping
+a :class:`ShardUpdate` up to the merge: its slice of the
+:class:`~repro.akg.idsets.SlideDelta` plus its bursty keywords with their
+merged sketches.  Phase two (:meth:`ShardState.exchange`) answers the
+merge's EC requests once the parent has classified the quantum's candidate
+and refresh pairs against the graph: pairs whose *both* members live on
+this shard are answered as finished exact ECs (computed here, against the
+local window id sets, with the very jaccard the merge would run), and only
+the id sets of keywords in *cross-shard* pairs ride the wire — the
+long-tail vocabulary never travels at all.  Everything cross-keyword —
+candidate pairing, EC thresholds, graph mutation, cluster maintenance —
+happens in the deterministic merge (:mod:`repro.parallel.frontend`), never
+here.
 """
 
 from __future__ import annotations
@@ -52,8 +57,9 @@ class ShardUpdate:
     slice of the global ``SlideDelta`` (keyword-disjoint across shards, so
     the merged delta is their plain union).  ``bursty`` are the slice
     keywords that cleared theta this quantum; ``sketches`` their merged
-    window sketches; ``id_sets`` the requested window id sets for the
-    cross-shard EC exchange.
+    window sketches.  ``id_sets`` is unused by the two-phase flow (the EC
+    exchange ships them in phase two, see :meth:`ShardState.exchange`) and
+    kept for wire/struct compatibility.
     """
 
     shard: int
@@ -80,18 +86,14 @@ class ShardState:
         self,
         quantum: int,
         keyword_users: Mapping[Keyword, Set[UserId]],
-        extra_ids: Iterable[Keyword],
     ) -> ShardUpdate:
-        """Apply one quantum's shard slice; return the merge contribution.
+        """Phase one: apply a quantum's shard slice, report the window delta.
 
-        ``extra_ids`` are the keywords (already routed to this shard) whose
-        window id sets the merge's exact-EC evaluations will read: the
-        quantum's active *graph* keywords and their graph neighbours (the
-        incident-edge refresh).  Bursty keywords (new-edge candidates) are
-        added shard-side.  Restricting the exchange to this set matters: a
-        quantum's long-tail vocabulary is mostly sub-threshold non-graph
-        keywords whose id sets no EC will ever read — shipping them would
-        dominate the scatter/gather cost for nothing.
+        Pure window slide plus the burst test — graph-independent, so the
+        parent can scatter it before (or while) the previous quantum's
+        serial tail is still running.  No id sets ship here: which sets the
+        merge actually needs depends on the graph, and the phase-two
+        :meth:`exchange` answers exactly that request.
         """
         params = self.params
         delta = self.idsets.add_quantum(quantum, keyword_users)
@@ -107,16 +109,6 @@ class ShardState:
         sketches: Dict[Keyword, Sketch] = {}
         if params.use_minhash:
             sketches = {kw: self.sketches.sketch(kw) for kw in bursty}
-        id_sets: Dict[Keyword, FrozenSet[UserId]] = {}
-        wanted = (
-            extra_ids | bursty
-            if isinstance(extra_ids, (set, frozenset))
-            else set(extra_ids) | bursty
-        )
-        for kw in wanted:
-            users = self.idsets.id_set(kw)
-            if users:
-                id_sets[kw] = users
         return ShardUpdate(
             shard=self.shard,
             appeared=delta.appeared,
@@ -125,8 +117,43 @@ class ShardState:
             support_deltas=dict(delta.support_deltas),
             bursty=bursty,
             sketches=sketches,
-            id_sets=id_sets,
         )
+
+    def exchange(
+        self,
+        pairs: Iterable[Tuple[Keyword, Keyword]],
+        want_ids: Iterable[Keyword],
+    ) -> Tuple[int, Dict[Tuple[Keyword, Keyword], float], Dict[Keyword, FrozenSet[UserId]]]:
+        """Phase two: answer the merge's EC requests for this quantum.
+
+        ``pairs`` are candidate/refresh pairs whose members *both* live on
+        this shard — their exact ECs are computed here, against the local
+        window id sets, with the identical arithmetic the merge's jaccard
+        closure runs (same empty-set shortcut, same ``len``-based
+        intersection/union division), so the parent-applied edge weights
+        are bit-for-bit what a serial builder computes.  ``want_ids`` are
+        the keywords (routed to this shard) appearing in cross-shard pairs;
+        their window id sets ship back for the parent to evaluate.  Empty
+        id sets are elided, matching the merge closure's ``.get``-miss
+        semantics.
+        """
+        id_set = self.idsets.id_set
+        ecs: Dict[Tuple[Keyword, Keyword], float] = {}
+        for kw1, kw2 in pairs:
+            set1 = id_set(kw1)
+            set2 = id_set(kw2)
+            if not set1 or not set2:
+                ecs[(kw1, kw2)] = 0.0
+                continue
+            intersection = len(set1 & set2)
+            union = len(set1) + len(set2) - intersection
+            ecs[(kw1, kw2)] = intersection / union if union else 0.0
+        id_sets: Dict[Keyword, FrozenSet[UserId]] = {}
+        for kw in want_ids:
+            users = id_set(kw)
+            if users:
+                id_sets[kw] = users
+        return (self.shard, ecs, id_sets)
 
     # ---------------------------------------------------------- persistence
 

@@ -186,23 +186,49 @@ class ShardedAkgUpdateStage(AkgUpdateStage):
     the pre-partitioned shard slices the sharded extract stage left in
     ``ctx.scratch`` so the front-end skips re-routing the quantum's
     entities.
+
+    The stage is split at the front-end's phase boundary —
+    :meth:`scatter` fans the quantum out (graph-free), :meth:`complete`
+    exchanges and merges — so the pipelined session can run quantum
+    *q+1*'s scatter while quantum *q*'s tail still runs.  Plain ``run``
+    is the two back to back; both paths report identical timing slots
+    (``scatter``/``exchange`` are sub-spans of ``akg_update``, never
+    added to the stage total twice).
     """
 
     def __init__(self, frontend: ShardedAkgFrontend, maintainer) -> None:
         super().__init__(frontend, maintainer)
         self.frontend = frontend
 
-    def run(self, ctx: QuantumContext) -> None:
+    def scatter(self, ctx: QuantumContext) -> None:
+        """Phase one: fan the quantum out to the shard workers."""
         t = time.perf_counter()
-        maintain_before = self.maintainer.clustering_seconds
         slices = ctx.scratch.pop("shard_slices", None)
-        ctx.akg_stats = self.frontend.process_quantum(
+        ctx.scratch["akg_pending"] = self.frontend.scatter(
             ctx.quantum, ctx.entity_actors, slices=slices
         )
+        elapsed = time.perf_counter() - t
+        ctx.timings.scatter = elapsed
+        ctx.timings.akg_update = elapsed
+
+    def complete(self, ctx: QuantumContext, exchange_done=None) -> None:
+        """Phase two + merge; ``exchange_done`` fires at the last worker
+        round trip of the quantum (the pipelined session's barrier)."""
+        t = time.perf_counter()
+        maintain_before = self.maintainer.clustering_seconds
+        pending = ctx.scratch.pop("akg_pending")
+        ctx.akg_stats = self.frontend.complete(
+            pending, on_exchange_done=exchange_done
+        )
+        ctx.timings.exchange = self.frontend.last_exchange_seconds
         ctx.scratch["maintain_seconds"] = (
             self.maintainer.clustering_seconds - maintain_before
         )
-        ctx.timings.akg_update = time.perf_counter() - t
+        ctx.timings.akg_update += time.perf_counter() - t
+
+    def run(self, ctx: QuantumContext) -> None:
+        self.scatter(ctx)
+        self.complete(ctx)
 
 
 __all__ = [

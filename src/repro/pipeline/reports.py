@@ -39,6 +39,13 @@ class StageTimings:
     stage now runs any :class:`~repro.extract.base.EntityExtractor`, not
     just text tokenisation); the old name survives as a read-only alias
     and v2 checkpoints are migrated on load.
+
+    ``scatter`` and ``exchange`` are *sub-spans* of ``akg_update`` (the
+    sharded stage's phase-one fan-out and phase-two EC round trip) and
+    ``overlap_saved`` is wall time the pipelined session hid by running a
+    quantum's serial tail under the next quantum's front — none of the
+    three joins :attr:`total`, which stays the sum of the six exclusive
+    stage slots.  All three are zero for serial/unpipelined sessions.
     """
 
     extract: float = 0.0
@@ -47,6 +54,9 @@ class StageTimings:
     propagate: float = 0.0
     rank: float = 0.0
     report: float = 0.0
+    scatter: float = 0.0
+    exchange: float = 0.0
+    overlap_saved: float = 0.0
 
     @property
     def tokenize(self) -> float:

@@ -88,10 +88,13 @@ class TestPool:
                 {"b": {2, 3}},
                 {"c": {3, 4}},
             ]
-            updates = pool.ingest(0, slices, [set(), set(), set()])
+            updates = pool.ingest(0, slices)
             assert [u.shard for u in updates] == [0, 1, 2]
             assert updates[0].bursty == frozenset({"a"})
-            assert updates[0].id_sets["a"] == frozenset({1, 2})
+            answers = pool.exchange([(0, [], ["a"]), (1, [("b", "b")], [])])
+            assert [a[0] for a in answers] == [0, 1]
+            assert answers[0][2]["a"] == frozenset({1, 2})
+            assert answers[1][1][("b", "b")] == 1.0  # intra-shard exact EC
             states = pool.export_states()
             assert [s[0] for s in states] == [0, 1, 2]
             # round-trip into a fresh pool (different backend shape)
@@ -105,9 +108,9 @@ class TestPool:
     def test_empty_slices_still_slide_the_window(self):
         pool = make_pool(2, 1, PARAMS, backend="serial")
         try:
-            pool.ingest(0, [{"a": {1, 2}}, {}], [set(), set()])
+            pool.ingest(0, [{"a": {1, 2}}, {}])
             for quantum in range(1, 4):
-                updates = pool.ingest(quantum, [{}, {}], [set(), set()])
+                updates = pool.ingest(quantum, [{}, {}])
             # quantum 3 slides quantum 0 out: "a" must report emptied
             emptied = set()
             for update in updates:
@@ -124,6 +127,6 @@ class TestPool:
         for quantum, content in enumerate(
             [{"a": {1, 2}, "b": {2}}, {"a": {3}}, {}, {"b": {4, 5}}]
         ):
-            state.ingest(quantum, content, ())
+            state.ingest(quantum, content)
             serial.add_quantum(quantum, content)
         assert state.idsets.to_state() == serial.to_state()

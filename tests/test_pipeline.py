@@ -71,7 +71,8 @@ class TestPipelineAssembly:
         report = session.process_quantum(burst(["a1", "b1", "c1"], range(6)))
         timings = report.timings.as_dict()
         assert set(timings) == {
-            "extract", "akg_update", "maintain", "propagate", "rank", "report"
+            "extract", "akg_update", "maintain", "propagate", "rank",
+            "report", "scatter", "exchange", "overlap_saved",
         }
         assert all(t >= 0.0 for t in timings.values())
         # legacy read-only alias for the pre-refactor slot name

@@ -1,0 +1,207 @@
+"""The pipelined (overlap=True) sharded session.
+
+``overlap`` runs each quantum's serial tail — exchange-merge, maintain,
+rank, report — on a background thread while the *next* quantum's scatter
+is already in flight, hiding the tail behind the front-end.  The contract
+under test: results are **bit-identical** to the same session without
+overlap (hence to plain serial), quantum boundaries survive abandonment,
+tail errors surface on the consumer, and the modes that cannot soundly
+pipeline are refused up front with readable errors.
+"""
+
+import pytest
+
+from test_distributed_transport import worker_daemons
+from test_parallel_shard_invariance import (
+    REGIMES,
+    bursty_stream,
+    make_config,
+    regime_stream,
+    run_session,
+)
+
+from repro.api import open_session
+from repro.errors import CheckpointError, ConfigError, PipelineError
+
+# --------------------------------------------------------- golden parity
+
+
+@pytest.mark.parametrize("regime", REGIMES)
+def test_overlap_bit_identical_to_serial(regime, tmp_path):
+    """Pipelined execution changes wall-clock shape only: reports, sink
+    events, histories, and checkpoints equal the plain serial session."""
+    config = make_config()
+    stream = regime_stream(regime, 11, 700, config)
+    reference = run_session(stream, tmp_path, "reference")
+    for tag, kwargs in [
+        ("thread-W2", dict(workers=2, worker_backend="thread")),
+        ("process-W4", dict(workers=4)),
+    ]:
+        fingerprint = run_session(
+            stream, tmp_path, f"overlap-{tag}", overlap=True, **kwargs
+        )
+        names = ("reports", "notifications", "histories", "checkpoint")
+        for part, ref, name in zip(fingerprint, reference, names):
+            assert part == ref, (
+                f"{name} diverged under overlap ({tag}, {regime})"
+            )
+
+
+def test_overlap_over_remote_transport(tmp_path):
+    """Overlap composes with TCP shard workers — still bit-identical."""
+    stream = bursty_stream(7, 500)
+    reference = run_session(stream, tmp_path, "reference")
+    with worker_daemons(2) as endpoints:
+        fingerprint = run_session(
+            stream, tmp_path, "overlap-remote",
+            workers=endpoints, shard_count=4, overlap=True,
+        )
+    assert fingerprint == reference
+
+
+def test_overlap_saved_is_reported():
+    """Reports carry the overlap_saved sub-span and the session total
+    accumulates it (zero is legal — tiny tails can finish early)."""
+    session = open_session(
+        make_config(), workers=2, worker_backend="thread", overlap=True
+    )
+    try:
+        reports = list(session.ingest_many(bursty_stream(3, 400)))
+        assert reports, "stream produced no quanta"
+        saved = [r.timings.overlap_saved for r in reports]
+        assert all(s >= 0.0 for s in saved)
+        assert "overlap_saved" in reports[-1].timings.as_dict()
+        assert session.total_timings.overlap_saved == pytest.approx(
+            sum(saved)
+        )
+    finally:
+        session.close()
+
+
+# ---------------------------------------------------- lifecycle semantics
+
+
+def test_abandoned_iteration_lands_on_quantum_boundary(tmp_path):
+    """Breaking out of ingest_many drains the scattered-ahead quantum, so
+    the session is immediately snapshottable and bit-equivalent to a
+    session that processed the same whole quanta normally."""
+    config = make_config()
+    stream = bursty_stream(13, 400)
+    session = open_session(config, workers=2, worker_backend="thread",
+                           overlap=True)
+    seen = 0
+    for report in session.ingest_many(stream):
+        seen += 1
+        if seen == 3:
+            break
+    path = tmp_path / "abandoned.ckpt"
+    session.snapshot(path)  # must not raise: iteration is fully drained
+    session.close()
+
+    reference = open_session(config)
+    consumed = (seen + 1) * config.quantum_size  # +1: the drained quantum
+    for message in stream[:consumed]:
+        reference.ingest(message)
+    ref_path = tmp_path / "reference.ckpt"
+    reference.snapshot(ref_path)
+    reference.close()
+
+    from test_parallel_shard_invariance import normalized_checkpoint
+
+    assert normalized_checkpoint(path) == normalized_checkpoint(ref_path)
+
+
+def test_tail_error_propagates_and_session_survives():
+    """An exception on the background tail thread surfaces to the consumer
+    as itself (not a hang, not a shutdown error), and close() still works."""
+
+    class Boom(RuntimeError):
+        pass
+
+    class FailingStage:
+        name = "failing"
+
+        def __init__(self):
+            self.calls = 0
+
+        def run(self, ctx):
+            self.calls += 1
+            if self.calls == 3:
+                raise Boom("injected tail failure")
+
+    session = open_session(
+        make_config(), workers=2, worker_backend="thread", overlap=True
+    )
+    session.pipeline.stages.append(FailingStage())
+    try:
+        with pytest.raises(Boom, match="injected tail failure"):
+            for _ in session.ingest_many(bursty_stream(5, 400)):
+                pass
+    finally:
+        session.close()
+
+
+def test_snapshot_refused_mid_iteration(tmp_path):
+    """While the pipeline is scattered ahead, the merged state is behind
+    the worker windows — snapshotting would tear them apart."""
+    session = open_session(
+        make_config(), workers=2, worker_backend="thread", overlap=True
+    )
+    try:
+        iterator = session.ingest_many(bursty_stream(9, 400))
+        next(iterator)
+        with pytest.raises(CheckpointError, match="pipelined"):
+            session.snapshot(tmp_path / "torn.ckpt")
+        iterator.close()
+        session.snapshot(tmp_path / "ok.ckpt")  # fine once drained
+    finally:
+        session.close()
+
+
+def test_process_quantum_refused_mid_iteration():
+    session = open_session(
+        make_config(), workers=2, worker_backend="thread", overlap=True
+    )
+    try:
+        iterator = session.ingest_many(bursty_stream(9, 400))
+        next(iterator)
+        with pytest.raises(PipelineError):
+            session.process_quantum(bursty_stream(1, 20))
+        iterator.close()
+    finally:
+        session.close()
+
+
+def test_delta_log_refused_on_overlap_session(tmp_path):
+    session = open_session(
+        make_config(), workers=2, worker_backend="thread", overlap=True
+    )
+    try:
+        with pytest.raises(CheckpointError, match="overlap"):
+            session.enable_delta_log(tmp_path / "delta")
+    finally:
+        session.close()
+
+
+# ------------------------------------------------------------- refusals
+
+
+def test_overlap_requires_sharding():
+    with pytest.raises(ConfigError, match="serial"):
+        open_session(make_config(), overlap=True)
+
+
+def test_overlap_refuses_profile():
+    with pytest.raises(ConfigError, match="profile"):
+        open_session(
+            make_config(), workers=2, worker_backend="thread",
+            overlap=True, profile=True,
+        )
+
+
+def test_overlap_refuses_ckg_stats():
+    with pytest.raises(ConfigError, match="track_ckg_stats"):
+        open_session(
+            make_config(track_ckg_stats=True),
+            workers=2, worker_backend="thread", overlap=True,
+        )

@@ -196,6 +196,11 @@ class TestTenantLifecycle:
         assert set(tenant) >= {
             "quantum", "queued", "shed", "accepted", "timings", "fanout",
         }
+        # The distributed front-end's sub-spans ride along on the stage
+        # timings (zero for serial tenants, live for sharded ones).
+        assert set(tenant["timings"]) >= {
+            "scatter", "exchange", "overlap_saved",
+        }
 
 
 class TestMultiTenantGoldenParity:
